@@ -1,0 +1,22 @@
+"""Shared helper for the benchmark harness.
+
+Every ``bench_*`` file regenerates one paper table or figure: the
+``benchmark`` fixture times the regeneration (the machine-model
+evaluation), and this helper prints the same rows/series the paper
+reports and asserts the experiment's shape checks.
+"""
+
+from __future__ import annotations
+
+from repro.suite.experiments import EXPERIMENTS
+from repro.suite.runner import render_experiment
+
+
+def run_experiment(benchmark, exp_id: str):
+    """Benchmark one experiment's regeneration; print and verify it."""
+    builder = EXPERIMENTS[exp_id]
+    exp = benchmark(builder)
+    print()
+    print(render_experiment(exp))
+    assert exp.passed, [str(c) for c in exp.failures]
+    return exp

@@ -1,0 +1,170 @@
+"""Ablations of the design choices DESIGN.md section 5 calls out.
+
+Each test flips one machine-model or workload parameter and verifies the
+direction and rough size of the effect — the evidence that the model's
+shape conclusions are driven by the mechanisms the paper names, not by
+accident.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.apps.ccm2 import costmodel as ccm2_cost
+from repro.apps.mom import costmodel as mom_cost
+from repro.apps.pop import costmodel as pop_cost
+from repro.kernels import ia, radabs, vfft, xpose
+from repro.machine.node import Node
+from repro.machine.presets import sx4_node, sx4_processor
+
+
+def test_clock_8ns_gives_the_papers_15_percent(benchmark):
+    """'An additional 15% performance improvement can be realized ...
+    running on a system with an 8.0 ns clock.'"""
+
+    def both():
+        bench = radabs.model_mflops(sx4_processor(9.2))
+        prod = radabs.model_mflops(sx4_processor(8.0))
+        return bench, prod
+
+    bench_rate, prod_rate = benchmark(both)
+    print(f"\nRADABS: 9.2ns {bench_rate:.1f} -> 8.0ns {prod_rate:.1f} Mflops")
+    assert prod_rate / bench_rate == pytest.approx(1.15, rel=1e-6)
+
+
+def test_bank_count_drives_xpose_degradation(benchmark):
+    """Fewer banks make strided (XPOSE) access worse, COPY untouched."""
+
+    def sweep():
+        results = {}
+        for banks in (64, 1024):
+            proc = sx4_processor()
+            proc.memory.banks = banks
+            results[banks] = xpose.model_curve(proc).asymptote_mb_per_s
+        return results
+
+    rates = benchmark(sweep)
+    print(f"\nXPOSE asymptote: 64 banks {rates[64]:.0f}, 1024 banks {rates[1024]:.0f} MB/s")
+    assert rates[1024] >= rates[64]
+
+
+def test_bank_busy_time_drives_gather_rate(benchmark):
+    """'List vector access benefits from the very short bank cycle time':
+    lengthening the bank busy time must hurt IA."""
+
+    def sweep():
+        results = {}
+        for busy in (2.0, 16.0):
+            proc = sx4_processor()
+            proc.memory.bank_busy_cycles = busy
+            results[busy] = ia.model_curve(proc).asymptote_mb_per_s
+        return results
+
+    rates = benchmark(sweep)
+    print(f"\nIA asymptote: busy=2 {rates[2.0]:.0f}, busy=16 {rates[16.0]:.0f} MB/s")
+    assert rates[2.0] > rates[16.0]
+
+
+def test_vector_startup_sets_the_short_vector_knee(benchmark):
+    """Halving startup helps short vectors far more than long ones."""
+
+    def sweep():
+        out = {}
+        for startup in (20.0, 80.0):
+            proc = sx4_processor()
+            proc.vector.startup_cycles = startup
+            out[startup] = (
+                vfft.model_mflops(proc, 256, 5),
+                vfft.model_mflops(proc, 256, 500),
+            )
+        return out
+
+    rates = benchmark(sweep)
+    short_gain = rates[20.0][0] / rates[80.0][0]
+    long_gain = rates[20.0][1] / rates[80.0][1]
+    print(f"\nstartup 80->20 cycles: short-vector gain {short_gain:.2f}x, "
+          f"long-vector gain {long_gain:.2f}x")
+    assert short_gain > 1.5 * long_gain
+
+
+def test_slt_gather_share_drives_ensemble_degradation(benchmark, node):
+    """Removing the irregular traffic (gathers + strided transposes)
+    collapses the Table 6 degradation toward the unit-stride floor."""
+
+    def both():
+        full = ccm2_cost.ensemble_degradation(node)["degradation"]
+        calm_node = sx4_node()
+        calm_node.processor.memory.contention_slope = 0.0
+        calm = ccm2_cost.ensemble_degradation(calm_node)["degradation"]
+        return full, calm
+
+    full, calm = benchmark(both)
+    print(f"\nensemble degradation: full model {100 * full:.2f}%, "
+          f"no-irregular-contention {100 * calm:.2f}%")
+    assert full > 1.5 * calm
+
+
+def test_mom_diagnostic_interval_ablation(benchmark, node):
+    """Printing diagnostics every step vs never: the serial print is a
+    real part of MOM's scalability ceiling."""
+
+    def both():
+        with_diag = mom_cost.parallel_step(node, cpus=32, with_diagnostics=True)
+        without = mom_cost.parallel_step(node, cpus=32, with_diagnostics=False)
+        return with_diag.seconds, without.seconds
+
+    with_diag, without = benchmark(both)
+    print(f"\nMOM 32-CPU step: with diagnostics {with_diag:.3f}s, without {without:.3f}s")
+    assert with_diag > 1.1 * without
+
+
+def test_mom_sor_decomposition_ablation(benchmark, node):
+    """Turning off the block-Jacobi iteration growth (exponent 0) makes
+    MOM scale much better — the solver is the other ceiling."""
+
+    def both():
+        base = mom_cost.speedup_table(node)[32][1]
+        old = mom_cost.SOR_DECOMPOSITION_EXPONENT
+        mom_cost.SOR_DECOMPOSITION_EXPONENT = 0.0
+        try:
+            flat = mom_cost.speedup_table(sx4_node())[32][1]
+        finally:
+            mom_cost.SOR_DECOMPOSITION_EXPONENT = old
+        return base, flat
+
+    base, flat = benchmark(both)
+    print(f"\nMOM speedup at 32 CPUs: sqrt-growth {base:.2f}, no growth {flat:.2f}")
+    assert flat > base + 2.0
+
+
+def test_pop_cshift_vectorisation_ablation(benchmark):
+    """The pre-release-compiler story: vectorising CSHIFT buys >1.3x."""
+
+    def both():
+        return (
+            pop_cost.model_mflops(cshift_vectorized=False),
+            pop_cost.model_mflops(cshift_vectorized=True),
+        )
+
+    scalar, vector = benchmark(both)
+    print(f"\nPOP: cshift scalar {scalar:.0f}, vectorised {vector:.0f} Mflops")
+    assert vector > 1.3 * scalar
+
+
+def test_multinode_ccm2_extension(benchmark):
+    """Beyond the paper: CCM2 across IXS-connected nodes.  Large problems
+    keep scaling; small ones hit the all-to-all latency floor."""
+    from repro.apps.ccm2 import costmodel as ccm2_cost_mod
+
+    def sweep():
+        return {
+            res: ccm2_cost_mod.multinode_scaling(res=res, node_counts=(1, 4, 16))
+            for res in ("T42L18", "T170L18")
+        }
+
+    curves = benchmark(sweep)
+    for res, pts in curves.items():
+        line = ", ".join(f"{n}n: {g:.0f} GF" for n, g in pts)
+        print(f"\n{res}: {line}")
+    eff = {res: dict(pts)[16] / (16 * dict(pts)[1]) for res, pts in curves.items()}
+    assert eff["T42L18"] < eff["T170L18"]

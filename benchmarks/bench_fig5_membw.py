@@ -1,0 +1,8 @@
+"""Figure 5: COPY / IA / XPOSE memory bandwidth sweeps on the SX-4/1."""
+
+from _harness import run_experiment
+
+
+def test_figure5_memory_bandwidth(benchmark):
+    exp = run_experiment(benchmark, "figure5")
+    assert set(exp.series) == {"COPY", "IA", "XPOSE"}

@@ -1,0 +1,8 @@
+"""Figure 6: RFFT ('scalar' style) Mflops across the three axis families."""
+
+from _harness import run_experiment
+
+
+def test_figure6_rfft(benchmark):
+    exp = run_experiment(benchmark, "figure6")
+    assert set(exp.series) == {"2^n", "3*2^n", "5*2^n"}

@@ -1,0 +1,8 @@
+"""Figure 7: VFFT ('vector' style) Mflops vs vector length."""
+
+from _harness import run_experiment
+
+
+def test_figure7_vfft(benchmark):
+    exp = run_experiment(benchmark, "figure7")
+    assert len(exp.series) == 3

@@ -1,0 +1,8 @@
+"""Figure 8: CCM2 Cray-equivalent Gflops vs processors, three resolutions."""
+
+from _harness import run_experiment
+
+
+def test_figure8_ccm2_scaling(benchmark):
+    exp = run_experiment(benchmark, "figure8")
+    assert set(exp.series) == {"T42L18", "T106L18", "T170L18"}

@@ -1,0 +1,8 @@
+"""Section 2: the SX-4 architecture numbers, derived from the model."""
+
+from _harness import run_experiment
+
+
+def test_sec2_architecture(benchmark):
+    exp = run_experiment(benchmark, "sec2")
+    assert len(exp.rows) == 6

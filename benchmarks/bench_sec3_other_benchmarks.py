@@ -1,0 +1,8 @@
+"""Section 3: the rejected comparison suites (LINPACK, STREAM), quantified."""
+
+from _harness import run_experiment
+
+
+def test_sec3_other_benchmarks(benchmark):
+    exp = run_experiment(benchmark, "sec3")
+    assert any("LINPACK" in str(row[0]) for row in exp.rows)

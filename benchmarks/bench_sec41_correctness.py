@@ -1,0 +1,8 @@
+"""Section 4.1: PARANOIA + ELEFUNT accuracy pass/fail gate."""
+
+from _harness import run_experiment
+
+
+def test_sec41_correctness(benchmark):
+    exp = run_experiment(benchmark, "sec4.1")
+    assert all(row[1] == "pass" for row in exp.rows)

@@ -1,0 +1,8 @@
+"""Section 4.4: RADABS 865.9 Y-MP-equivalent Mflops on the SX-4/1."""
+
+from _harness import run_experiment
+
+
+def test_sec44_radabs(benchmark):
+    exp = run_experiment(benchmark, "sec4.4")
+    assert abs(exp.rows[0][1] - 865.9) < 0.1 * 865.9

@@ -1,0 +1,8 @@
+"""Section 4.5: the disk / HIPPI / network benchmarks."""
+
+from _harness import run_experiment
+
+
+def test_sec45_io(benchmark):
+    exp = run_experiment(benchmark, "sec4.5")
+    assert len(exp.rows) == 5

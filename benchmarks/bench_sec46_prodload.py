@@ -1,0 +1,8 @@
+"""Section 4.6: the PRODLOAD production workload (paper: 93m28s)."""
+
+from _harness import run_experiment
+
+
+def test_sec46_prodload(benchmark):
+    exp = run_experiment(benchmark, "sec4.6")
+    assert exp.rows[-1][0] == "TOTAL"

@@ -1,0 +1,9 @@
+"""Section 4.7.3: POP at 537 Mflops with the unvectorised CSHIFT."""
+
+from _harness import run_experiment
+
+
+def test_sec473_pop(benchmark):
+    exp = run_experiment(benchmark, "sec4.7.3")
+    scalar, vector = exp.rows
+    assert vector[1] > scalar[1]

@@ -1,0 +1,11 @@
+"""Table 1: HINT MQUIPS vs RADABS Mflops across four single processors."""
+
+from _harness import run_experiment
+
+
+def test_table1_hint_vs_radabs(benchmark):
+    exp = run_experiment(benchmark, "table1")
+    # The headline: the rank inversion between the two metrics.
+    hint_row, radabs_row = exp.rows
+    assert hint_row[2] == max(hint_row[1:])  # RS6K wins HINT
+    assert radabs_row[4] == max(radabs_row[1:])  # Y-MP wins RADABS

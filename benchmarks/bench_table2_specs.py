@@ -1,0 +1,8 @@
+"""Table 2: the benchmarked SX-4/32's specification sheet."""
+
+from _harness import run_experiment
+
+
+def test_table2_specs(benchmark):
+    exp = run_experiment(benchmark, "table2")
+    assert dict(exp.rows)["Clock Rate"] == "9.2 ns"

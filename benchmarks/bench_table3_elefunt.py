@@ -1,0 +1,8 @@
+"""Table 3: intrinsic-function throughput (Mcalls/s) on the SX-4/1."""
+
+from _harness import run_experiment
+
+
+def test_table3_elefunt(benchmark):
+    exp = run_experiment(benchmark, "table3")
+    assert len(exp.rows[0]) == 5  # EXP LOG PWR SIN SQRT

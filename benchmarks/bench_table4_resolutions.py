@@ -1,0 +1,10 @@
+"""Table 4: CCM2 resolutions, grids, spacings and timesteps."""
+
+from _harness import run_experiment
+
+
+def test_table4_resolutions(benchmark):
+    exp = run_experiment(benchmark, "table4")
+    assert [row[0] for row in exp.rows] == [
+        "T42L18", "T63L18", "T85L18", "T106L18", "T170L18",
+    ]

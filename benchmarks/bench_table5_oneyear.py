@@ -1,0 +1,9 @@
+"""Table 5: one-year climate simulations at T42L18 and T63L18."""
+
+from _harness import run_experiment
+
+
+def test_table5_one_year(benchmark):
+    exp = run_experiment(benchmark, "table5")
+    t42, t63 = exp.rows
+    assert t63[1] > 2 * t42[1]  # T63 costs ~2.6x T42

@@ -1,0 +1,9 @@
+"""Table 6: the ensemble test (1 vs 8 concurrent 4-CPU CCM2 jobs)."""
+
+from _harness import run_experiment
+
+
+def test_table6_ensemble(benchmark):
+    exp = run_experiment(benchmark, "table6")
+    degradation = exp.rows[-1][1]
+    assert degradation < 5.0  # percent

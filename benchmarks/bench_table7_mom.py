@@ -1,0 +1,9 @@
+"""Table 7: MOM 350-step times and speedups, 1 to 32 CPUs."""
+
+from _harness import run_experiment
+
+
+def test_table7_mom(benchmark):
+    exp = run_experiment(benchmark, "table7")
+    cpus = [row[0] for row in exp.rows]
+    assert cpus == [1, 4, 8, 16, 32]

@@ -1,0 +1,22 @@
+"""Fixtures for the benchmark harness (see _harness.py for the runner)."""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+@pytest.fixture
+def sx4():
+    from repro.machine.presets import sx4_processor
+
+    return sx4_processor()
+
+
+@pytest.fixture
+def node():
+    from repro.machine.presets import sx4_node
+
+    return sx4_node()

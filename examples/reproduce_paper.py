@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one run.
+
+Thin wrapper over the suite runner: prints each experiment's rows/series,
+the paper's reference values, and the shape-check verdicts, ending with
+the overall reproduction summary.  Equivalent to::
+
+    python -m repro.suite.runner
+
+Run:  python examples/reproduce_paper.py [exp_id ...]
+      (e.g. ``python examples/reproduce_paper.py table7 figure8``)
+"""
+
+import sys
+
+from repro.suite.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

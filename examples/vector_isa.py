@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Program the SX-4's vector unit directly: the executable ISA model.
+
+Assembles the COPY, DAXPY and IA (gather) inner loops as vector
+instruction programs, runs them on the functional vector-machine
+simulator, verifies the results numerically, and compares the simulated
+cycle counts with the analytic trace model — the two layers of the
+machine model cross-checking each other.
+
+Run:  python examples/vector_isa.py
+"""
+
+import numpy as np
+
+from repro.machine.isa import (
+    Instr,
+    VectorMachine,
+    assemble_copy,
+    assemble_daxpy,
+    assemble_gather,
+)
+from repro.machine.operations import Trace, VectorOp
+from repro.machine.presets import sx4_processor
+
+N = 50_000
+rng = np.random.default_rng(0)
+proc = sx4_processor()
+
+print(f"vector machine: {proc.name}, {proc.vector.pipes} pipes, "
+      f"vl_max={proc.vector.register_length}\n")
+
+# ---- COPY ---------------------------------------------------------------------
+vm = VectorMachine(memory_words=4 * N)
+data = rng.standard_normal(N)
+vm.memory[0:N] = data
+cycles = vm.run(assemble_copy(src=0, dst=2 * N, n=N))
+assert np.array_equal(vm.memory[2 * N : 3 * N], data)
+analytic = proc.execute(
+    Trace([VectorOp("copy", length=N, loads_per_element=1, stores_per_element=1)])
+).cycles
+print(f"COPY   {N} elements: ISA {cycles:10.0f} cycles "
+      f"({cycles / N:.3f}/elem) | analytic {analytic:10.0f} "
+      f"(load/store paths overlapped)")
+
+# ---- DAXPY --------------------------------------------------------------------
+vm = VectorMachine(memory_words=4 * N)
+x, y = rng.standard_normal(N), rng.standard_normal(N)
+vm.memory[0:N] = x
+vm.memory[N : 2 * N] = y
+cycles = vm.run(assemble_daxpy(x=0, y=N, n=N, alpha=2.5))
+assert np.allclose(vm.memory[N : 2 * N], y + 2.5 * x)
+flops = 2 * N
+mflops = flops / (cycles * proc.clock.period_s) / 1e6
+print(f"DAXPY  {N} elements: ISA {cycles:10.0f} cycles -> {mflops:7.1f} Mflops "
+      f"at the {proc.clock.period_ns:g} ns clock")
+
+# ---- gather (the IA benchmark's inner loop) -------------------------------------
+vm = VectorMachine(memory_words=5 * N)
+indx = rng.permutation(N)
+vm.memory[0:N] = data
+vm.memory[N : 2 * N] = indx.astype(float)
+cycles_ia = vm.run(assemble_gather(src=0, index=N, dst=3 * N, n=N))
+assert np.array_equal(vm.memory[3 * N : 4 * N], data[indx])
+vm2 = VectorMachine(memory_words=5 * N)
+vm2.memory[0:N] = data
+cycles_copy = vm2.run(assemble_copy(src=0, dst=3 * N, n=N))
+print(f"GATHER {N} elements: ISA {cycles_ia:10.0f} cycles — "
+      f"{cycles_ia / cycles_copy:.1f}x the COPY cycles "
+      f"(the Figure 5 IA-vs-COPY gap, at instruction level)")
+
+# ---- a hand-written reduction ---------------------------------------------------
+vm = VectorMachine()
+vm.memory[0:256] = np.arange(256.0)
+vm.run([
+    Instr("lds", vd=0, imm=0, stride=1),
+    Instr("vmuls", vd=1, vs1=0, imm=2.0),
+    Instr("vsum", vd=0, vs1=1),
+])
+assert vm.sregs[0] == 2.0 * np.arange(256).sum()
+print(f"\nhand-written program: sum(2*i for i in 0..255) = {vm.sregs[0]:.0f} "
+      f"in {vm.instructions_retired} instructions, {vm.cycles:.0f} cycles")

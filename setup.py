@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The offline environment this project targets ships setuptools without the
+``wheel`` package, so PEP-517/660 editable installs cannot build editable
+wheels.  Keeping a classic ``setup.py`` (and no ``[build-system]`` table in
+``pyproject.toml``) lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path, which works everywhere.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""repro — the NCAR Benchmark Suite and an SX-4 performance-model simulator.
+
+A reproduction of Hammond, Loft & Tannenbaum, *"Architecture and
+Application: The Performance of the NEC SX-4 on the NCAR Benchmark
+Suite"* (SC 1996).
+
+Subpackages
+-----------
+``repro.machine``
+    Performance models of the SX-4 (CPU, banked memory, XMU, IOP, IXS,
+    SMP node) and the Table 1 comparator machines.
+``repro.kernels``
+    The thirteen NCAR kernel benchmarks (PARANOIA, ELEFUNT, COPY, IA,
+    XPOSE, RFFT, VFFT, RADABS, …) plus HINT, each with a functional NumPy
+    implementation and a machine-model trace builder.
+``repro.apps``
+    The three complete geophysical applications: CCM2 (spectral transform
+    atmosphere), MOM (rigid-lid finite-difference ocean) and POP
+    (implicit free-surface ocean).
+``repro.iosim``
+    Disk, HIPPI and network benchmark models (Section 4.5).
+``repro.scheduler``
+    Resource blocks and the PRODLOAD production-workload simulation.
+``repro.suite``
+    The suite runner and the per-table / per-figure experiment harness.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,103 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``suite [exp_id ...]``
+    Regenerate the paper's tables/figures (all, or the named ones) and
+    print the shape-check report.  Exit status 1 on any failed check.
+``suite --save PATH`` / ``suite --compare PATH``
+    Archive the run to JSON, or compare it against an archived baseline
+    and report drifts.
+``machine``
+    Print the modelled machines and their headline characteristics.
+``list``
+    List the available experiment ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.suite import archive
+from repro.suite.experiments import EXPERIMENTS
+from repro.suite.runner import render_experiment, run_suite
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    report = run_suite(args.experiments or None)
+    if not args.quiet:
+        for exp in report.experiments:
+            print(render_experiment(exp))
+            print()
+    print(report.summary())
+    if args.save:
+        path = archive.save_run(report.experiments, args.save)
+        print(f"archived run to {path}")
+    if args.compare:
+        baseline = archive.load_run(args.compare)
+        drifts = archive.compare_runs(baseline, report.experiments)
+        if drifts:
+            print(f"{len(drifts)} drifts vs {args.compare}:")
+            for drift in drifts:
+                print(f"  [{drift.kind}] {drift.exp_id}: {drift.description}")
+            return 1
+        print(f"no drifts vs {args.compare}")
+    return 0 if report.passed else 1
+
+
+def _cmd_machine(_: argparse.Namespace) -> int:
+    from repro.machine.presets import sx4_processor, table1_machines
+    from repro.suite.tables import render_table
+
+    rows = []
+    for name, proc in {"NEC SX-4/1 (9.2ns)": sx4_processor(),
+                       "NEC SX-4/1 (8.0ns)": sx4_processor(8.0),
+                       **table1_machines()}.items():
+        rows.append([
+            name,
+            f"{proc.clock.period_ns:g} ns",
+            f"{proc.peak_flops / 1e6:,.0f}",
+            "vector" if proc.is_vector_machine else "cache",
+            f"{proc.port_bandwidth_bytes_per_s / 1e9:.1f}",
+        ])
+    print(render_table(
+        ["machine", "clock", "peak Mflops", "class", "memory GB/s"],
+        rows, title="Modelled machines",
+    ))
+    return 0
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for exp_id, builder in EXPERIMENTS.items():
+        doc = (builder.__doc__ or "").strip().splitlines()[0]
+        print(f"{exp_id:<10} {doc}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the SC'96 NEC SX-4 / NCAR Benchmark Suite paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_suite = sub.add_parser("suite", help="regenerate tables/figures")
+    p_suite.add_argument("experiments", nargs="*", help="experiment ids (default: all)")
+    p_suite.add_argument("--save", metavar="PATH", help="archive the run as JSON")
+    p_suite.add_argument("--compare", metavar="PATH", help="compare against an archive")
+    p_suite.add_argument("--quiet", action="store_true", help="summary only")
+    p_suite.set_defaults(func=_cmd_suite)
+
+    p_machine = sub.add_parser("machine", help="list modelled machines")
+    p_machine.set_defaults(func=_cmd_machine)
+
+    p_list = sub.add_parser("list", help="list experiment ids")
+    p_list.set_defaults(func=_cmd_list)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

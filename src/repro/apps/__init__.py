@@ -1,0 +1,18 @@
+"""The complete geophysical applications of the NCAR suite (Section 4.7).
+
+``ccm2``
+    The NCAR Community Climate Model version 2 analogue: a spectral
+    transform dynamical core on the Gaussian grid, RADABS-style column
+    physics, and shape-preserving semi-Lagrangian moisture transport.
+``mom``
+    The GFDL Modular Ocean Model analogue: a rigid-lid Bryan–Cox–Semtner
+    finite-difference ocean with a streamfunction barotropic solver.
+``pop``
+    The Los Alamos Parallel Ocean Program analogue: an implicit
+    free-surface ocean whose surface-pressure system is solved by
+    conjugate gradients over 9-point stencil (CSHIFT-style) operators.
+"""
+
+from repro.apps import ccm2, mom, pop  # noqa: F401
+
+__all__ = ["ccm2", "mom", "pop"]

@@ -1,0 +1,52 @@
+"""CCM2: spectral-transform atmospheric general circulation model analogue.
+
+Section 4.7.1 describes CCM2's computational design, which this package
+reproduces piece by piece:
+
+* "the spectral transform method is employed to compute the dry dynamics"
+  → :mod:`~repro.apps.ccm2.spectral` on the Gaussian grid of
+  :mod:`~repro.apps.ccm2.gaussian` with the associated Legendre basis of
+  :mod:`~repro.apps.ccm2.legendre`;
+* "horizontal derivatives and linear terms ... calculated in spectral
+  space", nonlinear terms on the grid → the shallow-water-layer dynamical
+  core of :mod:`~repro.apps.ccm2.dynamics`;
+* "physics computations involve only the vertical column above each grid
+  point" → :mod:`~repro.apps.ccm2.physics`, built on the RADABS kernel;
+* "trace gases, including water vapor, are transported ... using a shape
+  preserving SLT scheme ... involves indirect addressing" →
+  :mod:`~repro.apps.ccm2.slt`;
+* the T42…T170 resolution table (Table 4) → :mod:`~repro.apps.ccm2.resolutions`;
+* the machine-model cost of one timestep (Figure 8, Tables 5 and 6) →
+  :mod:`~repro.apps.ccm2.costmodel`.
+
+The full CCM2 is ~40,000 lines of Fortran-77 physics; DESIGN.md documents
+the substitution: this analogue keeps CCM2's three compute phases
+(transforms, column physics, SLT) with the same data layouts, parallelism
+and intrinsic mix, on the same grids, which is what the benchmark
+measures.
+"""
+
+from repro.apps.ccm2.gaussian import GaussianGrid, gauss_legendre
+from repro.apps.ccm2.legendre import LegendreBasis
+from repro.apps.ccm2.spectral import SpectralTransform
+from repro.apps.ccm2.dynamics import ShallowWaterLayer, initial_rh_wave, initial_solid_body
+from repro.apps.ccm2.physics import ColumnPhysics
+from repro.apps.ccm2.slt import SemiLagrangianTransport
+from repro.apps.ccm2.model import CCM2Model
+from repro.apps.ccm2.resolutions import RESOLUTIONS, Resolution, resolution
+
+__all__ = [
+    "GaussianGrid",
+    "gauss_legendre",
+    "LegendreBasis",
+    "SpectralTransform",
+    "ShallowWaterLayer",
+    "initial_rh_wave",
+    "initial_solid_body",
+    "ColumnPhysics",
+    "SemiLagrangianTransport",
+    "CCM2Model",
+    "Resolution",
+    "RESOLUTIONS",
+    "resolution",
+]

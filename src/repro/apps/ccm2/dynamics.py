@@ -1,0 +1,299 @@
+"""Spectral shallow-water dynamical core (the CCM2 dry dynamics analogue).
+
+CCM2's dry dynamics compute spectral coefficients of the state, evaluate
+nonlinear terms on the Gaussian grid, apply linear terms locally in
+spectral space, and transform back (Section 4.7.1).  The rotating
+shallow-water equations in vorticity-divergence form exercise that cycle
+exactly — they are the canonical spectral-dynamics proxy (Hack & Jakob's
+formulation, also the substrate of the Williamson test suite):
+
+    ∂ζ/∂t = −DIV(Uη, Vη)
+    ∂δ/∂t = +DIV(Vη, −Uη) − ∇²(Φ + (U²+V²)/(2(1−μ²)))
+    ∂Φ/∂t = −DIV(UΦ, VΦ)
+
+with η = ζ + f absolute vorticity, (U, V) = (u, v)·cosφ, and
+DIV(A, B) = (1/(a(1−μ²)))∂A/∂λ + (1/a)∂B/∂μ the flux-divergence operator
+of :meth:`~repro.apps.ccm2.spectral.SpectralTransform.forward_div_pair`.
+
+Time integration is leapfrog with a Robert–Asselin filter and optional
+∇⁴ hyperdiffusion, as in spectral GCM practice.  The flux form conserves
+mass *exactly* in spectral space (the (0,0) mode of DIV vanishes
+identically), and total energy approximately — both are tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.ccm2.spectral import EARTH_OMEGA, SpectralTransform
+
+__all__ = [
+    "ShallowWaterState",
+    "ShallowWaterLayer",
+    "initial_solid_body",
+    "initial_rh_wave",
+]
+
+GRAVITY = 9.80616
+
+
+@dataclass
+class ShallowWaterState:
+    """Prognostic spectral state: vorticity ζ, divergence δ, geopotential Φ."""
+
+    vort: np.ndarray
+    div: np.ndarray
+    phi: np.ndarray
+
+    def copy(self) -> "ShallowWaterState":
+        return ShallowWaterState(self.vort.copy(), self.div.copy(), self.phi.copy())
+
+    def __add__(self, other: "ShallowWaterState") -> "ShallowWaterState":
+        return ShallowWaterState(
+            self.vort + other.vort, self.div + other.div, self.phi + other.phi
+        )
+
+    def scaled(self, factor: float) -> "ShallowWaterState":
+        return ShallowWaterState(
+            self.vort * factor, self.div * factor, self.phi * factor
+        )
+
+
+@dataclass
+class ShallowWaterLayer:
+    """One shallow-water layer integrated by the spectral transform method.
+
+    Parameters
+    ----------
+    transform:
+        The spectral transform (grid + truncation + radius).
+    omega:
+        Planetary rotation rate (Coriolis f = 2Ω·sinφ).
+    nu4:
+        ∇⁴ hyperdiffusion coefficient [m⁴/s] applied to ζ, δ, Φ.
+    robert:
+        Robert–Asselin time-filter coefficient.
+    """
+
+    transform: SpectralTransform
+    omega: float = EARTH_OMEGA
+    nu4: float = 0.0
+    robert: float = 0.03
+    #: Semi-implicit gravity-wave treatment (the scheme CCM2 itself uses,
+    #: which is what allows Table 4's long timesteps): the linear terms
+    #: -∇²Φ and -Φ̄·δ are averaged over the two leapfrog endpoints and the
+    #: resulting Helmholtz problem is solved exactly in spectral space.
+    semi_implicit: bool = False
+    #: Reference geopotential Φ̄ linearised about (semi-implicit only).
+    phi_ref: float = GRAVITY * 8.0e3
+    coriolis_grid: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.nu4 < 0:
+            raise ValueError(f"hyperdiffusion must be >= 0, got {self.nu4}")
+        if not 0.0 <= self.robert < 0.5:
+            raise ValueError(f"Robert coefficient must be in [0, 0.5), got {self.robert}")
+        if self.phi_ref <= 0:
+            raise ValueError(f"reference geopotential must be positive, got {self.phi_ref}")
+        mu = self.transform.grid.sinlat[:, None]
+        self.coriolis_grid = (2.0 * self.omega * mu) * np.ones(
+            (1, self.transform.grid.nlon)
+        )
+
+    # -- diagnostics -----------------------------------------------------------
+    def grid_fields(self, state: ShallowWaterState) -> dict[str, np.ndarray]:
+        """Grid-space ζ, δ, Φ, U, V for a spectral state."""
+        u, v = self.transform.uv_from_vort_div(state.vort, state.div)
+        return {
+            "vort": self.transform.inverse(state.vort),
+            "div": self.transform.inverse(state.div),
+            "phi": self.transform.inverse(state.phi),
+            "U": u,
+            "V": v,
+        }
+
+    def total_mass(self, state: ShallowWaterState) -> float:
+        """Global mean geopotential — exactly the (0,0) spectral mode."""
+        return float(state.phi[self.transform.basis.index(0, 0)].real)
+
+    def total_energy(self, state: ShallowWaterState) -> float:
+        """Area-mean total energy  ⟨Φ²/2 + Φ·(u²+v²)/2⟩ / g."""
+        fields = self.grid_fields(state)
+        cos2 = 1.0 - self.transform.grid.sinlat[:, None] ** 2
+        kinetic = (fields["U"] ** 2 + fields["V"] ** 2) / (2.0 * cos2)
+        energy = fields["phi"] * kinetic + 0.5 * fields["phi"] ** 2
+        return self.transform.grid.area_mean(energy) / GRAVITY
+
+    def max_stable_dt(
+        self, phi_scale: float = GRAVITY * 8.0e3, wind_scale: float = 120.0
+    ) -> float:
+        """CFL limit of the leapfrog: dt < a/(c·T).
+
+        Explicit mode is limited by the gravity-wave speed c = √Φ̄
+        (~280 m/s); semi-implicit mode removes that constraint and is
+        limited only by advection (``wind_scale``; 120 m/s covers jets
+        plus wave perturbations) — the ~2.3x step extension that lets
+        CCM2 run Table 4's long steps.
+        """
+        if phi_scale <= 0:
+            raise ValueError(f"phi scale must be positive, got {phi_scale}")
+        if wind_scale <= 0:
+            raise ValueError(f"wind scale must be positive, got {wind_scale}")
+        speed = wind_scale if self.semi_implicit else float(np.sqrt(phi_scale))
+        return self.transform.radius / (speed * self.transform.trunc)
+
+    # -- dynamics ---------------------------------------------------------------
+    def tendencies(self, state: ShallowWaterState) -> ShallowWaterState:
+        """Spectral time tendencies of (ζ, δ, Φ) at one instant."""
+        tr = self.transform
+        u, v = tr.uv_from_vort_div(state.vort, state.div)
+        vort_grid = tr.inverse(state.vort)
+        phi_grid = tr.inverse(state.phi)
+        eta = vort_grid + self.coriolis_grid
+
+        dvort = -tr.forward_div_pair(u * eta, v * eta)
+        cos2 = 1.0 - tr.grid.sinlat[:, None] ** 2
+        energy = phi_grid + (u * u + v * v) / (2.0 * cos2)
+        ddiv = tr.forward_div_pair(v * eta, -u * eta) - tr.laplacian(tr.forward(energy))
+        dphi = -tr.forward_div_pair(u * phi_grid, v * phi_grid)
+
+        if self.nu4 > 0.0:
+            eig = tr.basis.laplacian_eigenvalues / tr.radius**2
+            damp = -self.nu4 * eig * eig
+            dvort = dvort + damp * state.vort
+            ddiv = ddiv + damp * state.div
+            dphi = dphi + damp * state.phi
+        return ShallowWaterState(dvort, ddiv, dphi)
+
+    def _semi_implicit_new(
+        self,
+        previous: ShallowWaterState,
+        current: ShallowWaterState,
+        tend: ShallowWaterState,
+        dt: float,
+    ) -> ShallowWaterState:
+        """The semi-implicit leapfrog update.
+
+        With L the spectral Laplacian eigenvalues and Φ̄ the reference
+        geopotential, the gravity-wave couple is integrated as
+
+            δ⁺(1 − Δt²Φ̄L) = δ⁻(1 + Δt²Φ̄L) + 2Δt·[N_δ − L(Φ⁻ + Δt·N_Φ)]
+            Φ⁺ = Φ⁻ + 2Δt·N_Φ − Δt·Φ̄·(δ⁺ + δ⁻)
+
+        where N_δ = δ̇ + LΦ and N_Φ = Φ̇ + Φ̄δ are the explicit
+        (nonlinear + diffusive) remainders.  The denominator
+        1 + Δt²Φ̄n(n+1)/a² > 1 damps exactly the fast modes that break
+        the explicit CFL, so Table-4-scale steps become stable.
+        """
+        tr = self.transform
+        eig = tr.basis.laplacian_eigenvalues / tr.radius**2  # L (negative)
+        n_div = tend.div + eig * current.phi
+        n_phi = tend.phi + self.phi_ref * current.div
+        denom = 1.0 - dt * dt * self.phi_ref * eig  # >= 1 everywhere
+        numer = (
+            previous.div * (1.0 + dt * dt * self.phi_ref * eig)
+            + 2.0 * dt * (n_div - eig * (previous.phi + dt * n_phi))
+        )
+        new_div = numer / denom
+        new_phi = (
+            previous.phi
+            + 2.0 * dt * n_phi
+            - dt * self.phi_ref * (new_div + previous.div)
+        )
+        new_vort = previous.vort + 2.0 * dt * tend.vort
+        return ShallowWaterState(new_vort, new_div, new_phi)
+
+    def step(
+        self,
+        previous: ShallowWaterState,
+        current: ShallowWaterState,
+        dt: float,
+    ) -> tuple[ShallowWaterState, ShallowWaterState]:
+        """One leapfrog step; returns (filtered current, new).
+
+        The Robert–Asselin filter damps the computational mode:
+        ``filtered = current + r·(previous − 2·current + new)``.
+        """
+        if dt <= 0:
+            raise ValueError(f"timestep must be positive, got {dt}")
+        tend = self.tendencies(current)
+        if self.semi_implicit:
+            new = self._semi_implicit_new(previous, current, tend, dt)
+        else:
+            new = previous + tend.scaled(2.0 * dt)
+        filtered = ShallowWaterState(
+            current.vort + self.robert * (previous.vort - 2.0 * current.vort + new.vort),
+            current.div + self.robert * (previous.div - 2.0 * current.div + new.div),
+            current.phi + self.robert * (previous.phi - 2.0 * current.phi + new.phi),
+        )
+        return filtered, new
+
+    def forward_step(self, state: ShallowWaterState, dt: float) -> ShallowWaterState:
+        """A single Euler forward step, used to start the leapfrog."""
+        if dt <= 0:
+            raise ValueError(f"timestep must be positive, got {dt}")
+        return state + self.tendencies(state).scaled(dt)
+
+    def run(
+        self, state: ShallowWaterState, dt: float, steps: int
+    ) -> ShallowWaterState:
+        """Integrate ``steps`` leapfrog steps from ``state``."""
+        if steps < 0:
+            raise ValueError(f"step count must be >= 0, got {steps}")
+        if steps == 0:
+            return state.copy()
+        previous = state.copy()
+        current = self.forward_step(state, dt)
+        for _ in range(steps - 1):
+            previous, current = self.step(previous, current, dt)
+        return current
+
+
+def initial_solid_body(
+    transform: SpectralTransform,
+    u0: float = 20.0,
+    phi0: float = GRAVITY * 8.0e3,
+    omega: float = EARTH_OMEGA,
+) -> ShallowWaterState:
+    """Williamson test 2: steady zonal geostrophic flow.
+
+    u = u₀·cosφ with the balancing geopotential
+    Φ = Φ₀ − (a·Ω·u₀ + u₀²/2)·sin²φ.  An exact steady solution of the
+    shallow-water equations — the model should hold it (tested).
+    """
+    grid = transform.grid
+    mu = grid.sinlat[:, None]
+    ones = np.ones((1, grid.nlon))
+    a = transform.radius
+    # Vorticity of u = u0 cosφ: ζ = 2·u0·μ/a (a pure (0,1) harmonic).
+    vort_grid = (2.0 * u0 / a) * mu * ones
+    phi_grid = (phi0 - (a * omega * u0 + 0.5 * u0 * u0) * mu * mu) * ones
+    return ShallowWaterState(
+        vort=transform.forward(vort_grid),
+        div=transform.zeros_spec(),
+        phi=transform.forward(phi_grid),
+    )
+
+
+def initial_rh_wave(
+    transform: SpectralTransform,
+    wavenumber: int = 4,
+    amplitude: float = 8.0e-5,
+    phi0: float = GRAVITY * 8.0e3,
+) -> ShallowWaterState:
+    """A Rossby–Haurwitz-like wave: zonal flow plus one rotating harmonic.
+
+    Used as a non-trivial, smooth initial condition for conservation and
+    scaling tests (Williamson test 6 is the classic version).
+    """
+    if wavenumber < 1 or wavenumber > transform.trunc - 1:
+        raise ValueError(
+            f"wavenumber must be in [1, T-1]=[1, {transform.trunc - 1}], got {wavenumber}"
+        )
+    state = initial_solid_body(transform, u0=15.0, phi0=phi0)
+    # Superpose a single spherical-harmonic vorticity perturbation.
+    i = transform.basis.index(wavenumber, wavenumber + 1)
+    state.vort[i] += amplitude
+    return state

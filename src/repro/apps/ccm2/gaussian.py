@@ -1,0 +1,118 @@
+"""Gaussian polar grid: Gauss–Legendre quadrature latitudes and weights.
+
+Section 4.7.1: "For accuracy reasons, the spectral transform calculations
+are performed on a polar grid which is irregularly spaced in latitude,
+called a Gaussian polar grid."  The latitudes are the roots of the
+Legendre polynomial P_J(sin φ); the associated weights make the Legendre
+transform's meridional integral exact for the triangularly truncated
+basis.
+
+Roots are found by Newton iteration on P_J with the standard asymptotic
+initial guess — the classic GAUAW algorithm that ships with every
+spectral model, reimplemented here with NumPy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["gauss_legendre", "GaussianGrid"]
+
+
+def gauss_legendre(n: int, tol: float = 1e-14, max_iter: int = 100) -> tuple[np.ndarray, np.ndarray]:
+    """Nodes and weights of n-point Gauss–Legendre quadrature on [-1, 1].
+
+    Returns ``(x, w)`` with nodes in *descending* order (north to south
+    when x = sin φ, the spectral-model convention).  Exact (to roundoff)
+    for polynomials of degree ≤ 2n-1, which the tests verify.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one quadrature point, got {n}")
+    k = np.arange(1, n + 1)
+    # Asymptotic initial guess for the k-th root (Abramowitz & Stegun 22.16.6).
+    x = np.cos(np.pi * (k - 0.25) / (n + 0.5))
+    for _ in range(max_iter):
+        # Evaluate P_n and P_{n-1} by the three-term recurrence.
+        p_prev = np.ones_like(x)
+        p = x.copy()
+        for j in range(2, n + 1):
+            p_prev, p = p, ((2 * j - 1) * x * p - (j - 1) * p_prev) / j
+        if n == 1:
+            p, p_prev = x, np.ones_like(x)
+        dp = n * (x * p - p_prev) / (x * x - 1.0)
+        dx = p / dp
+        x = x - dx
+        if np.max(np.abs(dx)) < tol:
+            break
+    else:  # pragma: no cover - Newton converges in a handful of steps
+        raise RuntimeError(f"Gauss-Legendre iteration failed to converge for n={n}")
+    # Final weights from the converged nodes.
+    p_prev = np.ones_like(x)
+    p = x.copy()
+    for j in range(2, n + 1):
+        p_prev, p = p, ((2 * j - 1) * x * p - (j - 1) * p_prev) / j
+    if n == 1:
+        p, p_prev = x, np.ones_like(x)
+    dp = n * (x * p - p_prev) / (x * x - 1.0)
+    w = 2.0 / ((1.0 - x * x) * dp * dp)
+    order = np.argsort(-x)  # descending: north pole first
+    return x[order], w[order]
+
+
+@dataclass
+class GaussianGrid:
+    """The model grid: ``nlat`` Gaussian latitudes × ``nlon`` even longitudes.
+
+    Attributes
+    ----------
+    sinlat, weights:
+        Gauss–Legendre nodes (sin of latitude, descending) and weights.
+    lats:
+        Latitudes in radians (north positive).
+    lons:
+        Longitudes in radians, equally spaced starting at 0.
+    """
+
+    nlat: int
+    nlon: int
+    sinlat: np.ndarray = field(init=False)
+    weights: np.ndarray = field(init=False)
+    lats: np.ndarray = field(init=False)
+    lons: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.nlat < 2 or self.nlat % 2 != 0:
+            raise ValueError(f"nlat must be even and >= 2, got {self.nlat}")
+        if self.nlon < 4:
+            raise ValueError(f"nlon must be >= 4, got {self.nlon}")
+        self.sinlat, self.weights = gauss_legendre(self.nlat)
+        self.lats = np.arcsin(self.sinlat)
+        self.lons = 2.0 * np.pi * np.arange(self.nlon) / self.nlon
+
+    @property
+    def coslat(self) -> np.ndarray:
+        return np.cos(self.lats)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Grid-field shape, (nlat, nlon)."""
+        return (self.nlat, self.nlon)
+
+    @property
+    def columns(self) -> int:
+        """Number of vertical columns (the physics' parallel axis)."""
+        return self.nlat * self.nlon
+
+    def area_mean(self, field_: np.ndarray) -> float:
+        """Area-weighted global mean of a grid field (quadrature-exact)."""
+        if field_.shape != self.shape:
+            raise ValueError(f"field shape {field_.shape} != grid shape {self.shape}")
+        zonal = field_.mean(axis=1)
+        return float(np.sum(zonal * self.weights) / np.sum(self.weights))
+
+    def supports_truncation(self, trunc: int) -> bool:
+        """Alias-free transform condition for triangular truncation T:
+        nlon ≥ 3T+1 and nlat ≥ (3T+1)/2 (the quadratic-term rule)."""
+        return self.nlon >= 3 * trunc + 1 and 2 * self.nlat >= 3 * trunc + 1

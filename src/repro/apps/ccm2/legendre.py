@@ -1,0 +1,118 @@
+"""Normalised associated Legendre functions for the spectral transform.
+
+The spherical-harmonic basis of the spectral transform method (Section
+4.7.1) is P̄ₙᵐ(μ)·e^{imλ} with μ = sin(latitude) and the climate-model
+normalisation ``(1/2)∫₋₁¹ P̄ₙᵐ P̄ₙ'ᵐ dμ = δₙₙ'``.  This module computes,
+by the standard stable recurrences,
+
+* the function table P̄ₙᵐ(μₗ) at the Gaussian latitudes, and
+* the meridional-derivative table Hₙᵐ = (1-μ²)·dP̄ₙᵐ/dμ, needed to
+  synthesise winds from vorticity/divergence and to integrate the
+  ∂/∂μ part of flux divergences by parts onto the basis.
+
+Both tables carry the triangular truncation T with one extra degree
+(n = T+1) because the H recurrence reaches one order above the
+truncation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LegendreBasis", "epsilon"]
+
+
+def epsilon(n: np.ndarray | int, m: np.ndarray | int) -> np.ndarray | float:
+    """The recurrence coefficient εₙᵐ = sqrt((n²-m²)/(4n²-1))."""
+    n = np.asarray(n, dtype=np.float64)
+    m = np.asarray(m, dtype=np.float64)
+    return np.sqrt((n * n - m * m) / (4.0 * n * n - 1.0))
+
+
+@dataclass
+class LegendreBasis:
+    """P̄ and H tables for triangular truncation ``trunc`` at nodes ``mu``.
+
+    Spectral coefficients are stored m-major: for m = 0…T, n = m…T.  The
+    integer arrays :attr:`m_values` / :attr:`n_values` give each slot's
+    wavenumbers; :attr:`pnm` and :attr:`hnm` have shape (nspec, nlat).
+    """
+
+    trunc: int
+    mu: np.ndarray
+    m_values: np.ndarray = field(init=False)
+    n_values: np.ndarray = field(init=False)
+    pnm: np.ndarray = field(init=False)
+    hnm: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.trunc < 1:
+            raise ValueError(f"truncation must be >= 1, got {self.trunc}")
+        self.mu = np.asarray(self.mu, dtype=np.float64)
+        if self.mu.ndim != 1 or self.mu.size == 0:
+            raise ValueError("mu must be a non-empty 1-D array of sin(lat)")
+        if np.any(np.abs(self.mu) >= 1.0):
+            raise ValueError("mu must lie strictly inside (-1, 1)")
+        trunc, mu = self.trunc, self.mu
+        nlat = mu.size
+        cos2 = 1.0 - mu * mu
+        coslat = np.sqrt(cos2)
+
+        # Full table up to degree T+1 (needed by the H recurrence), indexed
+        # [m][n - m] -> array over latitude.
+        nmax = trunc + 1
+        p: dict[tuple[int, int], np.ndarray] = {}
+        p[(0, 0)] = np.ones(nlat)
+        for m in range(1, nmax + 1):
+            p[(m, m)] = np.sqrt((2.0 * m + 1.0) / (2.0 * m)) * coslat * p[(m - 1, m - 1)]
+        for m in range(0, nmax + 1):
+            if m + 1 <= nmax:
+                p[(m, m + 1)] = mu * p[(m, m)] / epsilon(m + 1, m)
+            for n in range(m + 2, nmax + 1):
+                p[(m, n)] = (mu * p[(m, n - 1)] - epsilon(n - 1, m) * p[(m, n - 2)]) / epsilon(
+                    n, m
+                )
+
+        # Pack the triangular (m, n <= T) slots.
+        m_list, n_list = [], []
+        for m in range(trunc + 1):
+            for n in range(m, trunc + 1):
+                m_list.append(m)
+                n_list.append(n)
+        self.m_values = np.array(m_list, dtype=np.int64)
+        self.n_values = np.array(n_list, dtype=np.int64)
+
+        self.pnm = np.empty((self.nspec, nlat))
+        self.hnm = np.empty((self.nspec, nlat))
+        for i, (m, n) in enumerate(zip(m_list, n_list)):
+            self.pnm[i] = p[(m, n)]
+            below = p[(m, n - 1)] if n - 1 >= m else np.zeros(nlat)
+            # Hₙᵐ = (n+1)·εₙᵐ·P̄ₙ₋₁ᵐ − n·εₙ₊₁ᵐ·P̄ₙ₊₁ᵐ
+            self.hnm[i] = (n + 1.0) * epsilon(n, m) * below - n * epsilon(n + 1, m) * p[
+                (m, n + 1)
+            ]
+
+    @property
+    def nspec(self) -> int:
+        """Number of (m, n) slots: (T+1)(T+2)/2."""
+        return (self.trunc + 1) * (self.trunc + 2) // 2
+
+    @property
+    def nlat(self) -> int:
+        return self.mu.size
+
+    def index(self, m: int, n: int) -> int:
+        """Slot of coefficient (m, n) in the packed ordering."""
+        if not (0 <= m <= n <= self.trunc):
+            raise ValueError(f"(m={m}, n={n}) outside triangular truncation T{self.trunc}")
+        # Offset of wavenumber m's block, then n within it.
+        block = m * (self.trunc + 1) - m * (m - 1) // 2
+        return block + (n - m)
+
+    @property
+    def laplacian_eigenvalues(self) -> np.ndarray:
+        """-n(n+1) per slot (multiply by 1/a² for the sphere of radius a)."""
+        n = self.n_values.astype(np.float64)
+        return -n * (n + 1.0)

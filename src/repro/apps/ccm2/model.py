@@ -1,0 +1,250 @@
+"""The CCM2 model loop: dynamics + physics + SLT + history accumulation.
+
+One CCM2 timestep (Section 4.7.1) is: spectral dynamics (transforms and
+local spectral algebra), grid-point column physics, and semi-Lagrangian
+moisture transport, with daily-average history written as the simulation
+advances (the Table 5 one-year tests wrote ~15 GB of history and restart
+data).  :class:`CCM2Model` wires the functional pieces of this package
+into that loop at any supported resolution; tests run it at toy
+truncations, the cost model (:mod:`~repro.apps.ccm2.costmodel`) prices it
+at the Table 4 resolutions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.ccm2.dynamics import ShallowWaterLayer, ShallowWaterState, initial_rh_wave
+from repro.apps.ccm2.gaussian import GaussianGrid
+from repro.apps.ccm2.physics import ColumnPhysics
+from repro.apps.ccm2.slt import SemiLagrangianTransport
+from repro.apps.ccm2.spectral import SpectralTransform
+
+__all__ = ["CCM2Model", "StepDiagnostics"]
+
+
+@dataclass(frozen=True)
+class StepDiagnostics:
+    """Per-step health record: the 'correctness check that must be passed
+    to verify that the application is running properly as well as fast'."""
+
+    step: int
+    mass: float
+    energy: float
+    moisture_min: float
+    moisture_max: float
+    heating_max: float
+
+    @property
+    def healthy(self) -> bool:
+        return (
+            np.isfinite(self.mass)
+            and np.isfinite(self.energy)
+            and self.moisture_min >= -1e-12
+            and np.isfinite(self.heating_max)
+        )
+
+
+@dataclass
+class CCM2Model:
+    """A runnable CCM2 analogue at a given truncation and grid.
+
+    Parameters mirror the benchmark configuration: ``radiation_every``
+    steps between full radiation calculations (CCM2 computes full
+    radiative transfer on a longer cycle than the dynamics step), and
+    ``history_every`` steps between history-average flushes.
+    """
+
+    grid: GaussianGrid
+    trunc: int
+    nlev: int = 4
+    #: Number of dynamical layers (the "L" in T42L18): independent
+    #: shallow-water layers stacked vertically, each forced by its share
+    #: of the column heating.  The benchmark resolutions use 18; the
+    #: functional tests use small counts.
+    dyn_layers: int = 1
+    #: Timestep [s]; ``None`` picks 60% of the explicit gravity-wave CFL
+    #: limit for the truncation (the real CCM2 is semi-implicit and runs
+    #: the longer Table 4 steps; this explicit core cannot).
+    dt: float | None = None
+    radiation_every: int = 3
+    nu4: float = 1.0e15
+    physics_coupling: float = 1.0e-3
+    #: Use CCM2's semi-implicit gravity-wave scheme (allows the longer
+    #: Table 4-class timesteps the explicit core cannot take).
+    semi_implicit: bool = False
+    transform: SpectralTransform = field(init=False)
+    dynamics: ShallowWaterLayer = field(init=False)
+    physics: ColumnPhysics = field(init=False)
+    slt: SemiLagrangianTransport = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.nlev < 2:
+            raise ValueError(f"need at least 2 levels, got {self.nlev}")
+        if self.radiation_every < 1:
+            raise ValueError("radiation interval must be >= 1 step")
+        self.transform = SpectralTransform(self.grid, self.trunc)
+        self.dynamics = ShallowWaterLayer(
+            self.transform, nu4=self.nu4, semi_implicit=self.semi_implicit
+        )
+        limit = self.dynamics.max_stable_dt()
+        if self.dt is None:
+            self.dt = 0.6 * limit
+        if self.dt <= 0:
+            raise ValueError(f"timestep must be positive, got {self.dt}")
+        if self.dt > limit:
+            raise ValueError(
+                f"dt={self.dt:.0f}s exceeds the explicit gravity-wave CFL "
+                f"limit ~{limit:.0f}s at T{self.trunc} (the real CCM2 is "
+                "semi-implicit; this core is not)"
+            )
+        if self.dyn_layers < 1:
+            raise ValueError(f"need at least one dynamical layer, got {self.dyn_layers}")
+        self.physics = ColumnPhysics(nlev=self.nlev)
+        self.slt = SemiLagrangianTransport(self.grid, radius=self.transform.radius)
+        # Prognostic state: a stack of shallow-water layers (layer 0 is
+        # the surface layer that drives transport) plus moisture.
+        self._layers: list[tuple[ShallowWaterState, ShallowWaterState]] = []
+        for k in range(self.dyn_layers):
+            wavenumber = 3 + (k % max(1, self.trunc - 4))
+            start = initial_rh_wave(self.transform, wavenumber=wavenumber)
+            self._layers.append((start, self.dynamics.forward_step(start, self.dt)))
+        lon = self.grid.lons[None, :]
+        lat = self.grid.lats[:, None]
+        self.moisture = 1.0 + 0.5 * np.cos(lat) ** 2 * np.cos(2.0 * lon)
+        self._heating: np.ndarray | None = None
+        self._layer_heating: list[np.ndarray] = []
+        self.step_count = 0
+        self.history_sum = np.zeros(self.grid.shape)
+        self.history_samples = 0
+        self.diagnostics: list[StepDiagnostics] = []
+
+    # -- one timestep ------------------------------------------------------------
+    def step(self) -> StepDiagnostics:
+        """Advance the coupled system by one timestep."""
+        tr = self.transform
+        # 1. Dynamics: leapfrog every shallow-water layer.
+        self._layers = [
+            self.dynamics.step(prev, cur, self.dt) for prev, cur in self._layers
+        ]
+        # 2. Physics: full radiation on its cycle; the column heating is
+        # split over the dynamical layers (layer k gets its slice of the
+        # nlev physics levels), perturbing each layer's Φ.
+        if self.step_count % self.radiation_every == 0:
+            phi_grid = tr.inverse(self.state.phi)
+            cols = self.physics.columns_from_geopotential(phi_grid, self.moisture)
+            rates = self.physics.heating_rates(cols)
+            if not self.physics.heating_is_bounded(rates):
+                raise FloatingPointError("physics produced unbounded heating rates")
+            self._heating = rates.mean(axis=0).reshape(self.grid.shape)
+            per_layer = np.array_split(rates, self.dyn_layers, axis=0)
+            self._layer_heating = [
+                chunk.mean(axis=0).reshape(self.grid.shape) for chunk in per_layer
+            ]
+        if self._heating is not None:
+            for k, (prev, cur) in enumerate(self._layers):
+                forcing = self.physics_coupling * self._layer_heating[k]
+                cur.phi = cur.phi + tr.forward(forcing) * self.dt
+        # 3. SLT: transport moisture with the surface layer's true winds.
+        big_u, big_v = tr.uv_from_vort_div(self.state.vort, self.state.div)
+        coslat = np.maximum(self.grid.coslat[:, None], 1e-6)
+        u, v = big_u / coslat, big_v / coslat
+        self.moisture = self.slt.advect(self.moisture, u, v, self.dt)
+        # 4. History accumulation (daily averages in the real model).
+        self.history_sum += tr.inverse(self.state.phi)
+        self.history_samples += 1
+        self.step_count += 1
+        heat_max = float(np.max(np.abs(self._heating))) if self._heating is not None else 0.0
+        diag = StepDiagnostics(
+            step=self.step_count,
+            mass=sum(self.dynamics.total_mass(cur) for _, cur in self._layers)
+            / self.dyn_layers,
+            energy=sum(self.dynamics.total_energy(cur) for _, cur in self._layers),
+            moisture_min=float(self.moisture.min()),
+            moisture_max=float(self.moisture.max()),
+            heating_max=heat_max,
+        )
+        self.diagnostics.append(diag)
+        return diag
+
+    def run(self, steps: int) -> list[StepDiagnostics]:
+        """Run ``steps`` timesteps, returning their diagnostics."""
+        if steps < 0:
+            raise ValueError(f"step count cannot be negative, got {steps}")
+        return [self.step() for _ in range(steps)]
+
+    def flush_history(self) -> np.ndarray:
+        """Return and reset the accumulated history average."""
+        if self.history_samples == 0:
+            raise ValueError("no history samples accumulated")
+        mean = self.history_sum / self.history_samples
+        self.history_sum = np.zeros(self.grid.shape)
+        self.history_samples = 0
+        return mean
+
+    @property
+    def state(self) -> ShallowWaterState:
+        """The surface (layer-0) dynamical state."""
+        return self._layers[0][1]
+
+    @property
+    def layer_states(self) -> list[ShallowWaterState]:
+        """Current state of every dynamical layer, surface first."""
+        return [cur for _, cur in self._layers]
+
+    # -- checkpoint/restart (SUPER-UX Section 2.6.2 contract) --------------------
+    def checkpoint_state(self) -> dict:
+        """Complete prognostic state for bit-identical continuation.
+
+        Layer states are stacked along a leading axis, so any
+        ``dyn_layers`` count checkpoints through the same keys."""
+        state = {
+            "prev_vort": np.stack([p.vort for p, _ in self._layers]),
+            "prev_div": np.stack([p.div for p, _ in self._layers]),
+            "prev_phi": np.stack([p.phi for p, _ in self._layers]),
+            "cur_vort": np.stack([c.vort for _, c in self._layers]),
+            "cur_div": np.stack([c.div for _, c in self._layers]),
+            "cur_phi": np.stack([c.phi for _, c in self._layers]),
+            "moisture": self.moisture,
+            "step_count": self.step_count,
+            "history_sum": self.history_sum,
+            "history_samples": self.history_samples,
+        }
+        if self._heating is not None:
+            state["heating"] = self._heating
+            state["layer_heating"] = np.stack(self._layer_heating)
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        prev_v = np.asarray(state["prev_vort"])
+        if prev_v.ndim != 2 or prev_v.shape[0] != self.dyn_layers:
+            raise ValueError(
+                f"checkpoint holds {prev_v.shape[0] if prev_v.ndim == 2 else 1} "
+                f"layers; this model has {self.dyn_layers}"
+            )
+        self._layers = [
+            (
+                ShallowWaterState(
+                    np.asarray(state["prev_vort"])[k],
+                    np.asarray(state["prev_div"])[k],
+                    np.asarray(state["prev_phi"])[k],
+                ),
+                ShallowWaterState(
+                    np.asarray(state["cur_vort"])[k],
+                    np.asarray(state["cur_div"])[k],
+                    np.asarray(state["cur_phi"])[k],
+                ),
+            )
+            for k in range(self.dyn_layers)
+        ]
+        self.moisture = np.asarray(state["moisture"])
+        self.step_count = int(state["step_count"])
+        self.history_sum = np.asarray(state["history_sum"])
+        self.history_samples = int(state["history_samples"])
+        if "heating" in state:
+            self._heating = np.asarray(state["heating"])
+            self._layer_heating = list(np.asarray(state["layer_heating"]))
+        else:
+            self._heating = None

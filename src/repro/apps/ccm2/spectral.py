@@ -1,0 +1,175 @@
+"""The spherical-harmonic (spectral) transform (Section 4.7.1).
+
+"The spherical harmonic transform (spectral transform) method is employed
+to compute the dry dynamics of CCM2 ... It consists of computing the
+spherical harmonic function coefficient representation of the atmospheric
+state variables through a series of highly non-local operations."
+
+The transform pairs here are the series of operations CCM2 performs each
+timestep:
+
+* :meth:`SpectralTransform.forward` — grid → spectral: a real FFT in
+  longitude (our own mixed-radix FFTPACK) followed by Gauss–Legendre
+  quadrature against P̄ₙᵐ in latitude;
+* :meth:`SpectralTransform.inverse` — spectral → grid;
+* :meth:`SpectralTransform.uv_from_vort_div` — wind synthesis from
+  vorticity and divergence through the inverse Laplacian
+  (streamfunction/velocity-potential) and the derivative table H;
+* :meth:`SpectralTransform.forward_div_pair` — the flux-divergence
+  forward transform with ∂/∂μ integrated by parts onto the basis, the
+  operation the nonlinear dynamics terms go through.
+
+Grid fields are (nlat, nlon); spectral states are packed complex vectors
+(see :class:`~repro.apps.ccm2.legendre.LegendreBasis` for the ordering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.ccm2.gaussian import GaussianGrid
+from repro.apps.ccm2.legendre import LegendreBasis
+from repro.kernels import fftpack
+
+__all__ = ["SpectralTransform", "EARTH_RADIUS", "EARTH_OMEGA"]
+
+#: Earth's radius [m] and rotation rate [1/s], the sphere all resolutions share.
+EARTH_RADIUS = 6.37122e6
+EARTH_OMEGA = 7.292e-5
+
+
+@dataclass
+class SpectralTransform:
+    """Spectral transform at triangular truncation ``trunc`` on ``grid``."""
+
+    grid: GaussianGrid
+    trunc: int
+    radius: float = EARTH_RADIUS
+    basis: LegendreBasis = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise ValueError(f"radius must be positive, got {self.radius}")
+        if not self.grid.supports_truncation(self.trunc):
+            raise ValueError(
+                f"grid {self.grid.nlat}x{self.grid.nlon} cannot carry T{self.trunc} "
+                "without aliasing (needs nlon >= 3T+1, 2*nlat >= 3T+1)"
+            )
+        if not fftpack.is_supported_size(self.grid.nlon):
+            raise ValueError(
+                f"nlon={self.grid.nlon} has prime factors outside 2/3/5; the "
+                "FFTPACK-style longitude transform cannot handle it"
+            )
+        self.basis = LegendreBasis(self.trunc, self.grid.sinlat)
+        # Weighted basis for the forward quadrature: (1/2)·w·P̄.
+        self._wpnm = 0.5 * self.basis.pnm * self.grid.weights
+        cos2 = 1.0 - self.grid.sinlat**2
+        self._wpnm_over_cos2 = self._wpnm / cos2
+        self._whnm_over_cos2 = 0.5 * self.basis.hnm * self.grid.weights / cos2
+
+    # -- shapes & bookkeeping ------------------------------------------------
+    @property
+    def nspec(self) -> int:
+        return self.basis.nspec
+
+    def zeros_spec(self) -> np.ndarray:
+        return np.zeros(self.nspec, dtype=np.complex128)
+
+    # -- Fourier stage ---------------------------------------------------------
+    def _analyse_fourier(self, grid_field: np.ndarray) -> np.ndarray:
+        """Real FFT in longitude: (nlat, nlon) → Fm of shape (T+1, nlat),
+        normalised so field(λ) = Σ_m Fm·e^{imλ} over m = -T…T."""
+        if grid_field.shape != self.grid.shape:
+            raise ValueError(
+                f"field shape {grid_field.shape} != grid shape {self.grid.shape}"
+            )
+        spectrum = fftpack.real_forward(grid_field.T)  # (nlon//2+1, nlat)
+        return spectrum[: self.trunc + 1] / self.grid.nlon
+
+    def _synthesise_fourier(self, fm: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`_analyse_fourier`: Fm (T+1, nlat) → (nlat, nlon)."""
+        nlon = self.grid.nlon
+        full = np.zeros((nlon // 2 + 1, self.grid.nlat), dtype=np.complex128)
+        full[: self.trunc + 1] = fm * nlon
+        return fftpack.real_inverse(full, nlon).T
+
+    # -- full transforms ---------------------------------------------------------
+    def forward(self, grid_field: np.ndarray) -> np.ndarray:
+        """Grid → spectral: sₙᵐ = (1/2) Σₗ wₗ · Fm(μₗ) · P̄ₙᵐ(μₗ)."""
+        fm = self._analyse_fourier(grid_field)
+        return np.einsum("il,il->i", self._wpnm, fm[self.basis.m_values])
+
+    def inverse(self, spec: np.ndarray) -> np.ndarray:
+        """Spectral → grid: Fm(μₗ) = Σₙ sₙᵐ P̄ₙᵐ(μₗ), then inverse FFT."""
+        spec = self._check_spec(spec)
+        fm = np.zeros((self.trunc + 1, self.grid.nlat), dtype=np.complex128)
+        np.add.at(fm, self.basis.m_values, spec[:, None] * self.basis.pnm)
+        return self._synthesise_fourier(fm)
+
+    def _check_spec(self, spec: np.ndarray) -> np.ndarray:
+        spec = np.asarray(spec, dtype=np.complex128)
+        if spec.shape != (self.nspec,):
+            raise ValueError(f"spectral state must have shape ({self.nspec},), got {spec.shape}")
+        return spec
+
+    # -- differential operators ---------------------------------------------------
+    def laplacian(self, spec: np.ndarray) -> np.ndarray:
+        """∇² in spectral space: multiply by -n(n+1)/a²."""
+        return self._check_spec(spec) * (self.basis.laplacian_eigenvalues / self.radius**2)
+
+    def inverse_laplacian(self, spec: np.ndarray) -> np.ndarray:
+        """∇⁻²: zero the (0,0) mode (its inverse is undefined)."""
+        spec = self._check_spec(spec).copy()
+        eig = self.basis.laplacian_eigenvalues / self.radius**2
+        nonzero = eig != 0.0
+        spec[nonzero] /= eig[nonzero]
+        spec[~nonzero] = 0.0
+        return spec
+
+    def uv_from_vort_div(
+        self, vort: np.ndarray, div: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Grid winds (U, V) = (u·cosφ, v·cosφ) from spectral ζ and δ.
+
+        Uses ψ = ∇⁻²ζ and χ = ∇⁻²δ, then
+        ``U = (1/a)[∂χ/∂λ − (1−μ²)∂ψ/∂μ]``,
+        ``V = (1/a)[∂ψ/∂λ + (1−μ²)∂χ/∂μ]``.
+        """
+        psi = self.inverse_laplacian(vort)
+        chi = self.inverse_laplacian(div)
+        im = 1j * self.basis.m_values
+        fm_u = np.zeros((self.trunc + 1, self.grid.nlat), dtype=np.complex128)
+        fm_v = np.zeros_like(fm_u)
+        pnm, hnm, mv = self.basis.pnm, self.basis.hnm, self.basis.m_values
+        np.add.at(fm_u, mv, ((im * chi)[:, None] * pnm - psi[:, None] * hnm))
+        np.add.at(fm_v, mv, ((im * psi)[:, None] * pnm + chi[:, None] * hnm))
+        return (
+            self._synthesise_fourier(fm_u / self.radius),
+            self._synthesise_fourier(fm_v / self.radius),
+        )
+
+    def forward_div_pair(self, a_grid: np.ndarray, b_grid: np.ndarray) -> np.ndarray:
+        """Spectral coefficients of
+        ``(1/(a(1−μ²)))·∂A/∂λ + (1/a)·∂B/∂μ``
+        with the μ-derivative integrated by parts onto the basis:
+        Fₙᵐ = (1/2a) Σₗ wₗ/(1−μₗ²) · [im·Am·P̄ₙᵐ − Bm·Hₙᵐ].
+
+        This is the operator every nonlinear flux term of the dynamics
+        passes through (vorticity, divergence and continuity equations).
+        """
+        am = self._analyse_fourier(a_grid)[self.basis.m_values]
+        bm = self._analyse_fourier(b_grid)[self.basis.m_values]
+        im = (1j * self.basis.m_values)[:, None]
+        return (
+            np.einsum("il,il->i", self._wpnm_over_cos2, im * am)
+            - np.einsum("il,il->i", self._whnm_over_cos2, bm)
+        ) / self.radius
+
+    def coriolis_spec(self, omega: float = EARTH_OMEGA) -> np.ndarray:
+        """Spectral representation of f = 2Ω·μ: a single (0,1) coefficient
+        (μ = P̄₁⁰/√3)."""
+        spec = self.zeros_spec()
+        spec[self.basis.index(0, 1)] = 2.0 * omega / np.sqrt(3.0)
+        return spec

@@ -1,0 +1,37 @@
+"""MOM: the GFDL Modular Ocean Model analogue (Section 4.7.2).
+
+The benchmark code is "a finite difference formulation of the rigid-lid,
+boussinesq primitive equations on the sphere, formulated in
+latitude-longitude-depth coordinates", predicting "temperature, salinity,
+three components of velocity and a number of related diagnostic
+quantities".  This package reproduces that structure:
+
+* :mod:`~repro.apps.mom.grid` — the lat-lon-depth grid (global in
+  longitude, walls at the polar caps, as ocean configurations run it);
+* :mod:`~repro.apps.mom.baroclinic` — tracer advection/diffusion,
+  the linear equation of state, hydrostatic pressure and the baroclinic
+  momentum tendencies;
+* :mod:`~repro.apps.mom.barotropic` — the rigid-lid streamfunction
+  solved by SOR relaxation, the Bryan–Cox barotropic mode;
+* :mod:`~repro.apps.mom.model` — the leapfrog time loop with the
+  every-10-timesteps diagnostics print the paper blames for part of the
+  "modest level of scalability" (Table 7);
+* :mod:`~repro.apps.mom.costmodel` — the machine-model cost of the 1°,
+  45-level benchmark configuration, calibrated to Table 7's times and
+  speedups.
+"""
+
+from repro.apps.mom.grid import OceanGrid
+from repro.apps.mom.state import OceanState, resting_state, warm_pool_state
+from repro.apps.mom.barotropic import poisson_residual, solve_streamfunction
+from repro.apps.mom.model import MOMModel
+
+__all__ = [
+    "OceanGrid",
+    "OceanState",
+    "resting_state",
+    "warm_pool_state",
+    "solve_streamfunction",
+    "poisson_residual",
+    "MOMModel",
+]

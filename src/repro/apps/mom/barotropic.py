@@ -1,0 +1,101 @@
+"""The rigid-lid barotropic streamfunction solver.
+
+Under the rigid-lid approximation the vertically integrated flow is
+non-divergent and derives from a streamfunction ψ: U̅ = -∂ψ/∂y,
+V̅ = ∂ψ/∂x (per unit depth here).  Each timestep MOM solves an elliptic
+problem ∇²ψ = ζ (the curl of the vertically integrated tendencies) —
+historically by successive over-relaxation, which is what made the
+barotropic mode the scalability-limiting phase of rigid-lid oceans
+(domain-decomposed relaxation needs more sweeps as the subdomain count
+grows; see :mod:`~repro.apps.mom.costmodel`).
+
+The solver here is red-black SOR on the lat-lon grid, periodic in
+longitude, ψ = 0 on the polar walls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.mom.grid import OceanGrid
+
+__all__ = ["solve_streamfunction", "poisson_residual", "laplacian_latlon"]
+
+
+def laplacian_latlon(grid: OceanGrid, psi: np.ndarray) -> np.ndarray:
+    """Five-point ∇² on the lat-lon grid (periodic in x, walls in y)."""
+    if psi.shape != grid.shape2d:
+        raise ValueError(f"psi shape {psi.shape} != {grid.shape2d}")
+    dx = grid.dx[:, None]
+    dy = grid.dy
+    east = np.roll(psi, -1, axis=1)
+    west = np.roll(psi, 1, axis=1)
+    d2x = (east - 2.0 * psi + west) / dx**2
+    north = np.zeros_like(psi)
+    south = np.zeros_like(psi)
+    north[:-1] = psi[1:]
+    south[1:] = psi[:-1]
+    d2y = (north - 2.0 * psi + south) / dy**2
+    return d2x + d2y
+
+
+def poisson_residual(grid: OceanGrid, psi: np.ndarray, rhs: np.ndarray) -> float:
+    """Max-norm residual of ∇²ψ = rhs over the interior rows.
+
+    The poleward rows carry the Dirichlet condition ψ = 0, where the PDE
+    itself is not imposed, so they are excluded from the norm.
+    """
+    residual = laplacian_latlon(grid, psi) - rhs
+    return float(np.max(np.abs(residual[1:-1])))
+
+
+def solve_streamfunction(
+    grid: OceanGrid,
+    rhs: np.ndarray,
+    psi0: np.ndarray | None = None,
+    omega: float = 1.7,
+    tol: float = 1e-9,
+    max_iter: int = 20_000,
+) -> tuple[np.ndarray, int]:
+    """Solve ∇²ψ = rhs by red-black SOR; returns (ψ, iterations).
+
+    ``tol`` is relative to the right-hand side's scale.  Starting from
+    the previous step's ψ (``psi0``) is what keeps the per-step iteration
+    count manageable in the time loop.
+    """
+    if rhs.shape != grid.shape2d:
+        raise ValueError(f"rhs shape {rhs.shape} != {grid.shape2d}")
+    if not 0.0 < omega < 2.0:
+        raise ValueError(f"SOR relaxation must be in (0, 2), got {omega}")
+    if max_iter < 1:
+        raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+    psi = np.zeros_like(rhs) if psi0 is None else psi0.copy()
+    dx2 = (grid.dx[:, None]) ** 2
+    dy2 = grid.dy**2
+    diag = -2.0 / dx2 - 2.0 / dy2
+    scale = max(float(np.max(np.abs(rhs))), 1e-30)
+
+    nlat, nlon = grid.shape2d
+    ii, jj = np.meshgrid(np.arange(nlat), np.arange(nlon), indexing="ij")
+    # Red/black checkerboards restricted to the interior rows: the wall
+    # rows hold the Dirichlet value and must never be relaxed, or the
+    # neighbouring rows converge against stale wall values.
+    interior = (ii > 0) & (ii < nlat - 1)
+    masks = [((ii + jj) % 2 == 0) & interior, ((ii + jj) % 2 == 1) & interior]
+
+    psi[0] = 0.0
+    psi[-1] = 0.0
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        for mask in masks:
+            east = np.roll(psi, -1, axis=1)
+            west = np.roll(psi, 1, axis=1)
+            north = np.zeros_like(psi)
+            south = np.zeros_like(psi)
+            north[:-1] = psi[1:]
+            south[1:] = psi[:-1]
+            gs = (rhs - (east + west) / dx2 - (north + south) / dy2) / diag
+            psi[mask] = (1.0 - omega) * psi[mask] + omega * gs[mask]
+        if iterations % 10 == 0 and poisson_residual(grid, psi, rhs) <= tol * scale:
+            break
+    return psi, iterations

@@ -1,0 +1,105 @@
+"""Latitude-longitude-depth ocean grid.
+
+MOM's benchmark configurations (Section 4.7.2): a low-resolution 3°
+global grid with 25 levels "for familiarization and porting
+verification", and the 1°, 45-level grid used as the benchmark.  The
+grid is periodic in longitude with solid walls at the poleward
+boundaries (the rigid-lid streamfunction needs a simply-connected
+boundary; real configurations close the Arctic the same way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["OceanGrid", "EARTH_RADIUS_OCEAN"]
+
+EARTH_RADIUS_OCEAN = 6.371e6
+
+
+@dataclass
+class OceanGrid:
+    """A uniform lat-lon grid with ``nlev`` flat-bottomed depth levels."""
+
+    nlon: int
+    nlat: int
+    nlev: int
+    lat_max_deg: float = 75.0
+    depth_m: float = 4000.0
+    radius: float = EARTH_RADIUS_OCEAN
+    lats: np.ndarray = field(init=False)
+    lons: np.ndarray = field(init=False)
+    dz: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.nlon < 4 or self.nlat < 4 or self.nlev < 2:
+            raise ValueError(
+                f"grid too small: nlon={self.nlon}, nlat={self.nlat}, nlev={self.nlev}"
+            )
+        if not 0.0 < self.lat_max_deg < 90.0:
+            raise ValueError(f"lat_max_deg must be in (0, 90), got {self.lat_max_deg}")
+        if self.depth_m <= 0:
+            raise ValueError(f"depth must be positive, got {self.depth_m}")
+        # Cell-centre latitudes between the walls, uniform spacing.
+        edges = np.linspace(-self.lat_max_deg, self.lat_max_deg, self.nlat + 1)
+        self.lats = np.deg2rad(0.5 * (edges[:-1] + edges[1:]))
+        self.lons = 2.0 * np.pi * np.arange(self.nlon) / self.nlon
+        self.dz = np.full(self.nlev, self.depth_m / self.nlev)
+
+    @property
+    def shape3d(self) -> tuple[int, int, int]:
+        return (self.nlev, self.nlat, self.nlon)
+
+    @property
+    def shape2d(self) -> tuple[int, int]:
+        return (self.nlat, self.nlon)
+
+    @property
+    def dlat(self) -> float:
+        """Meridional spacing in radians."""
+        return float(self.lats[1] - self.lats[0])
+
+    @property
+    def dlon(self) -> float:
+        """Zonal spacing in radians."""
+        return 2.0 * np.pi / self.nlon
+
+    @property
+    def dy(self) -> float:
+        """Meridional spacing in metres."""
+        return self.radius * self.dlat
+
+    @property
+    def dx(self) -> np.ndarray:
+        """Zonal spacing in metres per latitude row, shape (nlat,)."""
+        return self.radius * np.cos(self.lats) * self.dlon
+
+    @property
+    def coriolis(self) -> np.ndarray:
+        """f = 2Ω·sinφ per latitude row."""
+        return 2.0 * 7.292e-5 * np.sin(self.lats)
+
+    def cell_volumes(self) -> np.ndarray:
+        """Cell volumes [m³], shape (nlev, nlat, nlon) — the weights of
+        every conservation diagnostic."""
+        area = (self.dx * self.dy)[None, :, None]
+        return area * self.dz[:, None, None] * np.ones(self.shape3d)
+
+    def volume_mean(self, field3d: np.ndarray) -> float:
+        """Volume-weighted mean of a 3-D tracer field."""
+        if field3d.shape != self.shape3d:
+            raise ValueError(f"field shape {field3d.shape} != {self.shape3d}")
+        vol = self.cell_volumes()
+        return float(np.sum(field3d * vol) / np.sum(vol))
+
+    @staticmethod
+    def low_resolution() -> "OceanGrid":
+        """The 3°, 25-level familiarization configuration."""
+        return OceanGrid(nlon=120, nlat=50, nlev=25)
+
+    @staticmethod
+    def benchmark() -> "OceanGrid":
+        """The 1°, 45-level benchmark configuration (Table 7)."""
+        return OceanGrid(nlon=360, nlat=150, nlev=45)

@@ -1,0 +1,203 @@
+"""The MOM time loop: leapfrog baroclinic step + rigid-lid barotropic mode.
+
+Each timestep (Bryan–Cox structure):
+
+1. density and hydrostatic pressure from the tracers,
+2. leapfrog tracer and baroclinic momentum updates (Robert-filtered),
+3. the rigid-lid constraint: the vertical-mean flow is replaced by the
+   non-divergent flow of a streamfunction obtained from an SOR solve of
+   ∇²ψ = ζ̄ (the curl of the provisional vertical-mean velocity),
+4. every ``diagnostic_interval`` (10) steps, global diagnostics are
+   computed and recorded — the print the paper identifies as a
+   scalability limiter of the benchmark (Section 4.7.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.mom import baroclinic, barotropic
+from repro.apps.mom.grid import OceanGrid
+from repro.apps.mom.state import OceanState, resting_state
+
+__all__ = ["MOMModel", "OceanDiagnostics"]
+
+
+@dataclass(frozen=True)
+class OceanDiagnostics:
+    """The every-10-steps global diagnostics record."""
+
+    step: int
+    mean_temperature: float
+    mean_salinity: float
+    kinetic_energy: float
+    max_speed: float
+    sor_iterations: int
+
+    @property
+    def healthy(self) -> bool:
+        return (
+            np.isfinite(self.mean_temperature)
+            and np.isfinite(self.kinetic_energy)
+            and self.max_speed < 10.0  # m/s; ocean currents stay well under
+        )
+
+
+@dataclass
+class MOMModel:
+    """A runnable rigid-lid ocean at any :class:`OceanGrid` size."""
+
+    grid: OceanGrid
+    dt: float = 3600.0
+    diffusivity: float = 1.0e3
+    viscosity: float = 1.0e4
+    robert: float = 0.05
+    diagnostic_interval: int = 10
+    state: OceanState = field(init=False)
+    _previous: OceanState = field(init=False)
+    step_count: int = 0
+    diagnostics: list[OceanDiagnostics] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0:
+            raise ValueError(f"timestep must be positive, got {self.dt}")
+        if self.diagnostic_interval < 1:
+            raise ValueError("diagnostic interval must be >= 1")
+        max_speed = 2.0  # m/s advective scale for the CFL guard
+        min_dx = float(np.min(self.grid.dx))
+        cfl_limit = min_dx / max_speed
+        if self.dt > cfl_limit:
+            raise ValueError(
+                f"dt={self.dt}s exceeds the advective CFL limit ~{cfl_limit:.0f}s "
+                f"for this grid (min dx {min_dx:.0f} m)"
+            )
+        self.state = resting_state(self.grid)
+        self._previous = self.state.copy()
+
+    def set_state(self, state: OceanState) -> None:
+        """Install an initial condition (both leapfrog time levels)."""
+        self.state = state.copy()
+        self._previous = state.copy()
+
+    # -- rigid lid ---------------------------------------------------------------
+    def _apply_rigid_lid(self, state: OceanState) -> int:
+        """Project the vertical-mean flow onto its non-divergent part.
+
+        Computes the curl of the provisional vertical-mean velocity,
+        solves ∇²ψ = ζ̄ (SOR, warm-started from the previous ψ), and
+        replaces the vertical mean with the streamfunction flow.
+        """
+        dz = self.grid.dz[:, None, None]
+        depth = self.grid.depth_m
+        ubar = np.sum(state.u * dz, axis=0) / depth
+        vbar = np.sum(state.v * dz, axis=0) / depth
+        # ζ̄ = ∂v̄/∂x − ∂ū/∂y on the grid.
+        dvdx = (np.roll(vbar, -1, axis=1) - np.roll(vbar, 1, axis=1)) / (
+            2.0 * self.grid.dx[:, None]
+        )
+        dudy = np.zeros_like(ubar)
+        dudy[1:-1] = (ubar[2:] - ubar[:-2]) / (2.0 * self.grid.dy)
+        zeta = dvdx - dudy
+        psi, iterations = barotropic.solve_streamfunction(
+            self.grid, zeta, psi0=state.psi, tol=1e-8
+        )
+        # Non-divergent barotropic flow from ψ.
+        u_bt = np.zeros_like(ubar)
+        u_bt[1:-1] = -(psi[2:] - psi[:-2]) / (2.0 * self.grid.dy)
+        v_bt = (np.roll(psi, -1, axis=1) - np.roll(psi, 1, axis=1)) / (
+            2.0 * self.grid.dx[:, None]
+        )
+        state.u += (u_bt - ubar)[None, :, :]
+        state.v += (v_bt - vbar)[None, :, :]
+        state.psi = psi
+        return iterations
+
+    # -- timestep -----------------------------------------------------------------
+    def step(self) -> OceanDiagnostics | None:
+        """Advance one leapfrog step; returns diagnostics on their cycle."""
+        grid, dt = self.grid, self.dt
+        cur, prev = self.state, self._previous
+        rho = baroclinic.density(cur.temperature, cur.salinity)
+        pressure = baroclinic.hydrostatic_pressure(grid, rho)
+        dtemp = baroclinic.tracer_tendency(
+            grid, cur.temperature, cur.u, cur.v, self.diffusivity
+        )
+        dsalt = baroclinic.tracer_tendency(
+            grid, cur.salinity, cur.u, cur.v, self.diffusivity
+        )
+        du, dv = baroclinic.momentum_tendency(
+            grid, cur.u, cur.v, pressure, self.viscosity
+        )
+        new = OceanState(
+            temperature=prev.temperature + 2.0 * dt * dtemp,
+            salinity=prev.salinity + 2.0 * dt * dsalt,
+            u=prev.u + 2.0 * dt * du,
+            v=prev.v + 2.0 * dt * dv,
+            psi=cur.psi.copy(),
+        )
+        # No-slip walls for the meridional velocity.
+        new.v[:, 0, :] = 0.0
+        new.v[:, -1, :] = 0.0
+        sor_iterations = self._apply_rigid_lid(new)
+        # Robert–Asselin filter on the central level.
+        r = self.robert
+        for name in ("temperature", "salinity", "u", "v"):
+            c = getattr(cur, name)
+            c += r * (getattr(prev, name) - 2.0 * c + getattr(new, name))
+        self._previous, self.state = cur, new
+        self.step_count += 1
+        if self.step_count % self.diagnostic_interval == 0:
+            diag = OceanDiagnostics(
+                step=self.step_count,
+                mean_temperature=grid.volume_mean(new.temperature),
+                mean_salinity=grid.volume_mean(new.salinity),
+                kinetic_energy=new.kinetic_energy,
+                max_speed=float(
+                    np.max(np.sqrt(new.u**2 + new.v**2))
+                ),
+                sor_iterations=sor_iterations,
+            )
+            self.diagnostics.append(diag)
+            return diag
+        return None
+
+    def run(self, steps: int) -> list[OceanDiagnostics]:
+        """Run ``steps`` timesteps; returns the diagnostics records."""
+        if steps < 0:
+            raise ValueError(f"step count cannot be negative, got {steps}")
+        out = []
+        for _ in range(steps):
+            diag = self.step()
+            if diag is not None:
+                out.append(diag)
+        return out
+
+    # -- checkpoint/restart (SUPER-UX Section 2.6.2 contract) --------------------
+    def checkpoint_state(self) -> dict:
+        """Both leapfrog time levels plus the step counter."""
+        state = {"step_count": self.step_count}
+        for prefix, level in (("cur", self.state), ("prev", self._previous)):
+            state[f"{prefix}_temperature"] = level.temperature
+            state[f"{prefix}_salinity"] = level.salinity
+            state[f"{prefix}_u"] = level.u
+            state[f"{prefix}_v"] = level.v
+            state[f"{prefix}_psi"] = level.psi
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        import numpy as _np
+
+        def level(prefix: str) -> OceanState:
+            return OceanState(
+                _np.asarray(state[f"{prefix}_temperature"]),
+                _np.asarray(state[f"{prefix}_salinity"]),
+                _np.asarray(state[f"{prefix}_u"]),
+                _np.asarray(state[f"{prefix}_v"]),
+                _np.asarray(state[f"{prefix}_psi"]),
+            )
+
+        self.state = level("cur")
+        self._previous = level("prev")
+        self.step_count = int(state["step_count"])

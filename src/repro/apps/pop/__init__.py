@@ -1,0 +1,34 @@
+"""POP: the Los Alamos Parallel Ocean Program analogue (Section 4.7.3).
+
+POP is "a stand-alone code with a free surface formulation and flat
+bottom topography", written in Fortran 90 with heavy use of array syntax
+and the CSHIFT intrinsic.  Its defining computational feature — and the
+paper's headline observation — is the implicit free-surface solver of
+Dukowicz & Smith: an elliptic system for the surface pressure solved by
+preconditioned conjugate gradients over 9-point stencil operators built
+from circular shifts.
+
+The paper benchmarked the 2° configuration with a *pre-release* NEC F90
+compiler in which "the CSHIFT intrinsic did not vectorize", and still
+observed 537 Mflops on one processor; the cost model carries that
+compiler flag as an ablation switch.
+
+Modules: :mod:`~repro.apps.pop.operators` (cshift + stencils),
+:mod:`~repro.apps.pop.solver` (preconditioned CG),
+:mod:`~repro.apps.pop.model` (the free-surface time loop),
+:mod:`~repro.apps.pop.costmodel` (the 537 Mflops anchor and the
+vectorised-CSHIFT ablation).
+"""
+
+from repro.apps.pop.operators import cshift, nine_point_apply, NinePointStencil
+from repro.apps.pop.solver import conjugate_gradient, CGResult
+from repro.apps.pop.model import POPModel
+
+__all__ = [
+    "cshift",
+    "NinePointStencil",
+    "nine_point_apply",
+    "conjugate_gradient",
+    "CGResult",
+    "POPModel",
+]

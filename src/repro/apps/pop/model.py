@@ -1,0 +1,160 @@
+"""The POP time loop: free-surface barotropic mode + baroclinic interior.
+
+POP's distinguishing step (vs MOM's rigid lid) is the implicit free
+surface: each timestep assembles the SPD Helmholtz system
+``(I − α∇²)η = rhs`` for the surface height and solves it by CG, then
+corrects the barotropic flow with the surface-pressure gradient.  The
+benchmark configuration is flat-bottomed; this analogue runs on a
+doubly-periodic 2° grid (POP's own benchmark avoids pole complications
+with flat bottom and preprocessor-selected options).
+
+The baroclinic interior (tracer advection/diffusion) reuses the ocean
+substrate of :mod:`repro.apps.mom.baroclinic` — the two models share it
+in reality too (both are Bryan–Cox descendants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.mom import baroclinic
+from repro.apps.mom.grid import OceanGrid
+from repro.apps.pop.operators import NinePointStencil, cshift
+from repro.apps.pop.solver import CGResult, conjugate_gradient
+
+__all__ = ["POPModel", "POPDiagnostics"]
+
+_GRAV = 9.806
+
+
+@dataclass(frozen=True)
+class POPDiagnostics:
+    """Per-step health record for the free-surface model."""
+
+    step: int
+    mean_eta: float
+    max_eta: float
+    mean_temperature: float
+    cg_iterations: int
+    cg_converged: bool
+
+    @property
+    def healthy(self) -> bool:
+        return (
+            self.cg_converged
+            and np.isfinite(self.mean_eta)
+            and abs(self.max_eta) < 50.0  # metres; surface height stays sane
+        )
+
+
+@dataclass
+class POPModel:
+    """A runnable implicit-free-surface ocean."""
+
+    grid: OceanGrid
+    dt: float = 3600.0
+    diffusivity: float = 1.0e3
+    cg_tol: float = 1e-9
+    eta: np.ndarray = field(init=False)
+    temperature: np.ndarray = field(init=False)
+    u: np.ndarray = field(init=False)
+    v: np.ndarray = field(init=False)
+    step_count: int = 0
+    diagnostics: list[POPDiagnostics] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0:
+            raise ValueError(f"timestep must be positive, got {self.dt}")
+        depth = (np.cumsum(self.grid.dz) - 0.5 * self.grid.dz)[:, None, None]
+        self.temperature = (2.0 + 18.0 * np.exp(-depth / 800.0)) * np.ones(
+            self.grid.shape3d
+        )
+        self.eta = np.zeros(self.grid.shape2d)
+        self.u = np.zeros(self.grid.shape3d)
+        self.v = np.zeros(self.grid.shape3d)
+        self._stencil = NinePointStencil.helmholtz(
+            self.grid.nlat,
+            self.grid.nlon,
+            dx=self.grid.dx,
+            dy=self.grid.dy,
+            alpha=_GRAV * self.grid.depth_m * self.dt**2,
+        )
+
+    def set_surface_anomaly(self, eta: np.ndarray) -> None:
+        """Install a surface-height anomaly (e.g. a Gaussian bump)."""
+        if eta.shape != self.grid.shape2d:
+            raise ValueError(f"eta shape {eta.shape} != {self.grid.shape2d}")
+        self.eta = eta.copy()
+
+    # -- free-surface barotropic step ---------------------------------------------
+    def _surface_step(self) -> CGResult:
+        """Implicit free-surface update.
+
+        Semi-implicit continuity + momentum give the Helmholtz system
+        ``(I − gHΔt²∇²) η⁺ = η − Δt·H∇·ū`` — SPD, solved by CG with a
+        warm start from the current η.
+        """
+        dz = self.grid.dz[:, None, None]
+        depth = self.grid.depth_m
+        ubar = np.sum(self.u * dz, axis=0) / depth
+        vbar = np.sum(self.v * dz, axis=0) / depth
+        dx = self.grid.dx[:, None]
+        div = (cshift(ubar, 1, 1) - cshift(ubar, -1, 1)) / (2.0 * dx) + (
+            cshift(vbar, 1, 0) - cshift(vbar, -1, 0)
+        ) / (2.0 * self.grid.dy)
+        rhs = self.eta - self.dt * depth * div
+        result = conjugate_gradient(
+            self._stencil, rhs, x0=self.eta, tol=self.cg_tol
+        )
+        new_eta = result.solution
+        # Barotropic velocity correction from the surface-pressure gradient.
+        detadx = (cshift(new_eta, 1, 1) - cshift(new_eta, -1, 1)) / (2.0 * dx)
+        detady = (cshift(new_eta, 1, 0) - cshift(new_eta, -1, 0)) / (2.0 * self.grid.dy)
+        self.u -= (_GRAV * self.dt * detadx)[None, :, :]
+        self.v -= (_GRAV * self.dt * detady)[None, :, :]
+        self.eta = new_eta
+        return result
+
+    # -- timestep -------------------------------------------------------------------
+    def step(self) -> POPDiagnostics:
+        """One forward step: tracers, then the implicit surface mode."""
+        dtemp = baroclinic.tracer_tendency(
+            self.grid, self.temperature, self.u, self.v, self.diffusivity
+        )
+        self.temperature = self.temperature + self.dt * dtemp
+        cg = self._surface_step()
+        self.step_count += 1
+        diag = POPDiagnostics(
+            step=self.step_count,
+            mean_eta=float(np.mean(self.eta)),
+            max_eta=float(np.max(np.abs(self.eta))),
+            mean_temperature=self.grid.volume_mean(self.temperature),
+            cg_iterations=cg.iterations,
+            cg_converged=cg.converged,
+        )
+        self.diagnostics.append(diag)
+        return diag
+
+    def run(self, steps: int) -> list[POPDiagnostics]:
+        if steps < 0:
+            raise ValueError(f"step count cannot be negative, got {steps}")
+        return [self.step() for _ in range(steps)]
+
+    # -- checkpoint/restart (SUPER-UX Section 2.6.2 contract) --------------------
+    def checkpoint_state(self) -> dict:
+        return {
+            "eta": self.eta,
+            "temperature": self.temperature,
+            "u": self.u,
+            "v": self.v,
+            "step_count": self.step_count,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.eta = np.asarray(state["eta"])
+        self.temperature = np.asarray(state["temperature"])
+        self.u = np.asarray(state["u"])
+        self.v = np.asarray(state["v"])
+        self.step_count = int(state["step_count"])

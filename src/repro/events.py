@@ -1,0 +1,239 @@
+"""A small deterministic discrete-event simulation kernel.
+
+Both the I/O subsystem models (:mod:`repro.iosim`) and the PRODLOAD batch
+scheduler (:mod:`repro.scheduler`) need to interleave concurrent activities
+with well-defined wall-clock accounting.  Rather than pull in an external
+simulation framework, this module provides the three primitives they need:
+
+* :class:`Simulator` — a time-ordered event queue with deterministic
+  tie-breaking (FIFO within equal timestamps), so repeated runs produce
+  identical schedules.
+* :class:`Process` — a generator-based coroutine; a process yields either a
+  delay in seconds, a :class:`Resource` request, or another process to join.
+* :class:`Resource` — a counted resource (CPUs, I/O channels) with a FIFO
+  wait queue, used to model contention.
+
+The engine is intentionally minimal: no priorities beyond time order, no
+preemption, no interrupts.  PRODLOAD-style workloads only need fork/join,
+delays, and counted resources.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from collections.abc import Generator
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Simulator", "Process", "Resource", "Acquire", "Release", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for structural errors: negative delays, double release, etc."""
+
+
+@dataclass(frozen=True)
+class Acquire:
+    """Yielded by a process to block until ``amount`` units are granted."""
+
+    resource: "Resource"
+    amount: int = 1
+
+    def __post_init__(self) -> None:
+        if self.amount <= 0:
+            raise SimulationError(f"acquire amount must be positive, got {self.amount}")
+
+
+@dataclass(frozen=True)
+class Release:
+    """Yielded by a process to return ``amount`` units (never blocks)."""
+
+    resource: "Resource"
+    amount: int = 1
+
+    def __post_init__(self) -> None:
+        if self.amount <= 0:
+            raise SimulationError(f"release amount must be positive, got {self.amount}")
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    Parameters
+    ----------
+    capacity:
+        Total units available (e.g. 32 for the CPUs of an SX-4/32 node).
+    name:
+        Label used in error messages and utilisation traces.
+    """
+
+    def __init__(self, capacity: int, name: str = "resource") -> None:
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self.available = capacity
+        self._waiters: deque[tuple["Process", int]] = deque()
+        #: (time, in_use) samples recorded at every grant/release.
+        self.utilisation: list[tuple[float, int]] = []
+
+    @property
+    def in_use(self) -> int:
+        return self.capacity - self.available
+
+    def _record(self, now: float) -> None:
+        self.utilisation.append((now, self.in_use))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Resource({self.name!r}, {self.in_use}/{self.capacity} in use)"
+
+
+class Process:
+    """A generator-based simulation process.
+
+    The wrapped generator may yield:
+
+    * ``float`` — advance this process by that many seconds,
+    * :class:`Acquire` — block until the resource grants the units,
+    * :class:`Release` — return units and continue immediately,
+    * :class:`Process` — block until that process finishes (join).
+
+    The value of a finished process is its ``StopIteration`` value and is
+    available as :attr:`result`.
+    """
+
+    def __init__(self, gen: Generator[Any, Any, Any], name: str = "proc") -> None:
+        self.gen = gen
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self.finish_time: float | None = None
+        self.start_time: float | None = None
+        self._joiners: list[Process] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.finished else "running"
+        return f"Process({self.name!r}, {state})"
+
+
+class Simulator:
+    """Deterministic event-driven simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> def worker():
+    ...     yield 2.5
+    ...     return "done"
+    >>> p = sim.spawn(worker(), name="w")
+    >>> sim.run()
+    >>> (sim.now, p.result)
+    (2.5, 'done')
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: list[tuple[float, int, Process, Any]] = []
+        self._counter = itertools.count()
+        self.processes: list[Process] = []
+
+    def spawn(self, gen: Generator[Any, Any, Any], name: str = "proc", delay: float = 0.0) -> Process:
+        """Register a new process starting ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"spawn delay cannot be negative, got {delay}")
+        proc = Process(gen, name=name)
+        self.processes.append(proc)
+        self._schedule(self.now + delay, proc, None)
+        return proc
+
+    def _schedule(self, when: float, proc: Process, value: Any) -> None:
+        heapq.heappush(self._queue, (when, next(self._counter), proc, value))
+
+    def run(self, until: float | None = None) -> None:
+        """Run events until the queue drains (or past ``until`` seconds)."""
+        while self._queue:
+            when, _, proc, value = heapq.heappop(self._queue)
+            if until is not None and when > until:
+                # Put it back so a subsequent run() can resume seamlessly.
+                self._schedule(when, proc, value)
+                self.now = until
+                return
+            if when < self.now - 1e-12:
+                raise SimulationError("event queue produced a time regression")
+            self.now = when
+            self._step(proc, value)
+
+    def _step(self, proc: Process, send_value: Any) -> None:
+        if proc.finished:
+            raise SimulationError(f"process {proc.name!r} resumed after finishing")
+        if proc.start_time is None:
+            proc.start_time = self.now
+        try:
+            yielded = proc.gen.send(send_value)
+        except StopIteration as stop:
+            self._finish(proc, stop.value)
+            return
+        self._dispatch(proc, yielded)
+
+    def _finish(self, proc: Process, result: Any) -> None:
+        proc.finished = True
+        proc.result = result
+        proc.finish_time = self.now
+        for joiner in proc._joiners:
+            self._schedule(self.now, joiner, proc.result)
+        proc._joiners.clear()
+
+    def _dispatch(self, proc: Process, yielded: Any) -> None:
+        if isinstance(yielded, (int, float)):
+            delay = float(yielded)
+            if delay < 0:
+                raise SimulationError(
+                    f"process {proc.name!r} yielded a negative delay: {delay}"
+                )
+            self._schedule(self.now + delay, proc, None)
+        elif isinstance(yielded, Acquire):
+            self._acquire(proc, yielded)
+        elif isinstance(yielded, Release):
+            self._release(proc, yielded)
+        elif isinstance(yielded, Process):
+            if yielded.finished:
+                self._schedule(self.now, proc, yielded.result)
+            else:
+                yielded._joiners.append(proc)
+        else:
+            raise SimulationError(
+                f"process {proc.name!r} yielded unsupported value {yielded!r}"
+            )
+
+    def _acquire(self, proc: Process, req: Acquire) -> None:
+        res = req.resource
+        if req.amount > res.capacity:
+            raise SimulationError(
+                f"request of {req.amount} exceeds capacity {res.capacity} of {res.name!r}"
+            )
+        if res.available >= req.amount and not res._waiters:
+            res.available -= req.amount
+            res._record(self.now)
+            self._schedule(self.now, proc, None)
+        else:
+            res._waiters.append((proc, req.amount))
+
+    def _release(self, proc: Process, req: Release) -> None:
+        res = req.resource
+        if res.available + req.amount > res.capacity:
+            raise SimulationError(
+                f"release of {req.amount} overflows {res.name!r} "
+                f"({res.available}/{res.capacity} available)"
+            )
+        res.available += req.amount
+        res._record(self.now)
+        # Grant FIFO waiters that now fit; stop at the first that does not,
+        # preserving ordering fairness (no barging).
+        while res._waiters and res._waiters[0][1] <= res.available:
+            waiter, amount = res._waiters.popleft()
+            res.available -= amount
+            res._record(self.now)
+            self._schedule(self.now, waiter, None)
+        self._schedule(self.now, proc, None)

@@ -1,0 +1,40 @@
+"""The I/O benchmarks of Section 4.5: disk, HIPPI, and external network.
+
+The paper describes three benchmarks whose results it does not tabulate
+("the results are not included since they are voluminous and the
+configuration of the tests is tuned to NCAR's computing environment");
+this package reproduces the *machinery*:
+
+``history``
+    The I/O benchmark (4.5.1): simulated climate-model header and
+    "history tape" files written to a conventional disk system, across
+    model resolutions, with direct-access records written per latitude
+    (optionally by several processors).
+``hippi``
+    The HIPPI benchmark (4.5.2): raw-packet transfers of varying sizes,
+    single and multiple concurrent, against the NCAR Mass Storage System
+    interoperability requirement.
+``network``
+    The NETWORK benchmark (4.5.3): a scripted mix of data-transfer and
+    non-data-transfer IP commands over FDDI.
+"""
+
+from repro.iosim.history import HistoryTapeSpec, history_io_benchmark
+from repro.iosim.hippi import HippiChannel, hippi_benchmark
+from repro.iosim.network import (
+    DataTransferCommand,
+    NonDataCommand,
+    network_benchmark,
+    standard_command_mix,
+)
+
+__all__ = [
+    "HistoryTapeSpec",
+    "history_io_benchmark",
+    "HippiChannel",
+    "hippi_benchmark",
+    "DataTransferCommand",
+    "NonDataCommand",
+    "network_benchmark",
+    "standard_command_mix",
+]

@@ -1,0 +1,102 @@
+"""The HIPPI benchmark (Section 4.5.2).
+
+"It measures the communication bandwidth using HIPPI for single data
+transfers and multiple concurrent data transfers.  It demonstrates the
+ability of a system to send and receive 'raw' HIPPI packets of varying
+sizes, and to measure the data rate of the HIPPI transfers."
+
+HIPPI is an 800 Mbit/s (100 MB/s) parallel channel; each packet pays a
+connection/burst overhead, so the measured rate climbs with packet size
+toward the line rate — the curve this benchmark produces.  Concurrent
+transfers ride separate channels on the SX-4's IOPs (up to four IOPs of
+1.6 GB/s each), so aggregate bandwidth scales with channel count until
+the IOPs saturate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.events import Simulator
+from repro.machine.iop import IOProcessor
+from repro.units import MB
+
+__all__ = ["HippiChannel", "hippi_benchmark", "PACKET_SIZES"]
+
+#: "Raw HIPPI packets of varying sizes" — 16 KB bursts up to 16 MB.
+PACKET_SIZES = tuple(16384 * 2**k for k in range(11))
+
+
+@dataclass
+class HippiChannel:
+    """One HIPPI channel: 100 MB/s line rate with per-packet overhead."""
+
+    line_rate_bytes_per_s: float = 100 * MB
+    packet_overhead_s: float = 250e-6  # connection + burst setup
+    iop: IOProcessor | None = None
+
+    def __post_init__(self) -> None:
+        if self.line_rate_bytes_per_s <= 0:
+            raise ValueError("line rate must be positive")
+        if self.packet_overhead_s < 0:
+            raise ValueError("packet overhead cannot be negative")
+        if self.iop is None:
+            self.iop = IOProcessor()
+        if self.line_rate_bytes_per_s > self.iop.bandwidth_bytes_per_s:
+            raise ValueError("a HIPPI channel cannot outrun its IOP")
+
+    def transfer_seconds(self, nbytes: float, packet_bytes: int) -> float:
+        """Time to move ``nbytes`` in packets of ``packet_bytes``."""
+        if nbytes < 0:
+            raise ValueError(f"transfer size cannot be negative, got {nbytes}")
+        if packet_bytes < 1:
+            raise ValueError(f"packet size must be positive, got {packet_bytes}")
+        if nbytes == 0:
+            return 0.0
+        packets = -(-int(nbytes) // packet_bytes)  # ceil
+        return packets * self.packet_overhead_s + nbytes / self.line_rate_bytes_per_s
+
+    def effective_rate(self, packet_bytes: int, nbytes: float = 256 * MB) -> float:
+        """Measured data rate for a given packet size."""
+        return nbytes / self.transfer_seconds(nbytes, packet_bytes)
+
+
+def hippi_benchmark(
+    channels: int = 1,
+    transfer_bytes: float = 256 * MB,
+    packet_sizes: tuple[int, ...] = PACKET_SIZES,
+    channel: HippiChannel | None = None,
+) -> dict[str, object]:
+    """Run the HIPPI benchmark: a rate-vs-packet-size curve per channel
+    count, concurrent transfers simulated on the event engine.
+
+    Returns the single-transfer curve and the aggregate concurrent rate
+    at the largest packet size.
+    """
+    if channels < 1:
+        raise ValueError(f"need at least one channel, got {channels}")
+    if transfer_bytes <= 0:
+        raise ValueError("transfer size must be positive")
+    channel = channel or HippiChannel()
+    curve = [
+        (size, channel.effective_rate(size, transfer_bytes)) for size in packet_sizes
+    ]
+
+    # Concurrent transfers: one process per channel, same workload each.
+    sim = Simulator()
+    biggest = max(packet_sizes)
+
+    def transfer():
+        yield channel.transfer_seconds(transfer_bytes, biggest)
+        return transfer_bytes
+
+    procs = [sim.spawn(transfer(), name=f"hippi{i}") for i in range(channels)]
+    sim.run()
+    wall = max(p.finish_time for p in procs)
+    aggregate = channels * transfer_bytes / wall if wall > 0 else 0.0
+    return {
+        "single_curve": curve,
+        "channels": channels,
+        "concurrent_wall_seconds": wall,
+        "aggregate_rate_bytes_per_s": aggregate,
+    }

@@ -1,0 +1,101 @@
+"""The I/O benchmark: climate-model history-tape writes (Section 4.5.1).
+
+"It measures the performance of an attached, conventional disk system
+(not a solid-state disk) relative to reading initial climate model data
+and writing climate model output files ... It writes a simulated header
+file and a simulated 'history tape' file.  The history tape file is an
+unformatted, direct access file so that if run on a multiprocessing
+system, different processors could write different records representing
+data associated with a specific latitude."
+
+The model here: one direct-access record per latitude (all fields and
+levels for that latitude row), a small header, run across the Table 4
+resolutions.  Concurrent writers overlap record *preparation* but share
+the disk channel, which serialises the media transfers — so concurrency
+helps until the channel saturates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.ccm2.resolutions import Resolution, resolution
+from repro.machine.iop import DiskArray
+from repro.units import WORD_BYTES
+
+__all__ = ["HistoryTapeSpec", "history_io_benchmark"]
+
+
+@dataclass(frozen=True)
+class HistoryTapeSpec:
+    """Layout of one history tape for a model resolution."""
+
+    res: Resolution
+    fields: int = 15
+    header_bytes: int = 64 * 1024
+
+    def __post_init__(self) -> None:
+        if self.fields < 1:
+            raise ValueError(f"need at least one field, got {self.fields}")
+        if self.header_bytes < 0:
+            raise ValueError("header size cannot be negative")
+
+    @property
+    def record_bytes(self) -> int:
+        """One latitude record: all longitudes, levels and fields."""
+        return self.res.nlon * self.res.nlev * self.fields * WORD_BYTES
+
+    @property
+    def records(self) -> int:
+        return self.res.nlat
+
+    @property
+    def tape_bytes(self) -> int:
+        return self.header_bytes + self.records * self.record_bytes
+
+
+def history_io_benchmark(
+    res: Resolution | str,
+    disk: DiskArray | None = None,
+    writers: int = 1,
+    fields: int = 15,
+) -> dict[str, float]:
+    """Time writing (and reading back) one history tape.
+
+    ``writers`` processors prepare records concurrently; the disk channel
+    serialises media transfers but per-record positioning overlaps with
+    other writers' preparation, so multiple writers approach the stripe's
+    streaming rate.
+
+    Returns sizes, times and effective rates (the quantities the paper's
+    benchmark reports for each resolution).
+    """
+    if isinstance(res, str):
+        res = resolution(res)
+    if writers < 1:
+        raise ValueError(f"need at least one writer, got {writers}")
+    disk = disk or DiskArray()
+    spec = HistoryTapeSpec(res=res, fields=fields)
+
+    # Header: one small sequential write.
+    header_time = disk.access_seconds(spec.header_bytes, sequential=True)
+
+    # Records: each pays channel + media time; positioning cost is paid
+    # per *batch* of concurrent writers (their seeks overlap).
+    record_stream = spec.record_bytes / disk.stripe_rate_bytes_per_s
+    position = disk.avg_seek_s + disk.rotational_latency_s
+    batches = -(-spec.records // writers)  # ceil
+    write_time = header_time + batches * position + spec.records * record_stream
+
+    # Read-back of the initial data (sequential whole-tape read).
+    read_time = disk.access_seconds(spec.tape_bytes, sequential=True)
+
+    return {
+        "record_bytes": float(spec.record_bytes),
+        "records": float(spec.records),
+        "tape_bytes": float(spec.tape_bytes),
+        "write_seconds": write_time,
+        "read_seconds": read_time,
+        "write_rate_bytes_per_s": spec.tape_bytes / write_time,
+        "read_rate_bytes_per_s": spec.tape_bytes / read_time,
+    }

@@ -1,0 +1,110 @@
+"""The NETWORK benchmark (Section 4.5.3): FDDI/IP command mix.
+
+"It is a shell script that tests system IP capabilities ... There are
+two types of tests — data-transfer commands and non-data-transfer
+commands.  Data-transfer commands are to be executed between the
+benchmarked machine and a target machine; non-data-transfer commands
+will inherently execute on the benchmarked machine."
+
+The model: FDDI is a 100 Mbit/s token ring; TCP/IP over it delivers some
+protocol efficiency; each command additionally pays a connection/setup
+latency.  Non-data commands (hostname lookups, route queries, pings) are
+pure latency.  The benchmark output is one timing row per command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import MB
+
+__all__ = [
+    "FDDI_LINE_RATE",
+    "DataTransferCommand",
+    "NonDataCommand",
+    "standard_command_mix",
+    "network_benchmark",
+]
+
+#: FDDI line rate: 100 Mbit/s.
+FDDI_LINE_RATE = 100e6 / 8.0
+
+
+@dataclass(frozen=True)
+class DataTransferCommand:
+    """An ftp/rcp-style transfer between the machine and a target."""
+
+    name: str
+    nbytes: float
+    protocol_efficiency: float = 0.75  # TCP/IP over FDDI
+    setup_latency_s: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"transfer size cannot be negative, got {self.nbytes}")
+        if not 0.0 < self.protocol_efficiency <= 1.0:
+            raise ValueError(
+                f"protocol efficiency must be in (0, 1], got {self.protocol_efficiency}"
+            )
+        if self.setup_latency_s < 0:
+            raise ValueError("setup latency cannot be negative")
+
+    def seconds(self, line_rate: float = FDDI_LINE_RATE) -> float:
+        if line_rate <= 0:
+            raise ValueError(f"line rate must be positive, got {line_rate}")
+        return self.setup_latency_s + self.nbytes / (line_rate * self.protocol_efficiency)
+
+    def rate(self, line_rate: float = FDDI_LINE_RATE) -> float:
+        seconds = self.seconds(line_rate)
+        return self.nbytes / seconds if seconds > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class NonDataCommand:
+    """A local IP command (hostname, netstat, ping round-trip, ...)."""
+
+    name: str
+    latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError("latency cannot be negative")
+
+    def seconds(self) -> float:
+        return self.latency_s
+
+
+def standard_command_mix() -> list[DataTransferCommand | NonDataCommand]:
+    """The benchmark's canonical command list: a spread of transfer
+    sizes bracketing climate-file scales, plus the local commands."""
+    return [
+        NonDataCommand("hostname", 0.01),
+        NonDataCommand("netstat -i", 0.05),
+        NonDataCommand("ping target", 0.002),
+        DataTransferCommand("ftp put 1MB", 1 * MB),
+        DataTransferCommand("ftp put 10MB", 10 * MB),
+        DataTransferCommand("ftp put 100MB", 100 * MB),
+        DataTransferCommand("ftp get 100MB", 100 * MB),
+        DataTransferCommand("rcp 10MB", 10 * MB, protocol_efficiency=0.65),
+    ]
+
+
+def network_benchmark(
+    commands: list[DataTransferCommand | NonDataCommand] | None = None,
+    line_rate: float = FDDI_LINE_RATE,
+) -> dict[str, dict[str, float]]:
+    """Run the command mix; returns per-command seconds (and rates for
+    the data transfers), keyed by command name."""
+    commands = standard_command_mix() if commands is None else commands
+    if not commands:
+        raise ValueError("the benchmark needs at least one command")
+    results: dict[str, dict[str, float]] = {}
+    for cmd in commands:
+        if isinstance(cmd, DataTransferCommand):
+            results[cmd.name] = {
+                "seconds": cmd.seconds(line_rate),
+                "rate_bytes_per_s": cmd.rate(line_rate),
+            }
+        else:
+            results[cmd.name] = {"seconds": cmd.seconds()}
+    return results

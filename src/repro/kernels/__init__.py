@@ -1,0 +1,61 @@
+"""The NCAR kernel benchmarks (Section 4) plus HINT (Section 3.3).
+
+Each kernel module exposes two faces:
+
+* a **functional** NumPy implementation that really computes the kernel's
+  answer (tested for numerical correctness), and
+* a **trace builder** that describes the kernel's work as machine-model
+  operation descriptors, from which the performance tables and figures
+  are regenerated.
+
+Modules
+-------
+``paranoia``  PARANOIA-style floating-point arithmetic correctness checks.
+``elefunt``   ELEFUNT intrinsic accuracy tests + throughput (Table 3).
+``membench``  Shared constant-data-volume sweep machinery (KTRIES, axes).
+``copy``      COPY: unit-stride memory-to-memory bandwidth (Figure 5).
+``ia``        IA: indirect-address (gather) bandwidth (Figure 5).
+``xpose``     XPOSE: matrix-transpose (scatter) bandwidth (Figure 5).
+``fftpack``   From-scratch mixed-radix (2/3/5) FFTs, both loop orderings.
+``rfft``      RFFT: "scalar"-style real FFT benchmark (Figure 6).
+``vfft``      VFFT: "vector"-style real FFT benchmark (Figure 7).
+``radabs``    RADABS: CCM2 radiation-physics kernel (Table 1, Section 4.4).
+``hint``      HINT hierarchical-integration benchmark (Table 1).
+``linpack``   LINPACK (Section 3.1), the rejected peak-rate comparison.
+``nas``       NAS EP and CG kernels (Section 3.2), the rejected CFD suite.
+``stream``    STREAM (Section 3.4), the rejected fixed-size bandwidth test.
+"""
+
+from repro.kernels import (  # noqa: F401
+    copy,
+    elefunt,
+    fftpack,
+    hint,
+    ia,
+    linpack,
+    membench,
+    nas,
+    paranoia,
+    radabs,
+    rfft,
+    stream,
+    vfft,
+    xpose,
+)
+
+__all__ = [
+    "copy",
+    "elefunt",
+    "fftpack",
+    "hint",
+    "ia",
+    "linpack",
+    "membench",
+    "nas",
+    "paranoia",
+    "radabs",
+    "rfft",
+    "stream",
+    "vfft",
+    "xpose",
+]

@@ -1,0 +1,68 @@
+"""COPY: unit-stride memory-to-memory bandwidth (Section 4.2.1).
+
+The Fortran original::
+
+    do j=1,M
+       do i=1,N
+          b(i,j)=a(i,j)
+       end do
+    end do
+
+with N from 1 to 10⁶ and M chosen so N·M ≈ 10⁶.  The inner loop is a
+unit-stride copy — the access pattern the SX-4 guarantees conflict-free —
+so COPY traces the *upper envelope* of the machine's memory system and
+"far exceeds" XPOSE and IA in Figure 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels import membench
+from repro.machine.operations import ScalarOp, Trace, VectorOp
+from repro.machine.processor import Processor
+
+__all__ = ["copy_kernel", "verify", "build_trace", "model_curve"]
+
+
+def copy_kernel(a: np.ndarray) -> np.ndarray:
+    """Functional COPY: column-by-column copy of a Fortran-order (N, M)
+    array, preserving the benchmark's loop structure (inner loop over the
+    first axis is the vectorised one)."""
+    if a.ndim != 2:
+        raise ValueError(f"COPY operates on a 2-D array, got shape {a.shape}")
+    b = np.empty_like(a, order="F")
+    for j in range(a.shape[1]):  # the M instance axis
+        b[:, j] = a[:, j]  # the N copy axis, unit stride
+    return b
+
+
+def verify(a: np.ndarray, b: np.ndarray) -> bool:
+    """COPY's correctness check: b must equal a exactly (it's a copy)."""
+    return bool(np.array_equal(a, b))
+
+
+def build_trace(n: int, m: int) -> Trace:
+    """Machine-model description of one COPY sweep point."""
+    if n < 1 or m < 1:
+        raise ValueError(f"axis lengths must be positive, got N={n}, M={m}")
+    return Trace(
+        [
+            VectorOp(
+                "copy inner",
+                length=n,
+                count=m,
+                loads_per_element=1.0,
+                stores_per_element=1.0,
+                load_stride=1,
+                store_stride=1,
+            ),
+            ScalarOp("copy outer-loop", instructions=8.0, count=m),
+        ],
+        name=f"COPY N={n} M={m}",
+    )
+
+
+def model_curve(processor: Processor, **kwargs) -> membench.BandwidthCurve:
+    """The COPY line of Figure 5 on the given machine model."""
+    return membench.model_curve("COPY", processor, build_trace, **kwargs)

@@ -1,0 +1,218 @@
+"""From-scratch mixed-radix FFTs in the spirit of FFTPACK (Section 4.3).
+
+RFFT and VFFT in the NCAR suite are two loop orderings of P. N.
+Swarztrauber's FFTPACK real FFT.  This module provides the numerical
+core both share:
+
+* :func:`factorize` — factor a length into the radices {2, 3, 4, 5}
+  FFTPACK supports (the benchmark uses N = 2ⁿ, 3·2ⁿ and 5·2ⁿ),
+* :func:`complex_fft` — a recursive mixed-radix Cooley-Tukey transform
+  over axis 0, broadcasting over any number of trailing instance axes
+  (this *is* the "vector" orientation: one butterfly step applied to all
+  instances at once),
+* :func:`real_forward` / :func:`real_inverse` — the real↔half-complex
+  transforms the benchmark measures,
+* :func:`real_fft_flops` — the operation count used to convert measured
+  times into the Mflops of Figures 6 and 7,
+* :func:`rfft_axis_lengths` / :func:`vfft_axis_lengths` — the exact axis
+  families the paper sweeps.
+
+Everything is validated against ``numpy.fft`` in the test suite; no FFT
+code from NumPy is used in the transform itself.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "RADICES",
+    "factorize",
+    "is_supported_size",
+    "complex_fft",
+    "real_forward",
+    "real_inverse",
+    "real_fft_flops",
+    "pass_structure",
+    "rfft_axis_lengths",
+    "vfft_axis_lengths",
+    "PASS_FLOPS_PER_POINT",
+]
+
+#: Radices implemented, in the order FFTPACK prefers them.
+RADICES = (4, 2, 3, 5)
+
+#: Real-FFT butterfly cost per transformed point for each radix pass
+#: (adds+multiplies, the counts behind the canonical 2.5·N·log2(N)).
+PASS_FLOPS_PER_POINT = {2: 2.5, 3: 4.0, 4: 4.25, 5: 5.0}
+
+
+def factorize(n: int) -> list[int]:
+    """Factor ``n`` into FFTPACK radices (4 preferred, then 2, 3, 5).
+
+    Raises ``ValueError`` for lengths with prime factors other than
+    2, 3, 5 — the suite never uses them.
+    """
+    if n < 1:
+        raise ValueError(f"transform length must be positive, got {n}")
+    remaining = n
+    factors: list[int] = []
+    for radix in RADICES:
+        while remaining % radix == 0:
+            factors.append(radix)
+            remaining //= radix
+    if remaining != 1:
+        raise ValueError(
+            f"length {n} has prime factors outside {{2, 3, 5}} and is not "
+            "supported by the FFTPACK-style transform"
+        )
+    return factors
+
+
+def is_supported_size(n: int) -> bool:
+    """True if ``n`` factors entirely into 2, 3 and 5."""
+    try:
+        factorize(n)
+    except ValueError:
+        return False
+    return True
+
+
+def _fft_recursive(x: np.ndarray, sign: float) -> np.ndarray:
+    """Mixed-radix Cooley-Tukey over axis 0, broadcasting trailing axes."""
+    n = x.shape[0]
+    if n == 1:
+        return x.copy()
+    for radix in (2, 3, 5):  # recursion never needs the fused radix-4
+        if n % radix == 0:
+            break
+    else:  # pragma: no cover - factorize() guards this
+        raise ValueError(f"unsupported transform length {n}")
+    m = n // radix
+    # Decimation in time: radix interleaved sub-transforms of length m.
+    subs = [_fft_recursive(x[r::radix], sign) for r in range(radix)]
+    k = np.arange(n)
+    k_mod = k % m
+    shape = (n,) + (1,) * (x.ndim - 1)
+    out = np.zeros_like(subs[0], shape=(n,) + x.shape[1:])
+    for r, sub in enumerate(subs):
+        twiddle = np.exp(sign * 2j * np.pi * r * k / n).reshape(shape)
+        out += twiddle * sub[k_mod]
+    return out
+
+
+def complex_fft(x: np.ndarray, inverse: bool = False) -> np.ndarray:
+    """Complex mixed-radix FFT over axis 0 of ``x``.
+
+    Instances live in the trailing axes and are transformed together —
+    the butterfly arithmetic broadcasts across them, which is exactly the
+    VFFT memory orientation.  The inverse is unnormalised-then-scaled
+    (``ifft(fft(x)) == x``).
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    if x.shape[0] == 0:
+        raise ValueError("cannot transform an empty axis")
+    factorize(x.shape[0])  # validate the size up front
+    sign = +1.0 if inverse else -1.0
+    out = _fft_recursive(x, sign)
+    if inverse:
+        out /= x.shape[0]
+    return out
+
+
+def real_forward(x: np.ndarray) -> np.ndarray:
+    """Real-to-complex forward transform over axis 0.
+
+    Input shape ``(N, ...)`` real; output shape ``(N//2 + 1, ...)``
+    complex, matching ``numpy.fft.rfft`` over axis 0 (the benchmark's
+    correctness reference).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    n = x.shape[0]
+    spectrum = complex_fft(x.astype(np.complex128))
+    return spectrum[: n // 2 + 1]
+
+
+def real_inverse(spectrum: np.ndarray, n: int) -> np.ndarray:
+    """Complex-to-real inverse of :func:`real_forward` (length ``n``).
+
+    Reconstructs the full Hermitian spectrum and inverse-transforms; the
+    imaginary residue (roundoff) is discarded.
+    """
+    spectrum = np.asarray(spectrum, dtype=np.complex128)
+    expected = n // 2 + 1
+    if spectrum.shape[0] != expected:
+        raise ValueError(
+            f"spectrum has {spectrum.shape[0]} coefficients, expected {expected} "
+            f"for a length-{n} real transform"
+        )
+    full = np.empty((n,) + spectrum.shape[1:], dtype=np.complex128)
+    full[:expected] = spectrum
+    if n > 1:
+        tail = spectrum[1 : n - expected + 1]
+        full[expected:] = np.conj(tail)[::-1]
+    return complex_fft(full, inverse=True).real
+
+
+def real_fft_flops(n: int) -> float:
+    """Operation count of one length-``n`` real transform.
+
+    Sums the per-pass butterfly costs of the actual factorisation; for a
+    power of two this is close to the canonical ``2.5 · N · log2(N)``.
+    """
+    return sum(PASS_FLOPS_PER_POINT[f] * n for f in factorize(n))
+
+
+def pass_structure(n: int) -> list[tuple[int, int, int]]:
+    """FFTPACK pass geometry: ``(factor, l1, ido)`` per pass.
+
+    Before pass ``p``, ``l1`` is the product of the factors already
+    applied and ``ido = n / (l1 · factor)`` — the two loop extents whose
+    ordering distinguishes RFFT from VFFT.  Used by the trace builders.
+    """
+    structure = []
+    l1 = 1
+    for factor in factorize(n):
+        ido = n // (l1 * factor)
+        structure.append((factor, l1, ido))
+        l1 *= factor
+    return structure
+
+
+def rfft_axis_lengths() -> dict[str, list[int]]:
+    """The RFFT benchmark's FFT-axis families (Section 4.3).
+
+    ``2^n`` for n = 1…10, ``3·2^n`` for n = 0…8, ``5·2^n`` for n = 0…8.
+    """
+    return {
+        "2^n": [2**n for n in range(1, 11)],
+        "3*2^n": [3 * 2**n for n in range(0, 9)],
+        "5*2^n": [5 * 2**n for n in range(0, 9)],
+    }
+
+
+def vfft_axis_lengths() -> dict[str, list[int]]:
+    """The VFFT benchmark's FFT-axis families (Section 4.3).
+
+    ``2^n`` for n ∈ {2, 4, 6, 7, 8, 9}, ``3·2^n`` and ``5·2^n`` for
+    n ∈ {0, 2, 4, 6, 8}.
+    """
+    return {
+        "2^n": [2**n for n in (2, 4, 6, 7, 8, 9)],
+        "3*2^n": [3 * 2**n for n in (0, 2, 4, 6, 8)],
+        "5*2^n": [5 * 2**n for n in (0, 2, 4, 6, 8)],
+    }
+
+
+def rfft_instance_count(n: int, total_elements: int = 1_000_000) -> int:
+    """RFFT's instance count M(N): keeps N·M ≈ 10⁶ elements (the paper
+    varied M from 500,000 down to 800)."""
+    if n < 1:
+        raise ValueError(f"axis length must be positive, got {n}")
+    return max(1, min(500_000, round(total_elements / n)))
+
+
+#: VFFT's instance counts (vector lengths) from the paper.
+VFFT_INSTANCE_COUNTS = (1, 2, 5, 10, 20, 50, 100, 200, 500)

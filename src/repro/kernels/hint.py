@@ -1,0 +1,139 @@
+"""HINT: Gustafson & Snell's Hierarchical INTegration benchmark (§3.3).
+
+HINT bounds the area under ``y = (1 - x) / (1 + x)`` on [0, 1] by interval
+subdivision: every split tightens the rational upper and lower bounds, and
+*quality* is the reciprocal of the remaining gap.  QUIPS are quality
+improvements per second — the authors' argument being that Mflops measure
+work done, not progress made.
+
+The paper ran HINT to show it *mispredicts* NCAR's workload (Table 1): it
+ranks the cache-based workstations above the Cray vector machines, the
+opposite of RADABS.  Accordingly this module provides:
+
+* a functional subdivision kernel whose bounds provably bracket the exact
+  area ``2·ln(2) - 1`` and tighten monotonically,
+* a machine-model workload — HINT's inner loop is branchy, pointer-ish
+  scalar code, so it runs on the scalar unit of every machine, cache
+  misses included — yielding MQUIPS figures calibrated to Table 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.machine.operations import ScalarOp, Trace
+from repro.machine.processor import Processor
+from repro.units import MEGA
+
+__all__ = [
+    "EXACT_AREA",
+    "HintResult",
+    "hint_integrate",
+    "ITERATION_INSTRUCTIONS",
+    "ITERATION_FLOPS",
+    "ITERATION_MEMORY_WORDS",
+    "QUALITY_PER_ITERATION",
+    "build_trace",
+    "model_mquips",
+]
+
+#: The exact area under (1-x)/(1+x) on [0, 1].
+EXACT_AREA = 2.0 * math.log(2.0) - 1.0
+
+
+def _f(x: float) -> float:
+    return (1.0 - x) / (1.0 + x)
+
+
+@dataclass
+class HintResult:
+    """Bounds and quality after a HINT run."""
+
+    iterations: int
+    lower: float
+    upper: float
+    qualities: list[float]
+
+    @property
+    def quality(self) -> float:
+        gap = self.upper - self.lower
+        return math.inf if gap <= 0 else 1.0 / gap
+
+    @property
+    def brackets_exact(self) -> bool:
+        return self.lower <= EXACT_AREA <= self.upper
+
+
+def hint_integrate(iterations: int = 1000) -> HintResult:
+    """Hierarchical integration by splitting the widest-error interval.
+
+    Each interval [a, b] contributes a lower bound ``(b-a)·f(b)`` and an
+    upper bound ``(b-a)·f(a)`` (f is decreasing on [0, 1]).  Splitting the
+    interval with the largest bound gap is HINT's hierarchical refinement;
+    quality after every split is recorded.
+    """
+    if iterations < 1:
+        raise ValueError(f"need at least one iteration, got {iterations}")
+    # Interval record: (gap, a, b, fa, fb); gap = (b-a)*(fa-fb).
+    a, b = 0.0, 1.0
+    fa, fb = _f(a), _f(b)
+    intervals = [((b - a) * (fa - fb), a, b, fa, fb)]
+    lower = (b - a) * fb
+    upper = (b - a) * fa
+    qualities: list[float] = []
+    for _ in range(iterations):
+        # Find the widest interval (linear scan: HINT's memory traffic).
+        widest = max(range(len(intervals)), key=lambda i: intervals[i][0])
+        gap, a, b, fa, fb = intervals.pop(widest)
+        mid = 0.5 * (a + b)
+        fm = _f(mid)
+        # Replacing the interval's bounds with the two halves' bounds.
+        lower += (mid - a) * fm - (b - a) * fb + (b - mid) * fb
+        upper += (b - mid) * fm - (b - a) * fa + (mid - a) * fa
+        intervals.append(((mid - a) * (fa - fm), a, mid, fa, fm))
+        intervals.append(((b - mid) * (fm - fb), mid, b, fm, fb))
+        qualities.append(1.0 / max(upper - lower, 1e-300))
+    return HintResult(
+        iterations=iterations, lower=lower, upper=upper, qualities=qualities
+    )
+
+
+#: Machine-model cost of one HINT subdivision step: scan + split + bound
+#: updates.  Branchy, serial, cache-sensitive — scalar-unit work.
+ITERATION_INSTRUCTIONS = 40.0
+ITERATION_FLOPS = 12.0
+ITERATION_MEMORY_WORDS = 10.0
+#: Quality units gained per subdivision, folded with HINT's internal
+#: constants into one calibration factor (chosen so the SPARC20 lands on
+#: its Table 1 value of 3.5 MQUIPS).
+QUALITY_PER_ITERATION = 1.72
+
+
+def build_trace(iterations: int = 1_000_000) -> Trace:
+    """HINT's inner loop as scalar work for the machine model."""
+    if iterations < 1:
+        raise ValueError(f"need at least one iteration, got {iterations}")
+    return Trace(
+        [
+            ScalarOp(
+                "hint subdivision",
+                instructions=ITERATION_INSTRUCTIONS,
+                flops=ITERATION_FLOPS,
+                memory_words=ITERATION_MEMORY_WORDS,
+                count=float(iterations),
+            )
+        ],
+        name=f"HINT x{iterations}",
+    )
+
+
+def model_mquips(processor: Processor, iterations: int = 1_000_000) -> float:
+    """MQUIPS on a machine model: quality improvements per second / 10⁶.
+
+    HINT does not vectorise (the paper concludes it is "better tuned to
+    measuring scalar processor performance"), so the trace is pure scalar
+    work and vector machines gain nothing from their pipes.
+    """
+    seconds = processor.time(build_trace(iterations))
+    return iterations * QUALITY_PER_ITERATION / seconds / MEGA

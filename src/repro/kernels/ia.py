@@ -1,0 +1,81 @@
+"""IA: indirect-address (gather) memory bandwidth (Section 4.2.2).
+
+The Fortran original::
+
+    do j=1,M
+       do i=1,N
+          b(i,j)=a(indx(i),j)
+       end do
+    end do
+
+The gather through ``indx`` is list-vector access — the pattern the SX-4's
+short bank-cycle SSRAM is explicitly praised for, yet still the slowest of
+the three memory benchmarks in Figure 5.  Following the paper, the
+reported bandwidth counts only the elements of ``a`` moved to ``b``, not
+the index values used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels import membench
+from repro.machine.operations import ScalarOp, Trace, VectorOp
+from repro.machine.processor import Processor
+
+__all__ = ["ia_kernel", "random_index", "verify", "build_trace", "model_curve"]
+
+
+def random_index(n: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    """A random permutation index vector, the worst case for bank reuse."""
+    if n < 1:
+        raise ValueError(f"index length must be positive, got {n}")
+    rng = rng or np.random.default_rng(0)
+    return rng.permutation(n)
+
+
+def ia_kernel(a: np.ndarray, indx: np.ndarray) -> np.ndarray:
+    """Functional IA: gather rows of a Fortran-order (N, M) array."""
+    if a.ndim != 2:
+        raise ValueError(f"IA operates on a 2-D array, got shape {a.shape}")
+    if indx.ndim != 1 or len(indx) != a.shape[0]:
+        raise ValueError(
+            f"index vector must have length {a.shape[0]}, got shape {indx.shape}"
+        )
+    if indx.min() < 0 or indx.max() >= a.shape[0]:
+        raise ValueError("index vector out of range")
+    b = np.empty_like(a, order="F")
+    for j in range(a.shape[1]):
+        b[:, j] = a[indx, j]
+    return b
+
+
+def verify(a: np.ndarray, indx: np.ndarray, b: np.ndarray) -> bool:
+    """IA's correctness check against a direct NumPy gather."""
+    return bool(np.array_equal(b, a[indx, :]))
+
+
+def build_trace(n: int, m: int) -> Trace:
+    """Machine-model description of one IA sweep point: a gathered load
+    and a unit-stride store per element."""
+    if n < 1 or m < 1:
+        raise ValueError(f"axis lengths must be positive, got N={n}, M={m}")
+    return Trace(
+        [
+            VectorOp(
+                "ia gather inner",
+                length=n,
+                count=m,
+                gather_loads_per_element=1.0,
+                stores_per_element=1.0,
+                store_stride=1,
+            ),
+            ScalarOp("ia outer-loop", instructions=8.0, count=m),
+        ],
+        name=f"IA N={n} M={m}",
+    )
+
+
+def model_curve(processor: Processor, **kwargs) -> membench.BandwidthCurve:
+    """The IA line of Figure 5 on the given machine model."""
+    return membench.model_curve("IA", processor, build_trace, **kwargs)

@@ -1,0 +1,185 @@
+"""PARANOIA-style floating-point arithmetic checks (Section 4.1).
+
+Professor Kahan's PARANOIA probes the basic arithmetic of a machine —
+radix, precision, guard digits, rounding behaviour, underflow style —
+using only that machine's own arithmetic.  The SX-4 supports three
+hardware float formats (IEEE 754, Cray, IBM) and the paper reports that
+it "passed these tests" in its IEEE mode.
+
+This module re-implements the core PARANOIA probes for the host's
+float64 and float32 (our stand-in for the SX-4's IEEE 64/32-bit modes).
+Each probe returns a :class:`Check`; :func:`run_paranoia` collects them
+into a :class:`ParanoiaReport` whose ``passed`` property is the
+benchmark's pass/fail verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Check", "ParanoiaReport", "run_paranoia"]
+
+
+@dataclass(frozen=True)
+class Check:
+    """One arithmetic probe: what was tested, verdict, and evidence."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclass
+class ParanoiaReport:
+    """All probes for one floating-point format."""
+
+    dtype: str
+    checks: list[Check] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    @property
+    def failures(self) -> list[Check]:
+        return [check for check in self.checks if not check.passed]
+
+    def __getitem__(self, name: str) -> Check:
+        for check in self.checks:
+            if check.name == name:
+                return check
+        raise KeyError(f"no check named {name!r}")
+
+
+def _find_radix(one):
+    """Kahan's radix probe: grow w until (w+1)-w != 1, then step until the
+    gap changes; the step at which it changes is the radix."""
+    w = one
+    while ((w + one) - w) - one == 0:
+        w = w + w
+    radix = one
+    while (w + radix) - w == 0:
+        radix = radix + radix
+    return (w + radix) - w
+
+
+def _find_precision(one, radix):
+    """Number of base-``radix`` digits in the significand."""
+    digits = 0
+    w = one
+    while ((w + one) - w) - one == 0:
+        digits += 1
+        w = w * radix
+    return digits
+
+
+def run_paranoia(dtype=np.float64) -> ParanoiaReport:
+    """Run the PARANOIA probes against the given NumPy float dtype."""
+    finfo = np.finfo(dtype)
+    one = dtype(1.0)
+    zero = dtype(0.0)
+    two = dtype(2.0)
+    half = dtype(0.5)
+    report = ParanoiaReport(dtype=np.dtype(dtype).name)
+    add = report.checks.append
+
+    # 1. Radix: IEEE formats are binary.
+    radix = _find_radix(one)
+    add(Check("radix", float(radix) == 2.0, f"deduced radix {float(radix):g}"))
+
+    # 2. Precision: the deduced digit count matches the format.
+    digits = _find_precision(one, radix)
+    add(
+        Check(
+            "precision",
+            digits == finfo.nmant + 1,
+            f"deduced {digits} digits, format declares {finfo.nmant + 1}",
+        )
+    )
+
+    # 3. Machine epsilon consistent with precision.
+    eps = dtype(float(radix)) ** dtype(-(digits - 1))
+    add(
+        Check(
+            "epsilon",
+            float(eps) == float(finfo.eps),
+            f"radix**(1-digits) = {float(eps):g}, finfo.eps = {float(finfo.eps):g}",
+        )
+    )
+
+    # 4. Exact small-integer arithmetic (PARANOIA's first sanity screen).
+    exact = (
+        float(dtype(4.0) - dtype(3.0) - one) == 0.0
+        and float(dtype(12.0) / dtype(3.0)) == 4.0
+        and float(dtype(27.0) * dtype(3.0)) == 81.0
+        and float(-dtype(5.0) + dtype(5.0)) == 0.0
+    )
+    add(Check("integer arithmetic", exact, "4-3-1, 12/3, 27*3, -5+5 all exact"))
+
+    # 5. Guard digit in subtraction: cancellation must be exact.
+    x = one + finfo.eps
+    guard = float((x - one) - finfo.eps) == 0.0
+    add(Check("subtraction guard digit", guard, "(1+eps)-1 == eps"))
+
+    # 6. Guard digit in multiplication: (radix - eps') style probe.
+    y = dtype(float(radix)) - dtype(float(radix)) * finfo.eps
+    mult_guard = float(y * one - y) == 0.0
+    add(Check("multiplication guard digit", mult_guard, "y*1 == y near radix"))
+
+    # 7. Rounding: to nearest (adding half an ulp of slack must not move 1).
+    r1 = float((one + finfo.eps * half) - one) == 0.0
+    r2 = float((one + finfo.eps * dtype(0.75)) - one) != 0.0
+    add(Check("round to nearest", r1 and r2, "1 + eps/2 rounds down, 1 + 3eps/4 rounds up"))
+
+    # 8. Round-half-to-even on the tie cases: 1 + eps/2 ties between 1
+    # (even significand) and 1+eps (odd) and must stay at 1, while
+    # (1+eps) + eps/2 ties between 1+eps (odd) and 1+2eps (even) and must
+    # move up to the even neighbour.
+    tie_down = float((one + finfo.eps * half) - one) == 0.0
+    odd = one + finfo.eps
+    tie_up = float((odd + finfo.eps * half) - odd) != 0.0
+    add(Check("round half to even", tie_down and tie_up, "ties go to the even neighbour"))
+
+    # 9. Gradual underflow: subnormals exist and halving tiny is nonzero.
+    tiny = finfo.tiny
+    gradual = float(dtype(tiny) * half) != 0.0 and float(finfo.smallest_subnormal) > 0.0
+    add(Check("gradual underflow", gradual, "tiny/2 stays nonzero (subnormals)"))
+
+    # 10. Underflow threshold consistency: smallest subnormal * radix**nmant
+    # should reach tiny again.
+    rebuilt = float(finfo.smallest_subnormal) * float(radix) ** finfo.nmant
+    add(
+        Check(
+            "underflow threshold",
+            rebuilt == float(tiny),
+            f"smallest_subnormal * radix**nmant = {rebuilt:g} vs tiny {float(tiny):g}",
+        )
+    )
+
+    # 11. Overflow to infinity, saturating arithmetic beyond max.
+    with np.errstate(over="ignore"):
+        overflow = np.isinf(dtype(finfo.max) * two)
+    add(Check("overflow to infinity", bool(overflow), "max*2 -> inf"))
+
+    # 12. Division: x/x == 1 exactly over awkward values.
+    values = np.array([3.0, 7.0, 1.0 / 3.0, np.pi, float(finfo.eps)], dtype=dtype)
+    division = bool(np.all(values / values == one))
+    add(Check("division x/x", division, "x/x == 1 for pi, 1/3, eps, ..."))
+
+    # 13. Signed zero behaves: -0 == 0 but copysign distinguishes.
+    neg_zero = dtype(-0.0)
+    signed = float(neg_zero) == 0.0 and np.copysign(one, neg_zero) == -one
+    add(Check("signed zero", bool(signed), "-0 == 0, copysign(1,-0) == -1"))
+
+    # 14. sqrt of a perfect square is exact.
+    squares = np.array([4.0, 9.0, 16.0, 1024.0], dtype=dtype)
+    sqrt_ok = bool(np.all(np.sqrt(squares) == np.sqrt(squares).round()))
+    add(Check("sqrt exactness", sqrt_ok, "sqrt of perfect squares exact"))
+
+    # 15. Comparison consistent with subtraction: a > b iff a-b > 0.
+    zero_diff = float(one + finfo.eps - one - finfo.eps)
+    add(Check("comparison consistency", zero_diff == 0.0, "(1+eps)-1-eps == 0"))
+
+    return report

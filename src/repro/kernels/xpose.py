@@ -1,0 +1,95 @@
+"""XPOSE: matrix-transpose (scatter) memory bandwidth (Section 4.2.3).
+
+The Fortran original::
+
+    do k=1,M
+       do j=1,N
+          do i=1,N
+             b(i,j,k)=a(j,i,k)
+          end do
+       end do
+    end do
+
+with the matrix size N from 2 to 10³ and M from 250,000 down to 1, so the
+volume N²·M stays ≈10⁶ elements.  The inner loop stores ``b`` at unit
+stride but loads ``a`` at stride N — a constant-stride pattern whose bank
+behaviour depends on N (power-of-two sizes are the classic worst case on
+interleaved memory).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels import membench
+from repro.machine.operations import ScalarOp, Trace, VectorOp
+from repro.machine.processor import Processor
+
+__all__ = ["xpose_kernel", "verify", "sweep_axes", "build_trace", "model_curve"]
+
+
+def xpose_kernel(a: np.ndarray) -> np.ndarray:
+    """Functional XPOSE: transpose each of the M matrices of a Fortran-order
+    (N, N, M) array, keeping the benchmark's loop structure."""
+    if a.ndim != 3 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"XPOSE operates on an (N, N, M) array, got shape {a.shape}")
+    b = np.empty_like(a, order="F")
+    for k in range(a.shape[2]):
+        for j in range(a.shape[1]):
+            b[:, j, k] = a[j, :, k]  # stride-N loads, unit-stride stores
+    return b
+
+
+def verify(a: np.ndarray, b: np.ndarray) -> bool:
+    """XPOSE's correctness check against NumPy's transpose."""
+    return bool(np.array_equal(b, np.transpose(a, (1, 0, 2))))
+
+
+def sweep_axes(
+    total_elements: int = membench.DEFAULT_TOTAL_ELEMENTS,
+    n_min: int = 2,
+    n_max: int = 1000,
+    points_per_decade: int = 4,
+) -> list[tuple[int, int]]:
+    """(N, M) pairs with N²·M ≈ total_elements (the paper's 2…10³ sweep)."""
+    pairs = membench.sweep_axes(
+        total_elements=total_elements,
+        n_min=n_min,
+        n_max=n_max,
+        points_per_decade=points_per_decade,
+    )
+    return [(n, max(1, round(total_elements / (n * n)))) for n, _ in pairs]
+
+
+def build_trace(n: int, m: int) -> Trace:
+    """Machine-model description of one XPOSE sweep point: N·M executions
+    of an N-long inner loop loading at stride N, storing at stride 1."""
+    if n < 1 or m < 1:
+        raise ValueError(f"axis lengths must be positive, got N={n}, M={m}")
+    return Trace(
+        [
+            VectorOp(
+                "xpose inner",
+                length=n,
+                count=n * m,
+                loads_per_element=1.0,
+                stores_per_element=1.0,
+                load_stride=n,
+                store_stride=1,
+            ),
+            ScalarOp("xpose outer-loops", instructions=8.0, count=n * m),
+        ],
+        name=f"XPOSE N={n} M={m}",
+    )
+
+
+def model_curve(processor: Processor, **kwargs) -> membench.BandwidthCurve:
+    """The XPOSE line of Figure 5 on the given machine model."""
+    kwargs.setdefault("axes", sweep_axes())
+    return membench.model_curve(
+        "XPOSE",
+        processor,
+        build_trace,
+        elements_counter=lambda n, m: n * n * m,
+        **kwargs,
+    )

@@ -1,0 +1,172 @@
+"""Communications registers: the SX-4's parallel-sync primitives.
+
+Section 2.1: "each processor has access to a set of communications
+registers optimized for synchronization of parallel processing tasks.
+Examples of communications register instructions included are test-set,
+store-and, store-or, and store-add.  There is a dedicated set of these
+for each processor, and each chassis has an additional set for the
+operating system."
+
+This module models a register file with those atomic operations and
+builds the two synchronisation structures multitasked codes need on top
+of them — a spin lock (test-set) and a sense-reversing barrier
+(store-add) — with cycle-cost accounting that feeds the node model's
+``sync_base_cycles``/``sync_per_cpu_cycles`` parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CommunicationRegisters", "SpinLock", "Barrier"]
+
+
+@dataclass
+class CommunicationRegisters:
+    """A bank of 64-bit communications registers with atomic ops.
+
+    Every operation is atomic (the hardware serialises them at the
+    register file) and counts its accesses, from which
+    :meth:`estimated_cycles` derives the cost model the node uses.
+    """
+
+    count: int = 64
+    access_cycles: float = 8.0  # register-file round trip per atomic op
+    registers: list[int] = field(default_factory=list)
+    accesses: int = 0
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"need at least one register, got {self.count}")
+        if self.access_cycles <= 0:
+            raise ValueError("access cost must be positive")
+        self.registers = [0] * self.count
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.count:
+            raise IndexError(f"register {index} out of range 0..{self.count - 1}")
+
+    def read(self, index: int) -> int:
+        self._check(index)
+        self.accesses += 1
+        return self.registers[index]
+
+    def write(self, index: int, value: int) -> None:
+        self._check(index)
+        self.accesses += 1
+        self.registers[index] = int(value)
+
+    # -- the paper's atomic instructions ------------------------------------
+    def test_set(self, index: int) -> int:
+        """Atomically read the register and set it to 1; returns the old
+        value (0 means the caller acquired it)."""
+        self._check(index)
+        self.accesses += 1
+        old = self.registers[index]
+        self.registers[index] = 1
+        return old
+
+    def store_and(self, index: int, value: int) -> int:
+        self._check(index)
+        self.accesses += 1
+        old = self.registers[index]
+        self.registers[index] = old & int(value)
+        return old
+
+    def store_or(self, index: int, value: int) -> int:
+        self._check(index)
+        self.accesses += 1
+        old = self.registers[index]
+        self.registers[index] = old | int(value)
+        return old
+
+    def store_add(self, index: int, value: int) -> int:
+        self._check(index)
+        self.accesses += 1
+        old = self.registers[index]
+        self.registers[index] = old + int(value)
+        return old
+
+    def estimated_cycles(self) -> float:
+        """Total register-file cycles consumed so far."""
+        return self.accesses * self.access_cycles
+
+
+@dataclass
+class SpinLock:
+    """A test-set spin lock on one communications register."""
+
+    regs: CommunicationRegisters
+    index: int = 0
+
+    def acquire(self, max_spins: int = 1_000_000) -> int:
+        """Spin until acquired; returns the number of failed attempts.
+
+        (In the simulation 'spinning' only happens if another logical
+        holder forgot to release; the cap turns deadlock into an error.)
+        """
+        spins = 0
+        while self.regs.test_set(self.index) != 0:
+            spins += 1
+            if spins >= max_spins:
+                raise RuntimeError(
+                    f"spin lock on register {self.index} never released"
+                )
+        return spins
+
+    def release(self) -> None:
+        if self.regs.read(self.index) == 0:
+            raise RuntimeError(f"releasing an unheld lock (register {self.index})")
+        self.regs.write(self.index, 0)
+
+    @property
+    def held(self) -> bool:
+        return self.regs.registers[self.index] != 0
+
+
+@dataclass
+class Barrier:
+    """A sense-reversing barrier built on store-add.
+
+    ``arrive()`` is called once per participant per phase; the last
+    arrival resets the counter and flips the sense register, releasing
+    everyone.  :meth:`cost_cycles` gives the per-barrier cost the node
+    model's sync parameters approximate (one atomic per participant plus
+    the release broadcast).
+    """
+
+    regs: CommunicationRegisters
+    participants: int
+    counter_index: int = 1
+    sense_index: int = 2
+
+    def __post_init__(self) -> None:
+        if self.participants < 1:
+            raise ValueError(f"need at least one participant, got {self.participants}")
+        if self.counter_index == self.sense_index:
+            raise ValueError("counter and sense registers must differ")
+
+    def arrive(self) -> bool:
+        """Register one arrival; True for the participant that completed
+        the barrier (and released the others)."""
+        arrived = self.regs.store_add(self.counter_index, 1) + 1
+        if arrived > self.participants:
+            raise RuntimeError("more arrivals than participants in one phase")
+        if arrived == self.participants:
+            self.regs.write(self.counter_index, 0)
+            self.regs.store_add(self.sense_index, 1)  # flip the sense
+            return True
+        return False
+
+    def run_phase(self) -> int:
+        """Simulate all participants arriving; returns the sense value."""
+        completions = sum(1 for _ in range(self.participants) if self.arrive())
+        if completions != 1:
+            raise RuntimeError("exactly one participant must complete the barrier")
+        return self.regs.read(self.sense_index)
+
+    def cost_cycles(self) -> float:
+        """Cost of one barrier phase: an atomic per participant, the
+        reset, the sense flip, and a read per participant on release."""
+        per_arrival = self.regs.access_cycles
+        return (2 * self.participants + 2) * per_arrival

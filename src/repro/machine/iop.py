@@ -1,0 +1,111 @@
+"""Input-Output Processor (IOP) and disk-array models.
+
+Section 2.4: each IOP provides 1.6 GB/s of channel bandwidth, up to four
+per node, operating asynchronously from the CPUs as independent I/O
+engines (HIPPI and fast-wide SCSI-2 channels hang off them).  The I/O
+benchmark (Section 4.5.1) measures a *conventional* attached disk system
+— explicitly not the solid-state XMU — so the disk model here carries
+1996-era mechanical parameters: seek, rotational latency, and a media
+streaming rate, aggregated by striping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import GB, MB
+
+__all__ = ["IOProcessor", "DiskArray"]
+
+
+@dataclass
+class IOProcessor:
+    """One IOP channel engine: a bandwidth cap with per-request overhead."""
+
+    bandwidth_bytes_per_s: float = 1.6 * GB
+    request_overhead_s: float = 150e-6
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("IOP bandwidth must be positive")
+        if self.request_overhead_s < 0:
+            raise ValueError("request overhead cannot be negative")
+
+    def channel_seconds(self, nbytes: float, requests: int = 1) -> float:
+        """Channel occupancy to move ``nbytes`` in ``requests`` transfers."""
+        if nbytes < 0:
+            raise ValueError(f"transfer size cannot be negative, got {nbytes}")
+        if requests < 1:
+            raise ValueError(f"need at least one request, got {requests}")
+        return requests * self.request_overhead_s + nbytes / self.bandwidth_bytes_per_s
+
+
+@dataclass
+class DiskArray:
+    """A striped array of conventional disks behind an IOP.
+
+    Default parameters describe a mid-1990s fast-wide SCSI-2 drive
+    (~9 ms average seek, 7200 rpm, ~9 MB/s media rate); the benchmarked
+    system's 282 GB capacity (Table 2) corresponds to a few dozen such
+    spindles.
+    """
+
+    disks: int = 16
+    disk_capacity_bytes: float = 18 * GB
+    media_rate_bytes_per_s: float = 9 * MB
+    avg_seek_s: float = 9e-3
+    rpm: float = 7200.0
+    iop: IOProcessor | None = None
+
+    def __post_init__(self) -> None:
+        if self.disks < 1:
+            raise ValueError(f"need at least one disk, got {self.disks}")
+        if self.disk_capacity_bytes <= 0 or self.media_rate_bytes_per_s <= 0:
+            raise ValueError("disk capacity and media rate must be positive")
+        if self.avg_seek_s < 0 or self.rpm <= 0:
+            raise ValueError("seek time cannot be negative; rpm must be positive")
+        if self.iop is None:
+            self.iop = IOProcessor()
+
+    @property
+    def capacity_bytes(self) -> float:
+        return self.disks * self.disk_capacity_bytes
+
+    @property
+    def rotational_latency_s(self) -> float:
+        """Average rotational delay: half a revolution."""
+        return 0.5 * 60.0 / self.rpm
+
+    @property
+    def stripe_rate_bytes_per_s(self) -> float:
+        """Aggregate streaming rate, capped by the IOP channel."""
+        assert self.iop is not None
+        return min(
+            self.disks * self.media_rate_bytes_per_s, self.iop.bandwidth_bytes_per_s
+        )
+
+    def access_seconds(self, nbytes: float, sequential: bool = True) -> float:
+        """Time for one read or write of ``nbytes``.
+
+        Sequential transfers pay one positioning delay and then stream
+        across the stripe; random (direct-access record) transfers pay a
+        positioning delay on every stripe unit they touch.
+        """
+        if nbytes < 0:
+            raise ValueError(f"transfer size cannot be negative, got {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        position = self.avg_seek_s + self.rotational_latency_s
+        stream = nbytes / self.stripe_rate_bytes_per_s
+        assert self.iop is not None
+        channel = self.iop.channel_seconds(nbytes)
+        if sequential:
+            return position + max(stream, channel)
+        # Random access: one positioning delay per disk's worth of data.
+        chunks = max(1, round(nbytes / (self.stripe_rate_bytes_per_s * 0.01)))
+        return chunks * position + max(stream, channel)
+
+    def sequential_bandwidth(self, nbytes: float) -> float:
+        """Effective bytes/s for one sequential transfer of ``nbytes``."""
+        seconds = self.access_seconds(nbytes, sequential=True)
+        return nbytes / seconds if seconds > 0 else 0.0

@@ -1,0 +1,177 @@
+"""Shared-memory node model: up to 32 processors on one crossbar.
+
+A single SX-4 node is a UMA shared-memory multiprocessor; parallel codes
+in the paper (CCM2, MOM, PRODLOAD) run as multitasked jobs inside one
+node.  The node model adds exactly the effects the paper's scalability
+results exhibit:
+
+* **work distribution with block imbalance** — parallel loops over
+  latitudes (CCM2) or latitude rows (MOM) hand out whole rows, so a CPU
+  count that does not divide the row count leaves some CPUs idle
+  (:func:`block_imbalance`),
+* **synchronisation cost per parallel region** — growing mildly with the
+  number of CPUs (communications-register test-set style barriers),
+* **serial sections** — e.g. MOM's every-10-timesteps diagnostics print,
+  which is what caps its Table 7 speedup near 9× on 32 CPUs,
+* **memory contention** — only on strided/indexed traffic, via
+  :meth:`~repro.machine.memory.BankedMemory.contention_factor`; unit-stride
+  is conflict-free from all 32 CPUs, which is why the ensemble test
+  (Table 6) degrades by only ~2%.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.machine.operations import Trace
+from repro.machine.processor import ExecutionReport, Processor
+from repro.units import MEGA
+
+__all__ = ["Node", "ParallelReport", "block_imbalance"]
+
+
+def block_imbalance(units: int, cpus: int) -> float:
+    """Wall-time dilation from dealing ``units`` indivisible work items
+    to ``cpus`` workers in blocks: ``ceil(units/cpus) / (units/cpus)``.
+
+    Equals 1.0 when ``cpus`` divides ``units``; equals ``cpus/units`` in the
+    degenerate case of fewer items than workers.
+    """
+    if units < 1 or cpus < 1:
+        raise ValueError(f"need positive units and cpus, got {units}, {cpus}")
+    ideal = units / cpus
+    actual = math.ceil(ideal)
+    return actual / ideal
+
+
+@dataclass
+class ParallelReport:
+    """Outcome of a parallel execution on a node."""
+
+    machine: str
+    trace_name: str
+    cpus: int
+    seconds: float
+    serial_seconds: float
+    parallel_seconds: float
+    sync_seconds: float
+    raw_flops: float
+    flop_equivalents: float
+    per_cpu_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def mflops(self) -> float:
+        if self.seconds == 0:
+            return 0.0
+        return self.flop_equivalents / self.seconds / MEGA
+
+    @property
+    def gflops(self) -> float:
+        return self.mflops / 1e3
+
+
+@dataclass
+class Node:
+    """A shared-memory node of ``cpu_count`` identical processors."""
+
+    processor: Processor
+    cpu_count: int = 32
+    sync_base_cycles: float = 300.0
+    sync_per_cpu_cycles: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.cpu_count < 1:
+            raise ValueError(f"node needs at least one CPU, got {self.cpu_count}")
+        if self.processor.memory is None:
+            raise ValueError("node model requires a vector processor with banked memory")
+        if self.sync_base_cycles < 0 or self.sync_per_cpu_cycles < 0:
+            raise ValueError("synchronisation costs cannot be negative")
+
+    @property
+    def name(self) -> str:
+        return f"{self.processor.name}/{self.cpu_count}"
+
+    @property
+    def peak_flops(self) -> float:
+        """Aggregate peak (64 GFLOPS per node at the 8.0 ns clock)."""
+        return self.processor.peak_flops * self.cpu_count
+
+    @property
+    def node_bandwidth_bytes_per_s(self) -> float:
+        """Sustainable node memory bandwidth (512 GB/s for an SX-4/32)."""
+        return self.processor.port_bandwidth_bytes_per_s * self.cpu_count
+
+    def sync_seconds(self, cpus: int, regions: float) -> float:
+        """Barrier cost for ``regions`` parallel regions across ``cpus``."""
+        if cpus <= 1:
+            return 0.0
+        cycles = (self.sync_base_cycles + self.sync_per_cpu_cycles * cpus) * regions
+        return self.processor.clock.seconds(cycles)
+
+    def run_parallel(
+        self,
+        cpu_traces: list[Trace],
+        serial: Trace | None = None,
+        regions: float = 1.0,
+        other_active_cpus: int = 0,
+        trace_name: str | None = None,
+    ) -> ParallelReport:
+        """Execute one trace per CPU concurrently, plus a serial section.
+
+        ``other_active_cpus`` models unrelated jobs sharing the node (the
+        ensemble test and PRODLOAD): they raise the contention the bank
+        model sees but contribute no work to this report.
+        """
+        if not cpu_traces:
+            raise ValueError("run_parallel needs at least one per-CPU trace")
+        cpus = len(cpu_traces)
+        if cpus + other_active_cpus > self.cpu_count:
+            raise ValueError(
+                f"{cpus}+{other_active_cpus} active CPUs exceed node size {self.cpu_count}"
+            )
+        combined = Trace(
+            ops=[op for trace in cpu_traces for op in trace.ops],
+            name=trace_name or cpu_traces[0].name,
+        )
+        irregular = combined.irregular_fraction
+        assert self.processor.memory is not None  # enforced in __post_init__
+        dilation = self.processor.memory.contention_factor(
+            cpus + other_active_cpus, irregular
+        )
+        per_cpu = [self.processor.time(trace, memory_dilation=dilation) for trace in cpu_traces]
+        parallel_seconds = max(per_cpu)
+        serial_seconds = self.processor.time(serial) if serial is not None else 0.0
+        sync = self.sync_seconds(cpus, regions)
+        total = parallel_seconds + serial_seconds + sync
+        raw = combined.raw_flops + (serial.raw_flops if serial is not None else 0.0)
+        equiv = combined.flop_equivalents + (
+            serial.flop_equivalents if serial is not None else 0.0
+        )
+        return ParallelReport(
+            machine=self.name,
+            trace_name=combined.name,
+            cpus=cpus,
+            seconds=total,
+            serial_seconds=serial_seconds,
+            parallel_seconds=parallel_seconds,
+            sync_seconds=sync,
+            raw_flops=raw,
+            flop_equivalents=equiv,
+            per_cpu_seconds=per_cpu,
+        )
+
+    def run_replicated(
+        self, trace: Trace, cpus: int, regions: float = 1.0, other_active_cpus: int = 0
+    ) -> ParallelReport:
+        """Convenience: the same per-CPU trace on ``cpus`` processors."""
+        return self.run_parallel(
+            [trace] * cpus,
+            regions=regions,
+            other_active_cpus=other_active_cpus,
+            trace_name=trace.name,
+        )
+
+    def run_serial(self, trace: Trace) -> ExecutionReport:
+        """Single-CPU execution on an otherwise idle node."""
+        return self.processor.execute(trace)

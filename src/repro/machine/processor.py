@@ -1,0 +1,153 @@
+"""Processor model: executes operation traces and reports performance.
+
+A :class:`Processor` is a clock plus a scalar unit plus, for vector
+machines, a vector unit and a banked-memory port.  ``execute`` walks a
+:class:`~repro.machine.operations.Trace` and produces an
+:class:`ExecutionReport` carrying wall time, Mflops (both raw and
+Cray-equivalent), and sustained memory bandwidth — the three quantities
+the paper's tables and figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.clock import Clock
+from repro.machine.memory import BankedMemory
+from repro.machine.operations import ScalarOp, Trace, VectorOp
+from repro.machine.scalar_unit import ScalarUnit
+from repro.machine.vector_unit import VectorUnit
+from repro.units import MEGA
+
+__all__ = ["Processor", "ExecutionReport"]
+
+
+@dataclass
+class ExecutionReport:
+    """Outcome of running a trace on one processor."""
+
+    machine: str
+    trace_name: str
+    cycles: float
+    seconds: float
+    raw_flops: float
+    flop_equivalents: float
+    words_moved: float
+    #: per-op (name, cycles) breakdown, in trace order.
+    breakdown: list[tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def mflops(self) -> float:
+        """Sustained Mflops with intrinsic flop-equivalents (table units)."""
+        if self.seconds == 0:
+            return 0.0
+        return self.flop_equivalents / self.seconds / MEGA
+
+    @property
+    def raw_mflops(self) -> float:
+        """Sustained Mflops counting only genuine adds/multiplies."""
+        if self.seconds == 0:
+            return 0.0
+        return self.raw_flops / self.seconds / MEGA
+
+    @property
+    def bytes_moved(self) -> float:
+        return self.words_moved * 8.0
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        """Sustained data bandwidth (indices excluded, as in the paper)."""
+        if self.seconds == 0:
+            return 0.0
+        return self.bytes_moved / self.seconds
+
+    def dominant_op(self) -> str:
+        """Name of the op that consumed the most cycles (for reports)."""
+        if not self.breakdown:
+            return "<empty>"
+        return max(self.breakdown, key=lambda item: item[1])[0]
+
+
+@dataclass
+class Processor:
+    """One CPU: scalar unit always present, vector unit + memory optional.
+
+    ``memory_dilation`` on :meth:`execute` lets the node model stretch this
+    CPU's memory time to account for multi-CPU bank contention without
+    re-deriving traces.
+    """
+
+    name: str
+    clock: Clock
+    scalar: ScalarUnit
+    vector: VectorUnit | None = None
+    memory: BankedMemory | None = None
+
+    def __post_init__(self) -> None:
+        if (self.vector is None) != (self.memory is None):
+            raise ValueError(
+                "vector machines need both a vector unit and a banked-memory "
+                "model; cache machines need neither"
+            )
+
+    @property
+    def is_vector_machine(self) -> bool:
+        return self.vector is not None
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak flop rate in flops/s (2 Gflops for the SX-4 at 8.0 ns)."""
+        if self.vector is not None:
+            return self.vector.peak_flops_per_cycle * self.clock.frequency_hz
+        return self.scalar.flops_per_cycle * self.clock.frequency_hz
+
+    @property
+    def port_bandwidth_bytes_per_s(self) -> float:
+        """Peak memory-port bandwidth (16 GB/s per SX-4 processor)."""
+        if self.memory is None:
+            return self.scalar.cache.mem_words_per_cycle * 8.0 * self.clock.frequency_hz
+        return self.memory.port_words_per_cycle * 8.0 * self.clock.frequency_hz
+
+    # -- per-op timing ------------------------------------------------------
+    def vector_op_cycles(self, op: VectorOp, memory_dilation: float = 1.0) -> float:
+        """Total cycles for all ``count`` executions of a vector loop."""
+        if memory_dilation < 1.0:
+            raise ValueError(f"memory dilation cannot shrink time, got {memory_dilation}")
+        if self.vector is not None and self.memory is not None:
+            arithmetic = self.vector.arithmetic_cycles(op)
+            memory = self.memory.transfer_cycles(op) * memory_dilation
+            per_execution = self.vector.overhead_cycles(op) + max(arithmetic, memory)
+        else:
+            per_execution = self.scalar.vector_op_cycles(op) * memory_dilation
+        return per_execution * op.count
+
+    def scalar_op_cycles(self, op: ScalarOp) -> float:
+        """Total cycles for all ``count`` executions of a scalar op."""
+        return self.scalar.scalar_op_cycles(op) * op.count
+
+    # -- trace execution ------------------------------------------------------
+    def execute(self, trace: Trace, memory_dilation: float = 1.0) -> ExecutionReport:
+        """Run a trace to completion and report time and rates."""
+        breakdown: list[tuple[str, float]] = []
+        total_cycles = 0.0
+        for op in trace:
+            if isinstance(op, VectorOp):
+                cycles = self.vector_op_cycles(op, memory_dilation)
+            else:
+                cycles = self.scalar_op_cycles(op)
+            breakdown.append((op.name, cycles))
+            total_cycles += cycles
+        return ExecutionReport(
+            machine=self.name,
+            trace_name=trace.name,
+            cycles=total_cycles,
+            seconds=self.clock.seconds(total_cycles),
+            raw_flops=trace.raw_flops,
+            flop_equivalents=trace.flop_equivalents,
+            words_moved=trace.words_moved,
+            breakdown=breakdown,
+        )
+
+    def time(self, trace: Trace, memory_dilation: float = 1.0) -> float:
+        """Shorthand: wall-clock seconds for a trace."""
+        return self.execute(trace, memory_dilation).seconds

@@ -1,0 +1,46 @@
+"""Extended Memory Unit (XMU) model.
+
+Section 2.3: the XMU is a semiconductor disk built from 60 ns DRAM, up to
+32 GB per 32-processor node with 16 GB/s of bandwidth.  It backs
+direct-mapped Fortran arrays, file-system caching (SFS), swap and /tmp.
+In this reproduction it appears as a staging tier in the I/O benchmark
+(:mod:`repro.iosim`) — history-tape writes land in XMU cache at XMU speed
+and drain to physical disk asynchronously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import GB
+
+__all__ = ["ExtendedMemoryUnit"]
+
+
+@dataclass
+class ExtendedMemoryUnit:
+    """Latency/bandwidth model of the XMU semiconductor disk."""
+
+    capacity_bytes: float = 4 * GB  # the benchmarked system had 4 GB (Table 2)
+    bandwidth_bytes_per_s: float = 16 * GB
+    access_latency_s: float = 60e-9 * 1000  # DRAM access plus controller overhead
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("XMU capacity must be positive")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("XMU bandwidth must be positive")
+        if self.access_latency_s < 0:
+            raise ValueError("XMU latency cannot be negative")
+
+    def transfer_seconds(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` to or from the XMU."""
+        if nbytes < 0:
+            raise ValueError(f"transfer size cannot be negative, got {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        return self.access_latency_s + nbytes / self.bandwidth_bytes_per_s
+
+    def fits(self, nbytes: float) -> bool:
+        """Whether a staging area of ``nbytes`` fits in the XMU."""
+        return 0 <= nbytes <= self.capacity_bytes

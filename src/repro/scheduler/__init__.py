@@ -1,0 +1,28 @@
+"""SUPER-UX scheduling machinery: resource blocks and PRODLOAD.
+
+``resource_blocks``
+    Section 2.6.4's Resource Blocking: logical scheduling groups mapped
+    onto the SX-4's processors, each with CPU bounds, a memory limit and
+    a scheduling policy.
+``jobs``
+    PRODLOAD's job components: CCM2 runs (via the CCM2 cost model) and
+    the HIPPI test, with their CPU requests.
+``prodload``
+    The production-workload benchmark itself (Section 4.6): four tests
+    of concurrent job sequences on a 32-CPU node, measured by total wall
+    clock.  The paper's machine completed it in 93 minutes 28 seconds.
+"""
+
+from repro.scheduler.resource_blocks import ResourceBlock, ResourceBlockSet
+from repro.scheduler.jobs import Component, JobSpec, prodload_job
+from repro.scheduler.prodload import ProdloadResult, run_prodload
+
+__all__ = [
+    "ResourceBlock",
+    "ResourceBlockSet",
+    "Component",
+    "JobSpec",
+    "prodload_job",
+    "ProdloadResult",
+    "run_prodload",
+]

@@ -1,0 +1,131 @@
+"""Resource Blocking (Section 2.6.4).
+
+"SUPER-UX has a feature called Resource Blocking which allows the system
+administrator to define logical scheduling groups which are mapped onto
+the SX-4 processors.  Each Resource Block has a maximum and minimum
+processor count, memory limits, and scheduling characteristics ..."
+Part of an SX-4 can serve interactive work while another runs static
+parallel FIFO scheduling, and "all processors can be assigned to a
+single process by properly defining the Resource Blocks."
+
+The model: a block set validates against the node size, admits jobs by
+CPU/memory demand, and routes each job to the first policy-compatible
+block with room.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ResourceBlock", "ResourceBlockSet", "Policy"]
+
+#: Scheduling characteristics Section 2.6.4 names.
+Policy = str
+POLICIES = ("interactive", "fifo", "batch")
+
+
+@dataclass
+class ResourceBlock:
+    """One logical scheduling group."""
+
+    name: str
+    min_cpus: int
+    max_cpus: int
+    memory_gb: float
+    policy: Policy = "batch"
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.min_cpus <= self.max_cpus:
+            raise ValueError(
+                f"block {self.name!r}: need 0 <= min_cpus <= max_cpus, "
+                f"got {self.min_cpus}..{self.max_cpus}"
+            )
+        if self.max_cpus < 1:
+            raise ValueError(f"block {self.name!r}: max_cpus must be >= 1")
+        if self.memory_gb <= 0:
+            raise ValueError(f"block {self.name!r}: memory limit must be positive")
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"block {self.name!r}: unknown policy {self.policy!r}; "
+                f"expected one of {POLICIES}"
+            )
+        self.cpus_in_use = 0
+        self.memory_in_use_gb = 0.0
+
+    def admits(self, cpus: int, memory_gb: float) -> bool:
+        """Whether a job of this size fits the block right now."""
+        if cpus < 1 or memory_gb < 0:
+            raise ValueError(f"invalid job demand: {cpus} CPUs, {memory_gb} GB")
+        return (
+            self.cpus_in_use + cpus <= self.max_cpus
+            and self.memory_in_use_gb + memory_gb <= self.memory_gb
+        )
+
+    def allocate(self, cpus: int, memory_gb: float) -> None:
+        if not self.admits(cpus, memory_gb):
+            raise ValueError(f"block {self.name!r} cannot admit {cpus} CPUs / {memory_gb} GB")
+        self.cpus_in_use += cpus
+        self.memory_in_use_gb += memory_gb
+
+    def release(self, cpus: int, memory_gb: float) -> None:
+        if cpus > self.cpus_in_use or memory_gb > self.memory_in_use_gb + 1e-12:
+            raise ValueError(f"block {self.name!r}: releasing more than allocated")
+        self.cpus_in_use -= cpus
+        self.memory_in_use_gb -= memory_gb
+
+
+@dataclass
+class ResourceBlockSet:
+    """A full node partitioning, validated against the node's resources."""
+
+    blocks: list[ResourceBlock]
+    node_cpus: int = 32
+    node_memory_gb: float = 8.0
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise ValueError("a block set needs at least one block")
+        names = [b.name for b in self.blocks]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate block names: {names}")
+        if sum(b.max_cpus for b in self.blocks) > self.node_cpus * len(self.blocks):
+            # max_cpus may overlap across blocks (they share the pool),
+            # but no single block may exceed the node.
+            pass
+        for block in self.blocks:
+            if block.max_cpus > self.node_cpus:
+                raise ValueError(
+                    f"block {block.name!r} max_cpus {block.max_cpus} exceeds node "
+                    f"size {self.node_cpus}"
+                )
+            if block.memory_gb > self.node_memory_gb:
+                raise ValueError(
+                    f"block {block.name!r} memory {block.memory_gb} GB exceeds node "
+                    f"memory {self.node_memory_gb} GB"
+                )
+        if sum(b.min_cpus for b in self.blocks) > self.node_cpus:
+            raise ValueError("guaranteed minimum CPUs exceed the node size")
+
+    def place(self, cpus: int, memory_gb: float, policy: Policy = "batch") -> ResourceBlock:
+        """Route a job to the first policy-matching block with room."""
+        for block in self.blocks:
+            if block.policy == policy and block.admits(cpus, memory_gb):
+                block.allocate(cpus, memory_gb)
+                return block
+        raise ValueError(
+            f"no {policy!r} block can admit a job of {cpus} CPUs / {memory_gb} GB"
+        )
+
+    @staticmethod
+    def production_default(node_cpus: int = 32, node_memory_gb: float = 8.0) -> "ResourceBlockSet":
+        """The Section 2.6.4 example: an interactive slice plus a static
+        FIFO parallel area plus a vector-batch area."""
+        return ResourceBlockSet(
+            blocks=[
+                ResourceBlock("interactive", 1, 4, 1.0, policy="interactive"),
+                ResourceBlock("parallel-fifo", 0, node_cpus, node_memory_gb * 0.75, policy="fifo"),
+                ResourceBlock("vector-batch", 0, node_cpus // 2, node_memory_gb * 0.5, policy="batch"),
+            ],
+            node_cpus=node_cpus,
+            node_memory_gb=node_memory_gb,
+        )

@@ -1,0 +1,31 @@
+"""The NCAR Benchmark Suite harness: experiments, rendering, runner.
+
+``experiments``
+    One function per paper table/figure (and per untabulated headline
+    result), each returning an :class:`~repro.suite.results.Experiment`
+    carrying the regenerated rows/series, the paper's reference values
+    where the text gives them, and the shape checks that define a
+    successful reproduction.
+``tables`` / ``figures``
+    ASCII rendering of tables and line charts (plus CSV export) — the
+    harness prints "the same rows/series the paper reports".
+``runner``
+    ``run_suite()`` executes every experiment and produces a summary
+    report; ``python -m repro.suite.runner`` is the command-line entry.
+"""
+
+from repro.suite.results import Experiment, ShapeCheck
+from repro.suite.tables import render_table
+from repro.suite.figures import render_ascii_chart, series_to_csv
+from repro.suite import experiments
+from repro.suite.runner import run_suite
+
+__all__ = [
+    "Experiment",
+    "ShapeCheck",
+    "render_table",
+    "render_ascii_chart",
+    "series_to_csv",
+    "experiments",
+    "run_suite",
+]

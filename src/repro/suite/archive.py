@@ -1,0 +1,142 @@
+"""Result archiving and run-to-run comparison.
+
+A suite run produces numbers; an archived run lets the next one answer
+"did anything drift?" — the regression-tracking half of a benchmark
+harness.  Experiments serialise to JSON (rows, series, checks, notes);
+:func:`compare_runs` reports per-experiment check regressions and
+numeric drifts beyond a tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.suite.results import Experiment, ShapeCheck
+
+__all__ = ["experiment_to_dict", "experiment_from_dict", "save_run", "load_run",
+           "compare_runs", "Drift"]
+
+_SCHEMA_VERSION = 1
+
+
+def experiment_to_dict(exp: Experiment) -> dict:
+    """JSON-serialisable form of one experiment."""
+    return {
+        "exp_id": exp.exp_id,
+        "title": exp.title,
+        "headers": list(exp.headers),
+        "rows": [[_plain(cell) for cell in row] for row in exp.rows],
+        "series": {k: [[float(x), float(y)] for x, y in v] for k, v in exp.series.items()},
+        "paper_values": {k: _plain(v) for k, v in exp.paper_values.items()},
+        "checks": [
+            {"description": c.description, "passed": c.passed, "detail": c.detail}
+            for c in exp.checks
+        ],
+        "notes": exp.notes,
+    }
+
+
+def _plain(value):
+    """Coerce numpy scalars and other oddities to JSON-native types."""
+    if hasattr(value, "item"):
+        return value.item()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (tuple, list)):
+        return [_plain(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    return str(value)
+
+
+def experiment_from_dict(data: dict) -> Experiment:
+    """Inverse of :func:`experiment_to_dict`."""
+    exp = Experiment(
+        exp_id=data["exp_id"],
+        title=data["title"],
+        headers=list(data.get("headers", [])),
+        rows=[list(row) for row in data.get("rows", [])],
+        series={k: [(x, y) for x, y in v] for k, v in data.get("series", {}).items()},
+        paper_values=dict(data.get("paper_values", {})),
+        notes=data.get("notes", ""),
+    )
+    for c in data.get("checks", []):
+        exp.checks.append(ShapeCheck(c["description"], c["passed"], c.get("detail", "")))
+    return exp
+
+
+def save_run(experiments: list[Experiment], path: str | Path) -> Path:
+    """Write a suite run to a JSON archive file."""
+    if not experiments:
+        raise ValueError("nothing to archive")
+    path = Path(path)
+    payload = {
+        "schema": _SCHEMA_VERSION,
+        "experiments": [experiment_to_dict(e) for e in experiments],
+    }
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    return path
+
+
+def load_run(path: str | Path) -> list[Experiment]:
+    """Read a suite run archive."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != _SCHEMA_VERSION:
+        raise ValueError(f"unsupported archive schema {payload.get('schema')!r}")
+    return [experiment_from_dict(d) for d in payload["experiments"]]
+
+
+@dataclass
+class Drift:
+    """One difference between two archived runs."""
+
+    exp_id: str
+    kind: str  # "check", "value", "missing"
+    description: str
+
+
+def compare_runs(
+    baseline: list[Experiment],
+    current: list[Experiment],
+    rel_tolerance: float = 0.02,
+) -> list[Drift]:
+    """Differences between two runs: lost/failed checks and numeric
+    series drifts beyond ``rel_tolerance``."""
+    if rel_tolerance < 0:
+        raise ValueError("tolerance cannot be negative")
+    drifts: list[Drift] = []
+    base_by_id = {e.exp_id: e for e in baseline}
+    for exp in current:
+        base = base_by_id.get(exp.exp_id)
+        if base is None:
+            drifts.append(Drift(exp.exp_id, "missing", "no baseline for this experiment"))
+            continue
+        base_checks = {c.description: c.passed for c in base.checks}
+        for check in exp.checks:
+            was = base_checks.get(check.description)
+            if was is True and not check.passed:
+                drifts.append(
+                    Drift(exp.exp_id, "check", f"regressed: {check.description}")
+                )
+        for label, pts in exp.series.items():
+            base_pts = dict((x, y) for x, y in base.series.get(label, []))
+            for x, y in pts:
+                if x not in base_pts:
+                    continue
+                ref = base_pts[x]
+                if ref == 0:
+                    continue
+                if abs(y - ref) > rel_tolerance * abs(ref):
+                    drifts.append(
+                        Drift(
+                            exp.exp_id,
+                            "value",
+                            f"{label} at x={x:g}: {ref:g} -> {y:g}",
+                        )
+                    )
+    for exp in baseline:
+        if exp.exp_id not in {e.exp_id for e in current}:
+            drifts.append(Drift(exp.exp_id, "missing", "experiment dropped from the run"))
+    return drifts

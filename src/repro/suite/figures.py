@@ -1,0 +1,83 @@
+"""ASCII line charts and CSV export for figure-type experiments.
+
+The paper's Figures 5-8 are log-x performance curves.  Since the harness
+runs in a terminal, figures render as ASCII charts (one mark per series)
+with optional logarithmic axes, and every series also exports as CSV so
+the curves can be replotted elsewhere.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["render_ascii_chart", "series_to_csv"]
+
+_MARKS = "*o+x#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, log: bool) -> float:
+    if log:
+        if value <= 0 or lo <= 0:
+            raise ValueError("log axes need positive values")
+        return (math.log10(value) - math.log10(lo)) / max(
+            math.log10(hi) - math.log10(lo), 1e-12
+        )
+    return (value - lo) / max(hi - lo, 1e-12)
+
+
+def render_ascii_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 72,
+    height: int = 20,
+    log_x: bool = True,
+    log_y: bool = False,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render labelled (x, y) series as an ASCII chart.
+
+    Each series gets a distinct mark; a legend and axis ranges are
+    appended.  Points outside a degenerate range collapse to the border.
+    """
+    if not series:
+        raise ValueError("chart needs at least one series")
+    if width < 10 or height < 4:
+        raise ValueError(f"chart too small: {width}x{height}")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("chart needs at least one point")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+    for (label, pts), mark in zip(series.items(), _MARKS * 10):
+        for x, y in pts:
+            col = round(_scale(x, x_lo, x_hi, log_x) * (width - 1))
+            row = round(_scale(y, y_lo, y_hi, log_y) * (height - 1))
+            grid[height - 1 - row][col] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label}  [{y_lo:g} .. {y_hi:g}]" + (" (log)" if log_y else ""))
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}  [{x_lo:g} .. {x_hi:g}]" + (" (log)" if log_x else ""))
+    legend = "   ".join(
+        f"{mark} {label}" for (label, _), mark in zip(series.items(), _MARKS * 10)
+    )
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)
+
+
+def series_to_csv(series: Mapping[str, Sequence[tuple[float, float]]]) -> str:
+    """Export series as CSV: ``series,x,y`` rows."""
+    if not series:
+        raise ValueError("no series to export")
+    lines = ["series,x,y"]
+    for label, pts in series.items():
+        for x, y in pts:
+            lines.append(f"{label},{x:g},{y:g}")
+    return "\n".join(lines)

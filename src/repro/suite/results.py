@@ -1,0 +1,63 @@
+"""Result containers for suite experiments.
+
+Every experiment produces an :class:`Experiment`: a table (rows of
+cells) and/or figure series, the paper's reference values where its text
+states them, and a list of :class:`ShapeCheck` verdicts — the explicit,
+machine-checkable statements of "the shape the paper reports holds"
+(who wins, by roughly what factor, where the curve bends).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ShapeCheck", "Experiment"]
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One verifiable claim about the regenerated result."""
+
+    description: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"[{mark}] {self.description}{suffix}"
+
+
+@dataclass
+class Experiment:
+    """The regenerated form of one paper table/figure/headline."""
+
+    exp_id: str  # e.g. "table7", "figure5", "sec4.4"
+    title: str
+    headers: list[str] = field(default_factory=list)
+    rows: list[list[Any]] = field(default_factory=list)
+    #: figure series: label -> [(x, y), ...]
+    series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    #: paper-stated reference values, keyed by a short label.
+    paper_values: dict[str, Any] = field(default_factory=dict)
+    checks: list[ShapeCheck] = field(default_factory=list)
+    notes: str = ""
+
+    def check(self, description: str, passed: bool, detail: str = "") -> None:
+        """Record one shape check."""
+        self.checks.append(ShapeCheck(description, bool(passed), detail))
+
+    @property
+    def passed(self) -> bool:
+        """All recorded shape checks hold."""
+        return all(check.passed for check in self.checks)
+
+    @property
+    def failures(self) -> list[ShapeCheck]:
+        return [check for check in self.checks if not check.passed]
+
+    def summary_line(self) -> str:
+        verdict = "OK " if self.passed else "FAIL"
+        n_pass = sum(c.passed for c in self.checks)
+        return f"{verdict} {self.exp_id:<10} {self.title} [{n_pass}/{len(self.checks)} checks]"

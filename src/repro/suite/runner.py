@@ -1,0 +1,84 @@
+"""Suite runner: execute every experiment and summarise the verdicts.
+
+``python -m repro.suite.runner [exp_id ...]`` prints each experiment's
+regenerated table/figure, its shape-check verdicts, and a final summary —
+the command-line face of the reproduction.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+
+from repro.suite.experiments import EXPERIMENTS
+from repro.suite.figures import render_ascii_chart
+from repro.suite.results import Experiment
+from repro.suite.tables import render_table
+
+__all__ = ["SuiteReport", "run_suite", "render_experiment", "main"]
+
+
+@dataclass
+class SuiteReport:
+    """Outcome of a full (or filtered) suite run."""
+
+    experiments: list[Experiment] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(exp.passed for exp in self.experiments)
+
+    @property
+    def check_counts(self) -> tuple[int, int]:
+        """(passed, total) across all experiments."""
+        total = sum(len(exp.checks) for exp in self.experiments)
+        good = sum(sum(c.passed for c in exp.checks) for exp in self.experiments)
+        return good, total
+
+    def summary(self) -> str:
+        lines = [exp.summary_line() for exp in self.experiments]
+        good, total = self.check_counts
+        verdict = "ALL SHAPE CHECKS PASS" if self.passed else "SHAPE CHECK FAILURES"
+        lines.append(f"-- {verdict}: {good}/{total} checks over "
+                     f"{len(self.experiments)} experiments --")
+        return "\n".join(lines)
+
+
+def run_suite(exp_ids: list[str] | None = None) -> SuiteReport:
+    """Run the requested experiments (default: all, in paper order)."""
+    ids = list(EXPERIMENTS) if not exp_ids else exp_ids
+    report = SuiteReport()
+    for exp_id in ids:
+        if exp_id not in EXPERIMENTS:
+            raise KeyError(
+                f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
+            )
+        report.experiments.append(EXPERIMENTS[exp_id]())
+    return report
+
+
+def render_experiment(exp: Experiment) -> str:
+    """Full text rendering: table, chart, notes, checks."""
+    parts = [f"=== {exp.exp_id}: {exp.title} ==="]
+    if exp.rows:
+        parts.append(render_table(exp.headers, exp.rows))
+    if exp.series:
+        parts.append(render_ascii_chart(exp.series, title=None))
+    if exp.notes:
+        parts.append(f"note: {exp.notes}")
+    parts.extend(str(check) for check in exp.checks)
+    return "\n".join(parts)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    report = run_suite(argv or None)
+    for exp in report.experiments:
+        print(render_experiment(exp))
+        print()
+    print(report.summary())
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

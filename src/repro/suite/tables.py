@@ -1,0 +1,59 @@
+"""ASCII table rendering for suite output."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["render_table", "format_cell"]
+
+
+def format_cell(value: Any) -> str:
+    """Human formatting: floats get sensible precision, rest str()."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000:
+            return f"{value:,.1f}"
+        if magnitude >= 1:
+            return f"{value:.2f}"
+        if magnitude >= 0.01:
+            return f"{value:.3f}"
+        return f"{value:.3e}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+-----
+    1 | 2.50
+    """
+    if not headers:
+        raise ValueError("a table needs headers")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells; expected {len(headers)}"
+            )
+    cells = [[format_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""SUPER-UX operating-software models (Section 2.6).
+
+The paper devotes a section to the SX-4's operating system because the
+procurement cared about running a *production environment*, not just
+kernels.  This package models the three OS features the benchmarks
+touch:
+
+``checkpoint``
+    Section 2.6.2: "NQS batch jobs can be checkpointed by either the
+    owner, operator, or NQS administrator.  No special programming is
+    required" — a state-capture/restore protocol the application models
+    implement, with bit-identical continuation (tested).
+``nqs``
+    Section 2.6.3: the enhanced NQS batch subsystem — queues, queue
+    complexes, per-queue limits, and the ``qcat`` command that copies a
+    running job's stdout.
+``sfs``
+    Section 2.6.5: the SFS native file system with its XMU-backed cache
+    ("flexible file system level caching scheme utilizing XMU space"),
+    write-back policy, staging unit and allocation cluster size, and
+    files beyond 2 TB.
+"""
+
+from repro.superux.checkpoint import Checkpoint, restore_model, take_checkpoint
+from repro.superux.nqs import BatchJob, NQSQueue, QueueComplex
+from repro.superux.sfs import SFSFile, SFSFileSystem
+
+__all__ = [
+    "Checkpoint",
+    "take_checkpoint",
+    "restore_model",
+    "NQSQueue",
+    "QueueComplex",
+    "BatchJob",
+    "SFSFile",
+    "SFSFileSystem",
+]

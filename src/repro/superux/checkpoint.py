@@ -1,0 +1,100 @@
+"""Checkpoint/restart (Section 2.6.2).
+
+"Checkpoint/restart by user or operator commands ... No special
+programming is required for checkpointing."
+
+The OS-level guarantee modelled here: capture a running model's complete
+prognostic state into a self-describing byte blob, and restore it into a
+fresh model instance such that the continued integration is
+*bit-identical* to the uninterrupted one (the test suite asserts this
+for CCM2, MOM and POP).
+
+Any object exposing ``checkpoint_state() -> dict[str, np.ndarray | float
+| int]`` and ``restore_state(dict)`` participates; the blob format is
+``numpy.savez`` (portable, no pickled code).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["Checkpointable", "Checkpoint", "take_checkpoint", "restore_model"]
+
+_FORMAT_VERSION = 1
+
+
+@runtime_checkable
+class Checkpointable(Protocol):
+    """The 'no special programming' contract a model fulfils."""
+
+    def checkpoint_state(self) -> dict[str, Any]: ...
+
+    def restore_state(self, state: dict[str, Any]) -> None: ...
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A captured state blob plus its metadata."""
+
+    data: bytes
+    model_kind: str
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.data)
+
+
+def take_checkpoint(model: Checkpointable) -> Checkpoint:
+    """Capture a model's state into a portable blob."""
+    if not isinstance(model, Checkpointable):
+        raise TypeError(
+            f"{type(model).__name__} does not implement the checkpoint protocol"
+        )
+    state = model.checkpoint_state()
+    if not isinstance(state, dict) or not state:
+        raise ValueError("checkpoint_state() must return a non-empty dict")
+    arrays: dict[str, np.ndarray] = {
+        "__version__": np.array(_FORMAT_VERSION),
+        "__kind__": np.array(type(model).__name__),
+    }
+    for key, value in state.items():
+        if key.startswith("__"):
+            raise ValueError(f"state key {key!r} collides with metadata namespace")
+        arrays[key] = np.asarray(value)
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    return Checkpoint(data=buffer.getvalue(), model_kind=type(model).__name__)
+
+
+def restore_model(model: Checkpointable, checkpoint: Checkpoint) -> None:
+    """Restore a checkpoint into a compatible model instance."""
+    if not isinstance(model, Checkpointable):
+        raise TypeError(
+            f"{type(model).__name__} does not implement the checkpoint protocol"
+        )
+    if checkpoint.model_kind != type(model).__name__:
+        raise ValueError(
+            f"checkpoint is for {checkpoint.model_kind}, not {type(model).__name__}"
+        )
+    with np.load(io.BytesIO(checkpoint.data), allow_pickle=False) as blob:
+        version = int(blob["__version__"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {version}")
+        state = {
+            key: blob[key]
+            for key in blob.files
+            if not key.startswith("__")
+        }
+    # Unwrap 0-d arrays back to scalars for convenience.
+    unwrapped: dict[str, Any] = {}
+    for key, value in state.items():
+        if value.ndim == 0:
+            item = value.item()
+            unwrapped[key] = item
+        else:
+            unwrapped[key] = value
+    model.restore_state(unwrapped)

@@ -1,0 +1,184 @@
+"""The NQS batch subsystem (Section 2.6.3).
+
+"SUPER-UX NQS is enhanced to add substantial user control over work.
+Recently added commands include qcat which will copy the stdout or
+stderr file from an executing batch script and present it to the user.
+NQS queues, queue complexes, and the full range of individual queue
+parameters and accounting facilities are supported."
+
+The model: queues with CPU/memory/time limits and priorities, grouped
+into a queue complex with a global run limit; jobs are admitted against
+the limits, scheduled priority-then-FIFO onto the node's CPUs via the
+discrete-event engine, produce accounting records, and expose ``qcat``
+(the portion of a running job's output written so far).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.events import Acquire, Release, Resource, Simulator
+
+__all__ = ["BatchJob", "NQSQueue", "QueueComplex", "AccountingRecord"]
+
+
+@dataclass
+class BatchJob:
+    """One batch request: resources, duration, and the output it emits."""
+
+    name: str
+    cpus: int
+    memory_gb: float
+    duration_s: float
+    #: (fraction_of_duration, line) pairs: output appears as time passes.
+    output_script: tuple[tuple[float, str], ...] = ()
+    submit_time: float = 0.0
+    start_time: float | None = None
+    finish_time: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.cpus < 1:
+            raise ValueError(f"job {self.name!r} needs at least one CPU")
+        if self.memory_gb < 0 or self.duration_s <= 0:
+            raise ValueError(f"job {self.name!r} has invalid resources")
+        for frac, _ in self.output_script:
+            if not 0.0 <= frac <= 1.0:
+                raise ValueError("output fractions must be in [0, 1]")
+
+    @property
+    def state(self) -> str:
+        if self.finish_time is not None:
+            return "done"
+        if self.start_time is not None:
+            return "running"
+        return "queued"
+
+    def qcat(self, now: float) -> list[str]:
+        """Section 2.6.3's qcat: the stdout written so far.
+
+        Before the job starts, nothing; while running, the lines whose
+        scripted fraction of the duration has elapsed; after completion,
+        everything.
+        """
+        if self.start_time is None:
+            return []
+        elapsed = (self.finish_time if self.finish_time is not None else now) - self.start_time
+        fraction = min(1.0, elapsed / self.duration_s)
+        return [line for frac, line in self.output_script if frac <= fraction + 1e-12]
+
+
+@dataclass(frozen=True)
+class AccountingRecord:
+    """NQS accounting: what ran where, for how long."""
+
+    job: str
+    queue: str
+    cpus: int
+    queued_s: float
+    ran_s: float
+    cpu_seconds: float
+
+
+@dataclass
+class NQSQueue:
+    """One NQS queue with its individual parameters."""
+
+    name: str
+    priority: int = 0
+    max_cpus_per_job: int = 32
+    max_memory_gb: float = 8.0
+    max_run_seconds: float = 86400.0
+    run_limit: int = 8  # concurrently running jobs from this queue
+
+    def __post_init__(self) -> None:
+        if self.max_cpus_per_job < 1 or self.run_limit < 1:
+            raise ValueError(f"queue {self.name!r}: limits must be >= 1")
+        if self.max_memory_gb <= 0 or self.max_run_seconds <= 0:
+            raise ValueError(f"queue {self.name!r}: limits must be positive")
+
+    def admits(self, job: BatchJob) -> bool:
+        """Whether the job's request fits this queue's limits."""
+        return (
+            job.cpus <= self.max_cpus_per_job
+            and job.memory_gb <= self.max_memory_gb
+            and job.duration_s <= self.max_run_seconds
+        )
+
+
+@dataclass
+class QueueComplex:
+    """A set of queues sharing one machine (Section 2.6.3's complexes)."""
+
+    queues: list[NQSQueue]
+    node_cpus: int = 32
+
+    submitted: list[tuple[BatchJob, NQSQueue]] = field(default_factory=list)
+    accounting: list[AccountingRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.queues:
+            raise ValueError("a queue complex needs at least one queue")
+        names = [q.name for q in self.queues]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate queue names: {names}")
+        if self.node_cpus < 1:
+            raise ValueError("node must have at least one CPU")
+
+    def queue(self, name: str) -> NQSQueue:
+        for q in self.queues:
+            if q.name == name:
+                return q
+        raise KeyError(f"no queue named {name!r}")
+
+    def submit(self, job: BatchJob, queue_name: str) -> None:
+        """Validate against the queue's limits and enqueue."""
+        q = self.queue(queue_name)
+        if not q.admits(job):
+            raise ValueError(
+                f"job {job.name!r} exceeds queue {q.name!r} limits "
+                f"({job.cpus} CPUs, {job.memory_gb} GB, {job.duration_s} s)"
+            )
+        self.submitted.append((job, q))
+
+    def run(self) -> float:
+        """Schedule all submitted jobs to completion; returns makespan.
+
+        Jobs start in priority order (high first), FIFO within a
+        priority, each holding its CPUs for its duration; per-queue run
+        limits are enforced with counted resources.
+        """
+        if not self.submitted:
+            raise ValueError("nothing submitted")
+        sim = Simulator()
+        cpus = Resource(self.node_cpus, "cpus")
+        slots = {q.name: Resource(q.run_limit, f"runlimit:{q.name}") for q in self.queues}
+        ordered = sorted(
+            self.submitted, key=lambda item: (-item[1].priority, item[0].submit_time)
+        )
+
+        def job_proc(job: BatchJob, q: NQSQueue):
+            yield Acquire(slots[q.name])
+            yield Acquire(cpus, job.cpus)
+            job.start_time = sim.now
+            yield job.duration_s
+            job.finish_time = sim.now
+            yield Release(cpus, job.cpus)
+            yield Release(slots[q.name])
+            self.accounting.append(
+                AccountingRecord(
+                    job=job.name,
+                    queue=q.name,
+                    cpus=job.cpus,
+                    queued_s=job.start_time - job.submit_time,
+                    ran_s=job.finish_time - job.start_time,
+                    cpu_seconds=job.cpus * (job.finish_time - job.start_time),
+                )
+            )
+            return job.name
+
+        procs = [
+            sim.spawn(job_proc(job, q), name=job.name, delay=job.submit_time)
+            for job, q in ordered
+        ]
+        sim.run()
+        return max(p.finish_time for p in procs)

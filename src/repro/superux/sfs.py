@@ -1,0 +1,175 @@
+"""SFS: the SUPER-UX native file system with XMU caching (Section 2.6.5).
+
+"The SUPER-UX native file system is called SFS.  It has a flexible file
+system level caching scheme utilizing XMU space; numerous parameters can
+be set including write back method, staging unit, and allocation cluster
+size.  Individual files can exceed 2 terabytes in size."
+
+The model: files are allocated in clusters on a :class:`DiskArray`;
+reads and writes move through an XMU-resident cache in staging units.
+Write-back mode acknowledges writes at XMU speed and drains dirty
+staging units to disk on flush (or when the cache fills); write-through
+pays disk time immediately.  The timing difference is what makes the
+history-tape benchmark (Section 4.5.1) sensitive to the file system, and
+the test suite checks both the ordering (write-back ≪ write-through for
+bursts) and the conservation of bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.iop import DiskArray
+from repro.machine.xmu import ExtendedMemoryUnit
+from repro.units import GB, MB, TB
+
+__all__ = ["SFSFile", "SFSFileSystem"]
+
+#: "Individual files can exceed 2 terabytes in size."
+MAX_FILE_BYTES = 8 * TB
+
+
+@dataclass
+class SFSFile:
+    """One SFS file: a size and its dirty (not yet on disk) extent."""
+
+    name: str
+    size_bytes: float = 0.0
+    dirty_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0 or self.dirty_bytes < 0:
+            raise ValueError(f"file {self.name!r} has negative sizes")
+
+
+@dataclass
+class SFSFileSystem:
+    """An SFS instance: disk + XMU cache + tunable policy.
+
+    Parameters mirror the paper's list: ``write_back`` (vs through),
+    ``staging_unit_bytes`` (the cache transfer granularity) and
+    ``cluster_bytes`` (allocation granularity).  All I/O calls return
+    the wall-clock seconds the operation costs; the file-system state
+    tracks sizes and dirty data so flush accounting is exact.
+    """
+
+    disk: DiskArray = field(default_factory=DiskArray)
+    xmu: ExtendedMemoryUnit = field(default_factory=ExtendedMemoryUnit)
+    write_back: bool = True
+    staging_unit_bytes: float = 4 * MB
+    cluster_bytes: float = 1 * MB
+    cache_limit_bytes: float | None = None
+
+    files: dict[str, SFSFile] = field(default_factory=dict)
+    cached_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.staging_unit_bytes <= 0 or self.cluster_bytes <= 0:
+            raise ValueError("staging unit and cluster size must be positive")
+        if self.cache_limit_bytes is None:
+            self.cache_limit_bytes = 0.5 * self.xmu.capacity_bytes
+        if self.cache_limit_bytes <= 0:
+            raise ValueError("cache limit must be positive")
+
+    # -- namespace ----------------------------------------------------------------
+    def create(self, name: str) -> SFSFile:
+        if name in self.files:
+            raise FileExistsError(f"SFS file {name!r} already exists")
+        self.files[name] = SFSFile(name=name)
+        return self.files[name]
+
+    def _file(self, name: str) -> SFSFile:
+        if name not in self.files:
+            raise FileNotFoundError(f"no SFS file named {name!r}")
+        return self.files[name]
+
+    def allocated_bytes(self, name: str) -> float:
+        """On-disk allocation: size rounded up to whole clusters."""
+        size = self._file(name).size_bytes
+        clusters = -(-size // self.cluster_bytes) if size > 0 else 0
+        return clusters * self.cluster_bytes
+
+    # -- data path ------------------------------------------------------------------
+    def _staging_units(self, nbytes: float) -> int:
+        return max(1, int(-(-nbytes // self.staging_unit_bytes)))
+
+    def write(self, name: str, nbytes: float) -> float:
+        """Append ``nbytes``; returns the seconds the caller waits.
+
+        Write-back: data lands in the XMU cache (fast) and is drained
+        later; if the cache would overflow, the overflow drains to disk
+        synchronously first.  Write-through: disk time up front.
+        """
+        if nbytes < 0:
+            raise ValueError(f"write size cannot be negative, got {nbytes}")
+        f = self._file(name)
+        if f.size_bytes + nbytes > MAX_FILE_BYTES:
+            raise ValueError(
+                f"file {name!r} would exceed the SFS maximum ({MAX_FILE_BYTES / TB:g} TB)"
+            )
+        if nbytes == 0:
+            return 0.0
+        units = self._staging_units(nbytes)
+        if not self.write_back:
+            f.size_bytes += nbytes
+            return self.disk.access_seconds(nbytes, sequential=True)
+        elapsed = 0.0
+        overflow = max(0.0, self.cached_bytes + nbytes - self.cache_limit_bytes)
+        if overflow > 0:
+            elapsed += self._drain(overflow)
+        elapsed += units * self.xmu.access_latency_s + nbytes / self.xmu.bandwidth_bytes_per_s
+        f.size_bytes += nbytes
+        f.dirty_bytes += nbytes
+        self.cached_bytes = min(self.cache_limit_bytes, self.cached_bytes + nbytes)
+        return elapsed
+
+    def _drain(self, nbytes: float) -> float:
+        """Move ``nbytes`` of dirty cache to disk (oldest files first)."""
+        remaining = nbytes
+        elapsed = 0.0
+        for f in self.files.values():
+            if remaining <= 0:
+                break
+            take = min(f.dirty_bytes, remaining)
+            if take > 0:
+                elapsed += self.disk.access_seconds(take, sequential=True)
+                f.dirty_bytes -= take
+                remaining -= take
+        self.cached_bytes = max(0.0, self.cached_bytes - (nbytes - remaining) - 0.0)
+        self.cached_bytes = sum(f.dirty_bytes for f in self.files.values())
+        return elapsed
+
+    def read(self, name: str, nbytes: float) -> float:
+        """Read ``nbytes``; cache-resident data comes from the XMU."""
+        if nbytes < 0:
+            raise ValueError(f"read size cannot be negative, got {nbytes}")
+        f = self._file(name)
+        if nbytes > f.size_bytes:
+            raise ValueError(
+                f"reading {nbytes:g} B from {name!r} of size {f.size_bytes:g} B"
+            )
+        if nbytes == 0:
+            return 0.0
+        from_cache = min(nbytes, f.dirty_bytes)
+        from_disk = nbytes - from_cache
+        elapsed = 0.0
+        if from_cache > 0:
+            elapsed += self.xmu.transfer_seconds(from_cache)
+        if from_disk > 0:
+            elapsed += self.disk.access_seconds(from_disk, sequential=True)
+        return elapsed
+
+    def flush(self, name: str | None = None) -> float:
+        """Drain dirty data (one file, or everything) to disk."""
+        targets = [self._file(name)] if name is not None else list(self.files.values())
+        elapsed = 0.0
+        for f in targets:
+            if f.dirty_bytes > 0:
+                elapsed += self.disk.access_seconds(f.dirty_bytes, sequential=True)
+                f.dirty_bytes = 0.0
+        self.cached_bytes = sum(f.dirty_bytes for f in self.files.values())
+        return elapsed
+
+    @property
+    def dirty_total(self) -> float:
+        return sum(f.dirty_bytes for f in self.files.values())

@@ -1,0 +1,169 @@
+"""Unit conversions and human-readable formatting shared across the package.
+
+The paper mixes several unit conventions: clock periods in nanoseconds,
+bandwidths in MB/s and GB/s (decimal, as was customary for the SX series
+marketing numbers and the STREAM-style benchmarks), performance in Mflops
+and Gflops (decimal), and wall-clock results in seconds or "93 minutes and
+28 seconds" style strings.  This module centralises those conversions so
+every other module agrees on what a "GB" is.
+
+All byte-rate units here are *decimal* (1 MB = 10**6 bytes) to match the
+paper's usage; word size is 8 bytes (the SX-4 is a 64-bit machine and "all
+performance specifications assume 64 bit data").
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NS",
+    "US",
+    "MS",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "KILO",
+    "MEGA",
+    "GIGA",
+    "TERA",
+    "WORD_BYTES",
+    "ns_to_s",
+    "s_to_ns",
+    "hz_from_period_ns",
+    "period_ns_from_hz",
+    "fmt_rate",
+    "fmt_bytes",
+    "fmt_time",
+    "fmt_flops",
+    "parse_hms",
+]
+
+#: One nanosecond, in seconds.
+NS = 1.0e-9
+#: One microsecond, in seconds.
+US = 1.0e-6
+#: One millisecond, in seconds.
+MS = 1.0e-3
+
+KILO = 1.0e3
+MEGA = 1.0e6
+GIGA = 1.0e9
+TERA = 1.0e12
+
+#: Decimal byte units, matching the paper's MB/s / GB/s figures.
+KB = 1.0e3
+MB = 1.0e6
+GB = 1.0e9
+TB = 1.0e12
+
+#: Size of a 64-bit word in bytes; the SX-4's native operand size.
+WORD_BYTES = 8
+
+
+def ns_to_s(t_ns: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return t_ns * NS
+
+
+def s_to_ns(t_s: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return t_s / NS
+
+
+def hz_from_period_ns(period_ns: float) -> float:
+    """Clock frequency in Hz for a clock period given in nanoseconds.
+
+    >>> round(hz_from_period_ns(9.2) / 1e6, 1)
+    108.7
+    """
+    if period_ns <= 0.0:
+        raise ValueError(f"clock period must be positive, got {period_ns} ns")
+    return 1.0 / (period_ns * NS)
+
+
+def period_ns_from_hz(freq_hz: float) -> float:
+    """Clock period in nanoseconds for a frequency given in Hz."""
+    if freq_hz <= 0.0:
+        raise ValueError(f"frequency must be positive, got {freq_hz} Hz")
+    return 1.0 / (freq_hz * NS)
+
+
+def _scaled(value: float, units: list[tuple[float, str]]) -> tuple[float, str]:
+    """Pick the largest unit whose threshold the value meets."""
+    for factor, suffix in units:
+        if abs(value) >= factor:
+            return value / factor, suffix
+    factor, suffix = units[-1]
+    return value / factor, suffix
+
+
+def fmt_rate(bytes_per_s: float) -> str:
+    """Format a byte rate, e.g. ``fmt_rate(16e9) == '16.00 GB/s'``."""
+    value, suffix = _scaled(
+        bytes_per_s, [(TB, "TB/s"), (GB, "GB/s"), (MB, "MB/s"), (KB, "KB/s"), (1.0, "B/s")]
+    )
+    return f"{value:.2f} {suffix}"
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Format a byte count, e.g. ``fmt_bytes(15e9) == '15.00 GB'``."""
+    value, suffix = _scaled(
+        nbytes, [(TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB"), (1.0, "B")]
+    )
+    return f"{value:.2f} {suffix}"
+
+
+def fmt_flops(flops_per_s: float) -> str:
+    """Format a flop rate the way the paper does (Mflops / Gflops)."""
+    value, suffix = _scaled(
+        flops_per_s,
+        [(TERA, "Tflops"), (GIGA, "Gflops"), (MEGA, "Mflops"), (KILO, "Kflops"), (1.0, "flops")],
+    )
+    return f"{value:.1f} {suffix}"
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a wall-clock duration.
+
+    Sub-second values use engineering units; longer values use the paper's
+    "93 minutes and 28 seconds" style compressed to ``1h33m28s``.
+
+    >>> fmt_time(5608)
+    '1h33m28s'
+    """
+    if seconds < 0:
+        raise ValueError(f"durations cannot be negative, got {seconds}")
+    if seconds < 1e-6:
+        return f"{seconds / NS:.1f} ns"
+    if seconds < 1e-3:
+        return f"{seconds / US:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds / MS:.1f} ms"
+    if seconds < 60.0:
+        return f"{seconds:.2f} s"
+    total = int(round(seconds))
+    hours, rem = divmod(total, 3600)
+    minutes, secs = divmod(rem, 60)
+    if hours:
+        return f"{hours}h{minutes:02d}m{secs:02d}s"
+    return f"{minutes}m{secs:02d}s"
+
+
+def parse_hms(text: str) -> float:
+    """Parse ``1h33m28s`` / ``93m28s`` / ``42s`` style strings to seconds.
+
+    This is the inverse of :func:`fmt_time` for the minute-and-above range
+    and is used by tests that anchor against the paper's quoted wall-clock
+    results.
+    """
+    import re
+
+    match = re.fullmatch(
+        r"(?:(?P<h>\d+)h)?(?:(?P<m>\d+)m)?(?:(?P<s>\d+(?:\.\d+)?)s)?", text.strip()
+    )
+    if not match or not any(match.groupdict().values()):
+        raise ValueError(f"unparseable duration: {text!r}")
+    hours = int(match.group("h") or 0)
+    minutes = int(match.group("m") or 0)
+    seconds = float(match.group("s") or 0.0)
+    return hours * 3600.0 + minutes * 60.0 + seconds

@@ -1,0 +1,140 @@
+"""Tests for the spectral shallow-water dynamical core."""
+
+import numpy as np
+import pytest
+
+from repro.apps.ccm2.dynamics import (
+    GRAVITY,
+    ShallowWaterLayer,
+    initial_rh_wave,
+    initial_solid_body,
+)
+from repro.apps.ccm2.gaussian import GaussianGrid
+from repro.apps.ccm2.spectral import SpectralTransform
+
+
+@pytest.fixture(scope="module")
+def transform():
+    return SpectralTransform(GaussianGrid(32, 64), trunc=21)
+
+
+@pytest.fixture(scope="module")
+def layer(transform):
+    return ShallowWaterLayer(transform, nu4=0.0)
+
+
+class TestSteadyState:
+    def test_solid_body_tendencies_vanish(self, layer, transform):
+        """Williamson test 2: the geostrophic zonal flow is steady, so
+        all spectral tendencies must vanish to roundoff."""
+        state = initial_solid_body(transform)
+        tend = layer.tendencies(state)
+        assert np.max(np.abs(tend.vort)) < 1e-18
+        assert np.max(np.abs(tend.div)) < 1e-15
+        assert np.max(np.abs(tend.phi)) < 1e-9  # phi is O(1e5), so ~1e-14 rel
+
+    def test_solid_body_held_over_integration(self, layer, transform):
+        state = initial_solid_body(transform)
+        phi0 = transform.inverse(state.phi)
+        out = layer.run(state, dt=600.0, steps=50)
+        phi1 = transform.inverse(out.phi)
+        assert np.max(np.abs(phi1 - phi0)) < 1e-6 * np.max(np.abs(phi0))
+
+
+class TestConservation:
+    def test_mass_exactly_conserved(self, layer, transform):
+        state = initial_rh_wave(transform)
+        m0 = layer.total_mass(state)
+        out = layer.run(state, dt=600.0, steps=40)
+        assert layer.total_mass(out) == pytest.approx(m0, rel=1e-14)
+
+    def test_energy_approximately_conserved(self, layer, transform):
+        state = initial_rh_wave(transform)
+        e0 = layer.total_energy(state)
+        out = layer.run(state, dt=600.0, steps=40)
+        # Leapfrog conserves energy to time-truncation error, not exactly.
+        assert layer.total_energy(out) == pytest.approx(e0, rel=2e-3)
+
+    def test_hyperdiffusion_dissipates_enstrophy(self, transform):
+        damped = ShallowWaterLayer(transform, nu4=1.0e16)
+        free = ShallowWaterLayer(transform, nu4=0.0)
+        state = initial_rh_wave(transform)
+
+        def enstrophy(s):
+            return float(np.sum(np.abs(s.vort) ** 2))
+
+        out_damped = damped.run(state, dt=600.0, steps=20)
+        out_free = free.run(state, dt=600.0, steps=20)
+        assert enstrophy(out_damped) < enstrophy(out_free)
+
+
+class TestTimestepping:
+    def test_run_zero_steps_is_copy(self, layer, transform):
+        state = initial_rh_wave(transform)
+        out = layer.run(state, dt=600.0, steps=0)
+        assert out is not state
+        assert np.array_equal(out.phi, state.phi)
+
+    def test_robert_filter_bounds(self, transform):
+        with pytest.raises(ValueError):
+            ShallowWaterLayer(transform, robert=0.6)
+        with pytest.raises(ValueError):
+            ShallowWaterLayer(transform, nu4=-1.0)
+
+    def test_invalid_dt_rejected(self, layer, transform):
+        state = initial_solid_body(transform)
+        with pytest.raises(ValueError):
+            layer.forward_step(state, dt=0.0)
+        with pytest.raises(ValueError):
+            layer.step(state, state, dt=-1.0)
+        with pytest.raises(ValueError):
+            layer.run(state, dt=600.0, steps=-1)
+
+    def test_state_algebra(self, transform):
+        a = initial_solid_body(transform)
+        doubled = a + a
+        assert np.allclose(doubled.phi, 2.0 * a.phi)
+        assert np.allclose(a.scaled(0.5).phi, 0.5 * a.phi)
+
+    def test_rh_wave_validation(self, transform):
+        with pytest.raises(ValueError):
+            initial_rh_wave(transform, wavenumber=0)
+        with pytest.raises(ValueError):
+            initial_rh_wave(transform, wavenumber=transform.trunc)
+
+
+class TestPhysicalBehaviour:
+    def test_rh_wave_propagates(self, layer, transform):
+        """The wave pattern must move (Rossby waves propagate) while
+        keeping its amplitude roughly constant without diffusion."""
+        state = initial_rh_wave(transform, wavenumber=4)
+        v0 = transform.inverse(state.vort)
+        out = layer.run(state, dt=600.0, steps=60)
+        v1 = transform.inverse(out.vort)
+        # The field changed noticeably...
+        assert np.max(np.abs(v1 - v0)) > 0.05 * np.max(np.abs(v0))
+        # ...but its magnitude did not blow up or vanish.
+        assert 0.5 < np.max(np.abs(v1)) / np.max(np.abs(v0)) < 2.0
+
+    def test_gravity_wave_radiates_from_bump(self, layer, transform):
+        """A geopotential bump on a resting fluid must create divergence."""
+        from repro.apps.ccm2.dynamics import ShallowWaterState
+
+        grid = transform.grid
+        bump = np.exp(
+            -((grid.lats[:, None]) ** 2) / 0.1
+            - ((grid.lons[None, :] - np.pi) ** 2) / 0.1
+        )
+        state = ShallowWaterState(
+            vort=transform.zeros_spec(),
+            div=transform.zeros_spec(),
+            phi=transform.forward(GRAVITY * 8.0e3 + 500.0 * bump),
+        )
+        out = layer.run(state, dt=300.0, steps=10)
+        assert np.max(np.abs(out.div)) > 1e-8
+
+    def test_grid_fields_shapes(self, layer, transform):
+        fields = layer.grid_fields(initial_rh_wave(transform))
+        assert set(fields) == {"vort", "div", "phi", "U", "V"}
+        for field in fields.values():
+            assert field.shape == transform.grid.shape

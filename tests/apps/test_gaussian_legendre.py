@@ -1,0 +1,159 @@
+"""Tests for the Gaussian grid and Legendre basis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.ccm2.gaussian import GaussianGrid, gauss_legendre
+from repro.apps.ccm2.legendre import LegendreBasis, epsilon
+
+
+class TestGaussLegendre:
+    def test_nodes_descending_in_open_interval(self):
+        x, _ = gauss_legendre(16)
+        assert np.all(np.diff(x) < 0)
+        assert np.all(np.abs(x) < 1.0)
+
+    def test_weights_positive_sum_two(self):
+        _, w = gauss_legendre(16)
+        assert np.all(w > 0)
+        assert np.sum(w) == pytest.approx(2.0)
+
+    def test_symmetry(self):
+        x, w = gauss_legendre(10)
+        assert np.allclose(x, -x[::-1])
+        assert np.allclose(w, w[::-1])
+
+    def test_single_point(self):
+        x, w = gauss_legendre(1)
+        assert x[0] == pytest.approx(0.0, abs=1e-14)
+        assert w[0] == pytest.approx(2.0)
+
+    def test_rejects_zero_points(self):
+        with pytest.raises(ValueError):
+            gauss_legendre(0)
+
+    @given(n=st.integers(2, 40), degree=st.integers(0, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_quadrature_exact_for_polynomials(self, n, degree):
+        """n-point Gauss quadrature is exact through degree 2n-1."""
+        if degree > 2 * n - 1:
+            degree = 2 * n - 1
+        x, w = gauss_legendre(n)
+        got = float(np.sum(w * x**degree))
+        exact = 2.0 / (degree + 1) if degree % 2 == 0 else 0.0
+        assert got == pytest.approx(exact, abs=1e-11)
+
+    @given(n=st.integers(2, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_random_polynomial_integration(self, n):
+        rng = np.random.default_rng(n)
+        coeffs = rng.standard_normal(2 * n)  # degree 2n-1
+        x, w = gauss_legendre(n)
+        got = float(np.sum(w * np.polyval(coeffs, x)))
+        exact = sum(
+            c * (2.0 / (d + 1) if d % 2 == 0 else 0.0)
+            for d, c in zip(range(len(coeffs) - 1, -1, -1), coeffs)
+        )
+        assert got == pytest.approx(exact, abs=1e-9 * max(1, abs(exact)))
+
+
+class TestGaussianGrid:
+    def test_t42_grid_dimensions(self):
+        grid = GaussianGrid(64, 128)
+        assert grid.shape == (64, 128)
+        assert grid.columns == 8192
+
+    def test_area_mean_of_constant(self):
+        grid = GaussianGrid(32, 64)
+        assert grid.area_mean(np.full(grid.shape, 7.5)) == pytest.approx(7.5)
+
+    def test_area_mean_of_odd_function_vanishes(self):
+        grid = GaussianGrid(32, 64)
+        field = grid.sinlat[:, None] * np.ones((1, 64))
+        assert grid.area_mean(field) == pytest.approx(0.0, abs=1e-14)
+
+    def test_truncation_support(self):
+        grid = GaussianGrid(64, 128)
+        assert grid.supports_truncation(42)
+        assert not grid.supports_truncation(43)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianGrid(31, 64)  # odd nlat
+        with pytest.raises(ValueError):
+            GaussianGrid(32, 2)
+        grid = GaussianGrid(8, 16)
+        with pytest.raises(ValueError):
+            grid.area_mean(np.zeros((4, 4)))
+
+
+class TestLegendreBasis:
+    @pytest.fixture(scope="class")
+    def basis(self):
+        grid = GaussianGrid(32, 64)
+        return LegendreBasis(21, grid.sinlat), grid
+
+    def test_nspec(self, basis):
+        b, _ = basis
+        assert b.nspec == 22 * 23 // 2
+
+    def test_orthonormality(self, basis):
+        """(1/2) Σ w P̄ₙᵐ P̄ₙ'ᵐ = δₙₙ' on the Gaussian grid."""
+        b, grid = basis
+        gram = 0.5 * (b.pnm * grid.weights) @ b.pnm.T
+        same_m = b.m_values[:, None] == b.m_values[None, :]
+        err = np.abs(np.where(same_m, gram - np.eye(b.nspec), 0.0))
+        assert err.max() < 1e-12
+
+    def test_known_functions(self, basis):
+        b, grid = basis
+        mu = grid.sinlat
+        assert np.allclose(b.pnm[b.index(0, 0)], 1.0)
+        assert np.allclose(b.pnm[b.index(0, 1)], np.sqrt(3.0) * mu)
+        p2 = np.sqrt(5.0) * (3.0 * mu**2 - 1.0) / 2.0
+        assert np.allclose(b.pnm[b.index(0, 2)], p2)
+
+    def test_derivative_table(self, basis):
+        """H₁⁰ = (1-μ²)·dP̄₁⁰/dμ = √3(1-μ²)."""
+        b, grid = basis
+        expected = np.sqrt(3.0) * (1.0 - grid.sinlat**2)
+        assert np.allclose(b.hnm[b.index(0, 1)], expected)
+
+    def test_derivative_consistent_with_finite_difference(self, basis):
+        b, _ = basis
+        mu = np.linspace(-0.9, 0.9, 500)
+        fine = LegendreBasis(10, mu)
+        for m, n in [(0, 3), (2, 5), (4, 7)]:
+            p = fine.pnm[fine.index(m, n)]
+            h = fine.hnm[fine.index(m, n)]
+            dp = np.gradient(p, mu)
+            assert np.allclose(h[5:-5], ((1 - mu**2) * dp)[5:-5], atol=2e-3)
+
+    def test_index_lookup(self, basis):
+        b, _ = basis
+        for i, (m, n) in enumerate(zip(b.m_values, b.n_values)):
+            assert b.index(int(m), int(n)) == i
+        with pytest.raises(ValueError):
+            b.index(5, 3)  # n < m
+        with pytest.raises(ValueError):
+            b.index(0, 22)  # beyond truncation
+
+    def test_laplacian_eigenvalues(self, basis):
+        b, _ = basis
+        eig = b.laplacian_eigenvalues
+        assert eig[b.index(0, 0)] == 0.0
+        assert eig[b.index(0, 1)] == pytest.approx(-2.0)
+        assert eig[b.index(3, 5)] == pytest.approx(-30.0)
+
+    def test_epsilon_values(self):
+        assert epsilon(1, 0) == pytest.approx(np.sqrt(1.0 / 3.0))
+        assert epsilon(2, 0) == pytest.approx(np.sqrt(4.0 / 15.0))
+        assert float(epsilon(5, 5)) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LegendreBasis(0, np.array([0.5]))
+        with pytest.raises(ValueError):
+            LegendreBasis(5, np.array([1.0]))  # mu on the boundary

@@ -1,0 +1,150 @@
+"""Tests for CCM2 column physics and semi-Lagrangian transport."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.ccm2.gaussian import GaussianGrid
+from repro.apps.ccm2.physics import ColumnPhysics
+from repro.apps.ccm2.slt import SemiLagrangianTransport
+from repro.apps.ccm2.spectral import EARTH_RADIUS
+from repro.kernels import radabs
+
+
+class TestColumnPhysics:
+    @pytest.fixture(scope="class")
+    def physics(self):
+        return ColumnPhysics(nlev=12)
+
+    def test_heating_shape_and_bounds(self, physics):
+        cols = radabs.make_columns(ncol=20, nlev=12, identical=False)
+        rates = physics.heating_rates(cols)
+        assert rates.shape == (12, 20)
+        assert physics.heating_is_bounded(rates)
+
+    def test_columns_independent(self, physics):
+        cols = radabs.make_columns(ncol=6, nlev=12, identical=False)
+        full = physics.heating_rates(cols)
+        sub = radabs.RadiationColumns(
+            pressure=cols.pressure[:, 3:4].copy(),
+            dp=cols.dp[:, 3:4].copy(),
+            temperature=cols.temperature[:, 3:4].copy(),
+            qv=cols.qv[:, 3:4].copy(),
+        )
+        alone = physics.heating_rates(sub)
+        assert np.allclose(full[:, 3], alone[:, 0])
+
+    def test_solar_heats_top_layers(self, physics):
+        cols = radabs.make_columns(ncol=4, nlev=12)
+        with_sun = physics.heating_rates(cols)
+        dark = ColumnPhysics(nlev=12, solar_constant=0.0).heating_rates(cols)
+        assert np.all(with_sun[0] > dark[0])
+
+    def test_level_mismatch_rejected(self, physics):
+        cols = radabs.make_columns(ncol=4, nlev=10)
+        with pytest.raises(ValueError):
+            physics.heating_rates(cols)
+
+    def test_columns_from_geopotential(self, physics):
+        phi = 1e5 + 100.0 * np.random.default_rng(0).standard_normal((8, 16))
+        cols = physics.columns_from_geopotential(phi)
+        assert cols.ncol == 128
+        assert cols.nlev == 12
+        # Warmer where the geopotential is higher.
+        hi, lo = np.argmax(phi.ravel()), np.argmin(phi.ravel())
+        assert cols.temperature[-1, hi] > cols.temperature[-1, lo]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ColumnPhysics(nlev=1)
+        with pytest.raises(ValueError):
+            ColumnPhysics(relax_days=0.0)
+        with pytest.raises(ValueError):
+            ColumnPhysics().columns_from_geopotential(np.zeros(5))
+
+
+class TestSLT:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        grid = GaussianGrid(32, 64)
+        slt = SemiLagrangianTransport(grid, radius=EARTH_RADIUS)
+        return grid, slt
+
+    def make_blob(self, grid):
+        lon = grid.lons[None, :]
+        lat = grid.lats[:, None]
+        return np.exp(-((lon - np.pi) ** 2) / 0.2 - (lat**2) / 0.1)
+
+    def test_constant_field_preserved(self, setup):
+        grid, slt = setup
+        field = np.full(grid.shape, 3.7)
+        u = 20.0 * np.ones(grid.shape)
+        v = 5.0 * np.ones(grid.shape)
+        out = slt.advect(field, u, v, dt=1800.0)
+        assert np.allclose(out, 3.7, atol=1e-12)
+
+    def test_shape_preservation(self, setup):
+        """The monotone limiter creates no new extrema (Williamson &
+        Rasch's defining property of the scheme)."""
+        grid, slt = setup
+        field = self.make_blob(grid)
+        rng = np.random.default_rng(0)
+        u = 30.0 * (1.0 + 0.3 * rng.standard_normal(grid.shape))
+        v = 10.0 * rng.standard_normal(grid.shape)
+        out = slt.advect(field, u, v, dt=1800.0)
+        assert slt.creates_no_new_extrema(field, out)
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_shape_preservation_property(self, setup, seed):
+        grid, slt = setup
+        rng = np.random.default_rng(seed)
+        field = rng.uniform(0.0, 1.0, grid.shape)
+        u = rng.uniform(-40.0, 40.0, grid.shape)
+        v = rng.uniform(-10.0, 10.0, grid.shape)
+        out = slt.advect(field, u, v, dt=1200.0)
+        assert out.min() >= field.min() - 1e-12
+        assert out.max() <= field.max() + 1e-12
+
+    def test_zonal_advection_moves_blob_west_to_east(self, setup):
+        grid, slt = setup
+        field = self.make_blob(grid)
+        u = 50.0 * np.cos(grid.lats)[:, None] * np.ones(grid.shape)
+        v = np.zeros(grid.shape)
+        out = field.copy()
+        for _ in range(10):
+            out = slt.advect(out, u, v, dt=1800.0)
+        # Centre of mass in longitude must have moved eastward.
+        eq = grid.nlat // 2
+        before = np.average(grid.lons, weights=field[eq])
+        after = np.average(grid.lons, weights=out[eq])
+        assert after > before + 0.02
+
+    def test_mass_approximately_conserved(self, setup):
+        grid, slt = setup
+        field = 1.0 + self.make_blob(grid)
+        u = 30.0 * np.cos(grid.lats)[:, None] * np.ones(grid.shape)
+        v = np.zeros(grid.shape)
+        m0 = grid.area_mean(field)
+        out = field.copy()
+        for _ in range(10):
+            out = slt.advect(out, u, v, dt=1800.0)
+        assert grid.area_mean(out) == pytest.approx(m0, rel=0.02)
+
+    def test_zero_wind_near_identity(self, setup):
+        grid, slt = setup
+        field = self.make_blob(grid)
+        out = slt.advect(field, np.zeros(grid.shape), np.zeros(grid.shape), dt=1800.0)
+        assert np.allclose(out, field, atol=1e-12)
+
+    def test_validation(self, setup):
+        grid, slt = setup
+        with pytest.raises(ValueError):
+            SemiLagrangianTransport(grid, radius=-1.0)
+        with pytest.raises(ValueError):
+            SemiLagrangianTransport(grid, radius=1.0, iterations=0)
+        with pytest.raises(ValueError):
+            slt.advect(np.zeros((4, 4)), np.zeros(grid.shape), np.zeros(grid.shape), 600.0)
+        with pytest.raises(ValueError):
+            slt.departure_points(np.zeros(grid.shape), np.zeros(grid.shape), dt=0.0)

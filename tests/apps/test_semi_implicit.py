@@ -1,0 +1,117 @@
+"""Tests for the semi-implicit gravity-wave scheme (CCM2's timestepping)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.ccm2.dynamics import (
+    ShallowWaterLayer,
+    ShallowWaterState,
+    initial_rh_wave,
+    initial_solid_body,
+)
+from repro.apps.ccm2.gaussian import GaussianGrid
+from repro.apps.ccm2.model import CCM2Model
+from repro.apps.ccm2.spectral import SpectralTransform
+
+
+@pytest.fixture(scope="module")
+def transform():
+    return SpectralTransform(GaussianGrid(32, 64), trunc=21)
+
+
+class TestSemiImplicitScheme:
+    def test_longer_stable_timestep_advertised(self, transform):
+        explicit = ShallowWaterLayer(transform, semi_implicit=False)
+        implicit = ShallowWaterLayer(transform, semi_implicit=True)
+        assert implicit.max_stable_dt() > 2.0 * explicit.max_stable_dt()
+
+    def test_steady_state_preserved(self, transform):
+        layer = ShallowWaterLayer(transform, semi_implicit=True)
+        state = initial_solid_body(transform)
+        out = layer.run(state, dt=1800.0, steps=30)
+        phi0 = transform.inverse(state.phi)
+        phi1 = transform.inverse(out.phi)
+        assert np.max(np.abs(phi1 - phi0)) < 1e-6 * np.max(np.abs(phi0))
+
+    def test_stable_beyond_explicit_cfl(self, transform):
+        """The scheme's purpose: 2x the explicit gravity-wave limit runs
+        stably where the explicit core diverges."""
+        explicit_limit = ShallowWaterLayer(transform).max_stable_dt()
+        dt = 2.0 * explicit_limit
+        state = initial_rh_wave(transform)
+        implicit = ShallowWaterLayer(transform, semi_implicit=True, nu4=1e15)
+        out = implicit.run(state, dt=dt, steps=50)
+        assert np.all(np.isfinite(out.phi))
+        assert np.abs(transform.inverse(out.phi)).max() < 2e5
+
+        explicit = ShallowWaterLayer(transform, semi_implicit=False, nu4=1e15)
+        with np.errstate(over="ignore", invalid="ignore"):
+            bad = explicit.run(state, dt=dt, steps=50)
+        assert (not np.all(np.isfinite(bad.phi))) or np.abs(bad.phi).max() > 1e7
+
+    def test_mass_exactly_conserved(self, transform):
+        layer = ShallowWaterLayer(transform, semi_implicit=True)
+        state = initial_rh_wave(transform)
+        m0 = layer.total_mass(state)
+        out = layer.run(state, dt=1800.0, steps=30)
+        assert layer.total_mass(out) == pytest.approx(m0, rel=1e-13)
+
+    def test_matches_explicit_at_small_dt(self, transform):
+        """In the small-Δt limit the two schemes integrate the same
+        equations: one short step must agree closely."""
+        state = initial_rh_wave(transform)
+        dt = 30.0
+        explicit = ShallowWaterLayer(transform, semi_implicit=False)
+        implicit = ShallowWaterLayer(transform, semi_implicit=True)
+        prev = state.copy()
+        cur = explicit.forward_step(state, dt)
+        _, new_e = explicit.step(prev, cur, dt)
+        _, new_i = implicit.step(prev, cur, dt)
+        scale = np.abs(new_e.phi).max()
+        assert np.max(np.abs(new_e.phi - new_i.phi)) < 1e-5 * scale
+        assert np.max(np.abs(new_e.vort - new_i.vort)) == 0.0  # ζ is explicit in both
+
+    def test_linear_gravity_waves_neutral(self, transform):
+        """A small Φ perturbation on a resting fluid oscillates without
+        amplification under the implicit couple, even at long Δt."""
+        layer = ShallowWaterLayer(transform, semi_implicit=True, omega=0.0)
+        phi = transform.zeros_spec()
+        phi[transform.basis.index(0, 0)] = layer.phi_ref
+        i = transform.basis.index(3, 5)
+        phi[i] += 1.0
+        state = ShallowWaterState(transform.zeros_spec(), transform.zeros_spec(), phi)
+        prev = state.copy()
+        cur = layer.forward_step(state, 2700.0)
+        peak = 0.0
+        for _ in range(60):
+            prev, cur = layer.step(prev, cur, 2700.0)
+            peak = max(peak, abs(cur.phi[i]))
+        assert peak < 1.2  # bounded oscillation, no growth
+
+    def test_validation(self, transform):
+        with pytest.raises(ValueError):
+            ShallowWaterLayer(transform, semi_implicit=True, phi_ref=-1.0)
+        layer = ShallowWaterLayer(transform)
+        with pytest.raises(ValueError):
+            layer.max_stable_dt(phi_scale=0.0)
+        with pytest.raises(ValueError):
+            layer.max_stable_dt(wind_scale=0.0)
+
+
+class TestSemiImplicitModel:
+    def test_ccm2_model_accepts_longer_steps(self):
+        grid = GaussianGrid(32, 64)
+        explicit = CCM2Model(grid, trunc=21, nlev=4)
+        implicit = CCM2Model(grid, trunc=21, nlev=4, semi_implicit=True)
+        assert implicit.dt > 2.0 * explicit.dt
+
+    def test_ccm2_model_runs_healthily_semi_implicit(self):
+        model = CCM2Model(GaussianGrid(32, 64), trunc=21, nlev=4, semi_implicit=True)
+        for diag in model.run(8):
+            assert diag.healthy, diag
+
+    def test_explicit_dt_rejected_without_semi_implicit(self):
+        grid = GaussianGrid(32, 64)
+        si = CCM2Model(grid, trunc=21, nlev=4, semi_implicit=True)
+        with pytest.raises(ValueError):
+            CCM2Model(grid, trunc=21, nlev=4, semi_implicit=False, dt=si.dt)

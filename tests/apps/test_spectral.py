@@ -1,0 +1,145 @@
+"""Tests for the spherical-harmonic transform."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.ccm2.gaussian import GaussianGrid
+from repro.apps.ccm2.spectral import EARTH_RADIUS, SpectralTransform
+
+
+@pytest.fixture(scope="module")
+def t21():
+    return SpectralTransform(GaussianGrid(32, 64), trunc=21)
+
+
+def random_spec(tr, seed=0):
+    """A random spectral state satisfying the reality condition."""
+    rng = np.random.default_rng(seed)
+    spec = rng.standard_normal(tr.nspec) + 1j * rng.standard_normal(tr.nspec)
+    m0 = tr.basis.m_values == 0
+    spec[m0] = spec[m0].real
+    return spec
+
+
+class TestRoundTrip:
+    def test_spectral_grid_spectral_identity(self, t21):
+        spec = random_spec(t21)
+        back = t21.forward(t21.inverse(spec))
+        assert np.max(np.abs(back - spec)) < 1e-12
+
+    def test_grid_spectral_grid_projects(self, t21):
+        """forward∘inverse is the identity; inverse∘forward is the
+        projection onto the truncated basis (idempotent)."""
+        rng = np.random.default_rng(1)
+        field = rng.standard_normal(t21.grid.shape)
+        once = t21.inverse(t21.forward(field))
+        twice = t21.inverse(t21.forward(once))
+        assert np.allclose(once, twice, atol=1e-12)
+
+    def test_inverse_of_real_spec_is_real_field(self, t21):
+        field = t21.inverse(random_spec(t21, seed=2))
+        assert np.isrealobj(field)
+        assert field.shape == t21.grid.shape
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_roundtrip_property(self, t21, seed):
+        spec = random_spec(t21, seed=seed)
+        assert np.max(np.abs(t21.forward(t21.inverse(spec)) - spec)) < 1e-11
+
+    def test_linearity(self, t21):
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal(t21.grid.shape)
+        b = rng.standard_normal(t21.grid.shape)
+        lhs = t21.forward(2.0 * a - 3.0 * b)
+        rhs = 2.0 * t21.forward(a) - 3.0 * t21.forward(b)
+        assert np.allclose(lhs, rhs, atol=1e-12)
+
+
+class TestOperators:
+    def test_laplacian_eigenfunction(self, t21):
+        spec = t21.zeros_spec()
+        i = t21.basis.index(3, 5)
+        spec[i] = 1.0
+        lap = t21.laplacian(spec)
+        assert lap[i] == pytest.approx(-30.0 / t21.radius**2)
+        others = np.delete(np.abs(lap), i)
+        assert np.all(others == 0.0)
+
+    def test_inverse_laplacian_roundtrip(self, t21):
+        spec = random_spec(t21, seed=4)
+        spec[t21.basis.index(0, 0)] = 0.0  # the mode ∇⁻² annihilates
+        back = t21.inverse_laplacian(t21.laplacian(spec))
+        assert np.allclose(back, spec, atol=1e-12)
+
+    def test_inverse_laplacian_kills_constant(self, t21):
+        spec = t21.zeros_spec()
+        spec[t21.basis.index(0, 0)] = 5.0
+        assert np.all(t21.inverse_laplacian(spec) == 0.0)
+
+    def test_coriolis_spec(self, t21):
+        f_grid = t21.inverse(t21.coriolis_spec())
+        expected = 2.0 * 7.292e-5 * t21.grid.sinlat[:, None]
+        assert np.allclose(f_grid, expected * np.ones((1, 64)), atol=1e-15)
+
+    def test_uv_from_pure_rotation(self, t21):
+        """ζ = 2·u₀·μ/a with δ = 0 gives solid-body U = u₀·cos²φ."""
+        u0 = 30.0
+        mu = t21.grid.sinlat[:, None]
+        vort_grid = (2.0 * u0 / EARTH_RADIUS) * mu * np.ones((1, 64))
+        vort = t21.forward(vort_grid)
+        u, v = t21.uv_from_vort_div(vort, t21.zeros_spec())
+        cos2 = 1.0 - t21.grid.sinlat[:, None] ** 2
+        assert np.allclose(u, u0 * cos2, rtol=1e-8)
+        assert np.max(np.abs(v)) < 1e-8 * u0
+
+    def test_forward_div_pair_conserves_mass(self, t21):
+        """The (0,0) mode of any flux divergence vanishes identically —
+        the property that makes the Φ equation conserve mass exactly."""
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal(t21.grid.shape)
+        b = rng.standard_normal(t21.grid.shape) * (1 - t21.grid.sinlat[:, None] ** 2)
+        div = t21.forward_div_pair(a, b)
+        assert abs(div[t21.basis.index(0, 0)]) < 1e-12 * max(1.0, np.abs(div).max())
+
+    def test_div_of_rotational_flow_vanishes(self, t21):
+        """DIV(U, V) of a purely rotational wind field must be ~0."""
+        spec = random_spec(t21, seed=6) * 1e-5
+        spec[t21.basis.index(0, 0)] = 0.0
+        u, v = t21.uv_from_vort_div(spec, t21.zeros_spec())
+        div = t21.forward_div_pair(u, v)
+        assert np.max(np.abs(div)) < 1e-9 * max(np.abs(spec).max(), 1e-30)
+
+    def test_curl_recovers_vorticity(self, t21):
+        """DIV(V, -U) of winds synthesised from ζ returns ζ (truncated)."""
+        spec = random_spec(t21, seed=7) * 1e-5
+        spec[t21.basis.index(0, 0)] = 0.0
+        # Zero the n = T band: wind synthesis uses H which couples to
+        # n+1 > T, so only the interior band round-trips exactly.
+        band = t21.basis.n_values == t21.trunc
+        spec[band] = 0.0
+        u, v = t21.uv_from_vort_div(spec, t21.zeros_spec())
+        curl = t21.forward_div_pair(v, -u)
+        interior = ~band
+        assert np.allclose(curl[interior], spec[interior], atol=1e-10 * 1e-5)
+
+
+class TestValidation:
+    def test_grid_too_small_for_truncation(self):
+        with pytest.raises(ValueError):
+            SpectralTransform(GaussianGrid(16, 32), trunc=21)
+
+    def test_unsupported_fft_size(self):
+        # nlon = 28 = 2^2 * 7 has a factor of 7.
+        with pytest.raises(ValueError):
+            SpectralTransform(GaussianGrid(18, 28), trunc=5)
+
+    def test_wrong_shapes_rejected(self, t21):
+        with pytest.raises(ValueError):
+            t21.forward(np.zeros((8, 8)))
+        with pytest.raises(ValueError):
+            t21.inverse(np.zeros(10, dtype=complex))
+        with pytest.raises(ValueError):
+            SpectralTransform(GaussianGrid(32, 64), trunc=21, radius=-1.0)

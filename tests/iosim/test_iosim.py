@@ -1,0 +1,132 @@
+"""Tests for the Section 4.5 I/O benchmarks: disk history, HIPPI, network."""
+
+import pytest
+
+from repro.iosim import history, hippi, network
+from repro.machine.iop import DiskArray
+from repro.units import GB, MB
+
+
+class TestHistoryBenchmark:
+    def test_record_layout(self):
+        spec = history.HistoryTapeSpec(res=_res("T42L18"), fields=15)
+        # One latitude record: nlon * nlev * fields * 8 bytes.
+        assert spec.record_bytes == 128 * 18 * 15 * 8
+        assert spec.records == 64
+        assert spec.tape_bytes == spec.header_bytes + 64 * spec.record_bytes
+
+    def test_rates_scale_with_resolution(self):
+        t42 = history.history_io_benchmark("T42L18")
+        t170 = history.history_io_benchmark("T170L18")
+        # Bigger tapes amortise positioning: higher effective rate.
+        assert t170["tape_bytes"] > 10 * t42["tape_bytes"]
+        assert t170["write_rate_bytes_per_s"] > t42["write_rate_bytes_per_s"]
+
+    def test_multiple_writers_help(self):
+        one = history.history_io_benchmark("T106L18", writers=1)
+        eight = history.history_io_benchmark("T106L18", writers=8)
+        assert eight["write_seconds"] < one["write_seconds"]
+
+    def test_write_rate_below_stripe_rate(self):
+        disk = DiskArray()
+        out = history.history_io_benchmark("T63L18", disk=disk)
+        assert out["write_rate_bytes_per_s"] <= disk.stripe_rate_bytes_per_s
+
+    def test_sequential_read_faster_than_record_writes(self):
+        out = history.history_io_benchmark("T42L18")
+        assert out["read_seconds"] < out["write_seconds"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            history.history_io_benchmark("T42L18", writers=0)
+        with pytest.raises(ValueError):
+            history.HistoryTapeSpec(res=_res("T42L18"), fields=0)
+
+
+class TestHippi:
+    def test_rate_climbs_with_packet_size(self):
+        channel = hippi.HippiChannel()
+        rates = [channel.effective_rate(s) for s in hippi.PACKET_SIZES]
+        assert rates == sorted(rates)
+
+    def test_rate_approaches_line_rate(self):
+        channel = hippi.HippiChannel()
+        best = channel.effective_rate(max(hippi.PACKET_SIZES), nbytes=1 * GB)
+        assert best > 0.9 * channel.line_rate_bytes_per_s
+        assert best < channel.line_rate_bytes_per_s
+
+    def test_small_packets_overhead_dominated(self):
+        channel = hippi.HippiChannel()
+        small = channel.effective_rate(min(hippi.PACKET_SIZES))
+        assert small < 0.6 * channel.line_rate_bytes_per_s
+
+    def test_concurrent_channels_aggregate(self):
+        one = hippi.hippi_benchmark(channels=1)
+        four = hippi.hippi_benchmark(channels=4)
+        assert four["aggregate_rate_bytes_per_s"] == pytest.approx(
+            4 * one["aggregate_rate_bytes_per_s"], rel=0.01
+        )
+
+    def test_benchmark_curve_structure(self):
+        out = hippi.hippi_benchmark()
+        sizes = [s for s, _ in out["single_curve"]]
+        assert sizes == list(hippi.PACKET_SIZES)
+
+    def test_zero_transfer(self):
+        assert hippi.HippiChannel().transfer_seconds(0, 65536) == 0.0
+
+    def test_validation(self):
+        channel = hippi.HippiChannel()
+        with pytest.raises(ValueError):
+            channel.transfer_seconds(-1, 65536)
+        with pytest.raises(ValueError):
+            channel.transfer_seconds(1 * MB, 0)
+        with pytest.raises(ValueError):
+            hippi.hippi_benchmark(channels=0)
+        with pytest.raises(ValueError):
+            hippi.HippiChannel(line_rate_bytes_per_s=0)
+
+
+class TestNetwork:
+    def test_standard_mix_runs(self):
+        results = network.network_benchmark()
+        assert "ftp put 100MB" in results
+        assert all(r["seconds"] > 0 for r in results.values())
+
+    def test_transfer_rate_below_fddi_line_rate(self):
+        results = network.network_benchmark()
+        for name, r in results.items():
+            if "rate_bytes_per_s" in r:
+                assert r["rate_bytes_per_s"] < network.FDDI_LINE_RATE
+
+    def test_bigger_transfers_better_rate(self):
+        small = network.DataTransferCommand("s", 1 * MB)
+        large = network.DataTransferCommand("l", 100 * MB)
+        assert large.rate() > small.rate()
+
+    def test_non_data_commands_latency_only(self):
+        cmd = network.NonDataCommand("hostname", 0.01)
+        assert cmd.seconds() == 0.01
+
+    def test_protocol_efficiency_matters(self):
+        good = network.DataTransferCommand("a", 10 * MB, protocol_efficiency=0.9)
+        poor = network.DataTransferCommand("b", 10 * MB, protocol_efficiency=0.5)
+        assert good.seconds() < poor.seconds()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            network.DataTransferCommand("x", -1)
+        with pytest.raises(ValueError):
+            network.DataTransferCommand("x", 1, protocol_efficiency=1.5)
+        with pytest.raises(ValueError):
+            network.NonDataCommand("x", -0.1)
+        with pytest.raises(ValueError):
+            network.network_benchmark(commands=[])
+        with pytest.raises(ValueError):
+            network.DataTransferCommand("x", 1 * MB).seconds(line_rate=0)
+
+
+def _res(name):
+    from repro.apps.ccm2.resolutions import resolution
+
+    return resolution(name)

@@ -1,0 +1,159 @@
+"""Tests for ELEFUNT, PARANOIA and HINT."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.kernels import elefunt, hint, paranoia
+from repro.machine.presets import sx4_processor, table1_machines
+
+
+class TestElefuntAccuracy:
+    def test_all_identities_pass_on_host(self):
+        """Section 4.1: the SX-4 passed; IEEE-754 NumPy must too."""
+        for result in elefunt.run_accuracy_suite():
+            assert result.passed, f"{result.function}: {result.max_ulp} ULP"
+
+    def test_each_function_covered(self):
+        functions = {r.function for r in elefunt.run_accuracy_suite()}
+        assert functions == {"exp", "log", "sin", "sqrt", "pwr"}
+
+    def test_rms_below_max(self):
+        for result in elefunt.run_accuracy_suite(n=500):
+            assert result.rms_ulp <= result.max_ulp
+
+    def test_ulp_error_zero_for_exact(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert np.all(elefunt.ulp_error(x, x) == 0.0)
+
+    def test_ulp_error_one_for_adjacent(self):
+        x = np.array([1.0])
+        assert elefunt.ulp_error(np.nextafter(x, 2.0), x)[0] == pytest.approx(1.0)
+
+    def test_detects_a_bad_library(self):
+        """A deliberately sloppy exp must fail the identity threshold."""
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-10, 10, 500)
+        sloppy = np.exp(x) * (1 + 1e-12)  # ~4500 ULP at 1.0
+        errors = elefunt.ulp_error(sloppy, np.exp(x))
+        assert errors.max() > elefunt.MAX_ULP_THRESHOLD
+
+
+class TestElefuntThroughput:
+    def test_model_table3_all_functions(self):
+        table = elefunt.model_table3(sx4_processor())
+        assert set(table) == set(elefunt.MEASURED_FUNCTIONS)
+        assert all(v > 0 for v in table.values())
+
+    def test_rates_in_vector_library_range(self):
+        """Tens of Mcalls/s on the SX-4/1 — vectorised library rates."""
+        table = elefunt.model_table3(sx4_processor())
+        for func, rate in table.items():
+            assert 5.0 < rate < 500.0, (func, rate)
+
+    def test_pwr_slowest_sqrt_fastest(self):
+        table = elefunt.model_table3(sx4_processor())
+        assert table["pwr"] == min(table.values())
+        assert table["sqrt"] == max(table.values())
+
+    def test_sx4_beats_workstations(self):
+        sx4 = elefunt.model_table3(sx4_processor())
+        sparc = elefunt.model_table3(table1_machines()["SUN SPARC20"])
+        for func in elefunt.MEASURED_FUNCTIONS:
+            assert sx4[func] > 10 * sparc[func]
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ValueError):
+            elefunt.model_mcalls_per_s(sx4_processor(), "tanh")
+        with pytest.raises(ValueError):
+            elefunt.host_mcalls_per_s("tanh")
+
+    def test_host_measurement_positive(self):
+        assert elefunt.host_mcalls_per_s("exp", length=10_000, ktries=2) > 0
+
+
+class TestParanoia:
+    def test_float64_passes(self):
+        report = paranoia.run_paranoia(np.float64)
+        assert report.passed, [c.name for c in report.failures]
+
+    def test_float32_passes(self):
+        report = paranoia.run_paranoia(np.float32)
+        assert report.passed, [c.name for c in report.failures]
+
+    def test_radix_detected_as_two(self):
+        report = paranoia.run_paranoia(np.float64)
+        assert report["radix"].passed
+        assert "2" in report["radix"].detail
+
+    def test_precision_detected(self):
+        report = paranoia.run_paranoia(np.float64)
+        assert "53" in report["precision"].detail
+
+    def test_check_lookup(self):
+        report = paranoia.run_paranoia(np.float64)
+        assert report["gradual underflow"].passed
+        with pytest.raises(KeyError):
+            report["nonexistent check"]
+
+    def test_check_count(self):
+        # The report covers the full probe battery.
+        assert len(paranoia.run_paranoia(np.float64).checks) == 15
+
+
+class TestHintFunctional:
+    def test_bounds_bracket_exact_area(self):
+        result = hint.hint_integrate(iterations=500)
+        assert result.brackets_exact
+        assert result.lower < hint.EXACT_AREA < result.upper
+
+    def test_quality_improves_monotonically(self):
+        result = hint.hint_integrate(iterations=300)
+        qualities = result.qualities
+        assert all(b >= a for a, b in zip(qualities, qualities[1:]))
+
+    def test_converges_toward_exact(self):
+        coarse = hint.hint_integrate(iterations=50)
+        fine = hint.hint_integrate(iterations=2000)
+        assert fine.quality > 10 * coarse.quality
+        assert (fine.upper - fine.lower) < 0.1 * (coarse.upper - coarse.lower)
+
+    def test_exact_area_value(self):
+        assert hint.EXACT_AREA == pytest.approx(2 * math.log(2) - 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hint.hint_integrate(0)
+        with pytest.raises(ValueError):
+            hint.build_trace(0)
+
+
+class TestHintTable1:
+    def test_mquips_values(self):
+        """Table 1's HINT row, within calibration tolerance."""
+        targets = {
+            "SUN SPARC20": 3.5,
+            "IBM RS6K 590": 5.2,
+            "CRI J90": 1.7,
+            "CRI YMP": 3.1,
+        }
+        for name, proc in table1_machines().items():
+            mquips = hint.model_mquips(proc)
+            assert mquips == pytest.approx(targets[name], rel=0.15), name
+
+    def test_rank_inversion_vs_radabs(self):
+        """The paper's Table 1 point: HINT ranks the workstations above
+        the vector machines; RADABS ranks them the other way."""
+        machines = table1_machines()
+        mquips = {n: hint.model_mquips(p) for n, p in machines.items()}
+        assert mquips["SUN SPARC20"] > mquips["CRI YMP"]
+        assert mquips["IBM RS6K 590"] > mquips["CRI YMP"]
+        assert mquips["CRI J90"] == min(mquips.values())
+
+    def test_vector_pipes_do_not_help(self):
+        """HINT is scalar: the SX-4's vector unit contributes nothing, so
+        its MQUIPS stays within workstation range."""
+        sx4_quips = hint.model_mquips(sx4_processor())
+        rs6k_quips = hint.model_mquips(table1_machines()["IBM RS6K 590"])
+        assert sx4_quips < 3 * rs6k_quips

@@ -1,0 +1,176 @@
+"""Tests for the from-scratch mixed-radix FFT (correctness vs numpy.fft)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import fftpack
+
+# All axis lengths the benchmark sweeps.
+ALL_BENCH_SIZES = sorted(
+    {n for fam in fftpack.rfft_axis_lengths().values() for n in fam}
+    | {n for fam in fftpack.vfft_axis_lengths().values() for n in fam}
+)
+
+supported_sizes = st.builds(
+    lambda a, b, c: (2**a) * (3**b) * (5**c),
+    st.integers(0, 7),
+    st.integers(0, 3),
+    st.integers(0, 2),
+).filter(lambda n: 1 <= n <= 2000)
+
+
+class TestFactorize:
+    def test_basic(self):
+        assert fftpack.factorize(8) == [4, 2]
+        assert fftpack.factorize(12) == [4, 3]
+        assert fftpack.factorize(15) == [3, 5]
+        assert fftpack.factorize(1) == []
+
+    def test_product_reconstructs(self):
+        for n in ALL_BENCH_SIZES:
+            assert int(np.prod(fftpack.factorize(n))) == max(n, 1)
+
+    def test_rejects_bad_sizes(self):
+        for n in (7, 11, 13, 14, 22, 49):
+            with pytest.raises(ValueError):
+                fftpack.factorize(n)
+            assert not fftpack.is_supported_size(n)
+        with pytest.raises(ValueError):
+            fftpack.factorize(0)
+
+    def test_supported_sizes(self):
+        for n in ALL_BENCH_SIZES:
+            assert fftpack.is_supported_size(n)
+
+
+class TestComplexFFT:
+    def test_matches_numpy_all_bench_sizes(self):
+        rng = np.random.default_rng(0)
+        for n in ALL_BENCH_SIZES:
+            x = rng.standard_normal((n, 2)) + 1j * rng.standard_normal((n, 2))
+            mine = fftpack.complex_fft(x)
+            ref = np.fft.fft(x, axis=0)
+            assert np.allclose(mine, ref, atol=1e-9 * max(1, n)), n
+
+    def test_inverse_roundtrip(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((60, 3)) + 1j * rng.standard_normal((60, 3))
+        back = fftpack.complex_fft(fftpack.complex_fft(x), inverse=True)
+        assert np.allclose(back, x, atol=1e-10)
+
+    def test_one_dimensional_input(self):
+        x = np.exp(2j * np.pi * np.arange(16) * 3 / 16)
+        spectrum = fftpack.complex_fft(x)
+        # A pure tone concentrates in one bin.
+        assert abs(spectrum[3]) == pytest.approx(16.0)
+        others = np.delete(np.abs(spectrum), 3)
+        assert np.all(others < 1e-9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fftpack.complex_fft(np.zeros((0,)))
+
+    @given(n=supported_sizes)
+    @settings(max_examples=25, deadline=None)
+    def test_linearity(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        y = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        lhs = fftpack.complex_fft(2.0 * x + 3.0 * y)
+        rhs = 2.0 * fftpack.complex_fft(x) + 3.0 * fftpack.complex_fft(y)
+        assert np.allclose(lhs, rhs, atol=1e-8 * n)
+
+    @given(n=supported_sizes)
+    @settings(max_examples=25, deadline=None)
+    def test_parseval(self, n):
+        rng = np.random.default_rng(n + 1)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        spectrum = fftpack.complex_fft(x)
+        assert np.sum(np.abs(spectrum) ** 2) == pytest.approx(
+            n * np.sum(np.abs(x) ** 2), rel=1e-9
+        )
+
+
+class TestRealFFT:
+    def test_matches_numpy_rfft(self):
+        rng = np.random.default_rng(2)
+        for n in ALL_BENCH_SIZES:
+            x = rng.standard_normal((n, 3))
+            assert np.allclose(
+                fftpack.real_forward(x), np.fft.rfft(x, axis=0), atol=1e-9 * max(1, n)
+            ), n
+
+    def test_real_roundtrip(self):
+        rng = np.random.default_rng(3)
+        for n in (2, 3, 5, 12, 40, 240, 1280):
+            x = rng.standard_normal((n, 2))
+            back = fftpack.real_inverse(fftpack.real_forward(x), n)
+            assert np.allclose(back, x, atol=1e-9), n
+
+    def test_dc_component(self):
+        x = np.full((16, 1), 2.5)
+        spectrum = fftpack.real_forward(x)
+        assert spectrum[0, 0] == pytest.approx(40.0)
+        assert np.all(np.abs(spectrum[1:]) < 1e-12)
+
+    def test_inverse_validates_length(self):
+        spec = fftpack.real_forward(np.ones((16, 1)))
+        with pytest.raises(ValueError):
+            fftpack.real_inverse(spec, 20)
+
+    @given(n=supported_sizes)
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, n):
+        rng = np.random.default_rng(n + 2)
+        x = rng.standard_normal(n)
+        back = fftpack.real_inverse(fftpack.real_forward(x), n)
+        assert np.allclose(back, x, atol=1e-8)
+
+
+class TestFlopsAndStructure:
+    def test_power_of_two_flops_near_canonical(self):
+        for n in (64, 256, 1024):
+            canonical = 2.5 * n * np.log2(n)
+            assert fftpack.real_fft_flops(n) == pytest.approx(canonical, rel=0.2)
+
+    def test_flops_grow_superlinearly(self):
+        assert fftpack.real_fft_flops(1024) > 2 * fftpack.real_fft_flops(512)
+
+    def test_pass_structure_consistency(self):
+        for n in (8, 12, 240, 1280):
+            for factor, l1, ido in fftpack.pass_structure(n):
+                assert factor * l1 * ido == n
+
+    def test_pass_structure_l1_accumulates(self):
+        structure = fftpack.pass_structure(64)
+        l1s = [l1 for _, l1, _ in structure]
+        assert l1s[0] == 1
+        assert all(b > a for a, b in zip(l1s, l1s[1:]))
+
+
+class TestBenchmarkAxes:
+    def test_rfft_families_match_paper(self):
+        fams = fftpack.rfft_axis_lengths()
+        assert fams["2^n"] == [2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+        assert fams["3*2^n"][0] == 3 and fams["3*2^n"][-1] == 3 * 256
+        assert fams["5*2^n"][0] == 5 and fams["5*2^n"][-1] == 5 * 256
+
+    def test_vfft_families_match_paper(self):
+        fams = fftpack.vfft_axis_lengths()
+        assert fams["2^n"] == [4, 16, 64, 128, 256, 512]
+        assert fams["3*2^n"] == [3, 12, 48, 192, 768]
+        assert fams["5*2^n"] == [5, 20, 80, 320, 1280]
+
+    def test_max_length_is_1280(self):
+        assert max(ALL_BENCH_SIZES) == 1280  # "2 to 1280 in length"
+
+    def test_rfft_instance_counts(self):
+        assert fftpack.rfft_instance_count(2) == 500_000
+        assert fftpack.rfft_instance_count(1280) == pytest.approx(781, abs=1)
+        with pytest.raises(ValueError):
+            fftpack.rfft_instance_count(0)
+
+    def test_vfft_instance_counts_match_paper(self):
+        assert fftpack.VFFT_INSTANCE_COUNTS == (1, 2, 5, 10, 20, 50, 100, 200, 500)

@@ -1,0 +1,167 @@
+"""Tests for LINPACK and STREAM — the Section 3 comparison benchmarks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import linpack, radabs, stream
+from repro.kernels import copy as kcopy
+from repro.machine.presets import sx4_processor
+
+
+class TestLinpackFunctional:
+    def test_solves_linear_system(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((50, 50)) + 50.0 * np.eye(50)
+        x_true = rng.standard_normal(50)
+        x = linpack.solve(a, a @ x_true)
+        assert np.allclose(x, x_true, atol=1e-9)
+
+    def test_matches_numpy_solve(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((40, 40))
+        b = rng.standard_normal(40)
+        assert np.allclose(linpack.solve(a, b), np.linalg.solve(a, b), atol=1e-8)
+
+    def test_residual_check_passes_linpack_criterion(self):
+        """The benchmark accepts solutions with normalised residual
+        below ~O(10); a correct LU easily meets it."""
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((100, 100))
+        b = rng.standard_normal(100)
+        x = linpack.solve(a, b)
+        assert linpack.residual_check(a, x, b) < 10.0
+
+    def test_pivoting_handles_zero_leading_entry(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        x = linpack.solve(a, np.array([2.0, 3.0]))
+        assert np.allclose(x, [3.0, 2.0])
+
+    def test_singular_detected(self):
+        a = np.ones((4, 4))
+        with pytest.raises(np.linalg.LinAlgError):
+            linpack.lu_factor(a)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            linpack.lu_factor(np.zeros((3, 4)))
+        lu, piv = linpack.lu_factor(np.eye(3))
+        with pytest.raises(ValueError):
+            linpack.lu_solve(lu, piv, np.zeros(4))
+
+    @given(n=st.integers(2, 25), seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_solve_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n)) + n * np.eye(n)
+        x_true = rng.standard_normal(n)
+        x = linpack.solve(a, a @ x_true)
+        assert np.allclose(x, x_true, atol=1e-7)
+
+
+class TestLinpackModel:
+    def test_flop_count(self):
+        assert linpack.linpack_flops(1000) == pytest.approx(2e9 / 3 + 2e6)
+
+    def test_near_peak_on_the_sx4(self):
+        """Section 3.1's criticism, asserted: LINPACK runs near peak."""
+        proc = sx4_processor()
+        mflops = linpack.model_mflops(proc, n=1000)
+        efficiency = mflops * 1e6 / proc.peak_flops
+        assert efficiency > 0.55
+
+    def test_order_100_less_efficient_than_1000(self):
+        proc = sx4_processor()
+        assert linpack.model_mflops(proc, 100) < linpack.model_mflops(proc, 1000)
+
+    def test_linpack_overstates_climate_performance(self):
+        """The procurement argument: LINPACK's hardware efficiency far
+        exceeds the actual workload's.  (RADABS's headline Mflops carry
+        intrinsic flop-equivalents; the honest comparison is raw
+        adds/multiplies per peak.)"""
+        proc = sx4_processor()
+        linpack_eff = linpack.model_mflops(proc, 1000) * 1e6 / proc.peak_flops
+        radabs_raw = proc.execute(radabs.build_trace(8192)).raw_mflops
+        radabs_eff = radabs_raw * 1e6 / proc.peak_flops
+        assert linpack_eff > 1.3 * radabs_eff
+
+    def test_trace_validation(self):
+        with pytest.raises(ValueError):
+            linpack.build_trace(1)
+
+
+class TestStreamFunctional:
+    def make_arrays(self, n=1000):
+        rng = np.random.default_rng(3)
+        return (rng.standard_normal(n), rng.standard_normal(n),
+                rng.standard_normal(n))
+
+    def test_copy(self):
+        a, b, c = self.make_arrays()
+        stream.run_host_kernel("copy", a, b, c)
+        assert np.array_equal(c, a)
+
+    def test_scale(self):
+        a, b, c = self.make_arrays()
+        stream.run_host_kernel("scale", a, b, c, q=3.0)
+        assert np.allclose(b, 3.0 * c)
+
+    def test_add(self):
+        a, b, c = self.make_arrays()
+        stream.run_host_kernel("add", a, b, c)
+        assert np.allclose(c, a + b)
+
+    def test_triad(self):
+        a, b, c = self.make_arrays()
+        b0, c0 = b.copy(), c.copy()
+        stream.run_host_kernel("triad", a, b, c, q=3.0)
+        assert np.allclose(a, b0 + 3.0 * c0)
+
+    def test_unknown_kernel(self):
+        a, b, c = self.make_arrays()
+        with pytest.raises(KeyError):
+            stream.run_host_kernel("dot", a, b, c)
+        with pytest.raises(KeyError):
+            stream.kernel("dot")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            stream.run_host_kernel("copy", np.zeros(3), np.zeros(3), np.zeros(4))
+
+
+class TestStreamModel:
+    def test_byte_accounting(self):
+        assert stream.kernel("copy").bytes_per_element == 16
+        assert stream.kernel("triad").bytes_per_element == 24
+
+    def test_bandwidth_structure(self):
+        """COPY/SCALE and ADD/TRIAD pair up (same traffic per pair) and
+        all four sit within a small factor of each other — the single
+        cluster of numbers STREAM reports."""
+        bws = stream.model_bandwidths(sx4_processor())
+        assert set(bws) == {"COPY", "SCALE", "ADD", "TRIAD"}
+        assert bws["COPY"] == pytest.approx(bws["SCALE"])
+        assert bws["ADD"] == pytest.approx(bws["TRIAD"])
+        assert max(bws.values()) < 2.0 * min(bws.values())
+
+    def test_stream_is_one_point_of_the_ncar_sweep(self):
+        """Section 3.4's criticism, asserted: STREAM's single fixed-size
+        measurement coincides with one point of the NCAR COPY curve and
+        misses the short-vector regime entirely."""
+        proc = sx4_processor()
+        n = stream.DEFAULT_ARRAY_ELEMENTS
+        stream_copy = stream.model_bandwidths(proc, n)["COPY"]  # 16 B/elem
+        # NCAR COPY at the same length, counted one-way (8 B/elem).
+        seconds = proc.time(kcopy.build_trace(n, 1))
+        ncar_same_point = 8.0 * n / seconds / 1e6
+        assert stream_copy == pytest.approx(2 * ncar_same_point, rel=0.01)
+        # The sweep's short end is an order of magnitude below: STREAM
+        # never sees it.
+        short_seconds = proc.time(kcopy.build_trace(10, n // 10))
+        short_bw = 8.0 * n / short_seconds / 1e6
+        assert short_bw < 0.1 * ncar_same_point
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stream.build_trace("copy", elements=0)

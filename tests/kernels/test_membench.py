@@ -1,0 +1,106 @@
+"""Tests for the shared memory-benchmark machinery."""
+
+import pytest
+
+from repro.kernels import membench
+from repro.machine.presets import sx4_processor
+
+
+class TestSweepAxes:
+    def test_constant_volume(self):
+        for n, m in membench.sweep_axes(total_elements=1_000_000):
+            assert 0.5e6 <= n * m <= 2e6 or n * m >= 0.5e6  # M rounding keeps volume close
+            assert n >= 1 and m >= 1
+
+    def test_covers_full_range(self):
+        axes = membench.sweep_axes(total_elements=1_000_000)
+        ns = [n for n, _ in axes]
+        assert min(ns) == 1
+        assert max(ns) == 1_000_000
+
+    def test_monotone_unique_axis_lengths(self):
+        ns = [n for n, _ in membench.sweep_axes()]
+        assert ns == sorted(set(ns))
+
+    def test_custom_bounds(self):
+        axes = membench.sweep_axes(n_min=2, n_max=1000)
+        ns = [n for n, _ in axes]
+        assert min(ns) == 2 and max(ns) == 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            membench.sweep_axes(total_elements=0)
+        with pytest.raises(ValueError):
+            membench.sweep_axes(n_min=0)
+        with pytest.raises(ValueError):
+            membench.sweep_axes(n_min=10, n_max=5)
+
+
+class TestBestOf:
+    def test_takes_minimum(self):
+        values = iter([3.0, 1.0, 2.0])
+        assert membench.best_of(lambda: next(values), ktries=3) == 1.0
+
+    def test_single_try(self):
+        assert membench.best_of(lambda: 5.0, ktries=1) == 5.0
+
+    def test_paper_default_is_20(self):
+        assert membench.DEFAULT_KTRIES == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            membench.best_of(lambda: 1.0, ktries=0)
+
+
+class TestBandwidthPoint:
+    def test_one_way_accounting(self):
+        point = membench.BandwidthPoint(n=1000, m=10, seconds=1e-3,
+                                        elements_moved=10_000)
+        assert point.bytes_moved == 80_000
+        assert point.bandwidth_mb_per_s == pytest.approx(80.0)
+
+    def test_zero_time_guard(self):
+        point = membench.BandwidthPoint(n=1, m=1, seconds=0.0, elements_moved=1)
+        assert point.bandwidth_bytes_per_s == 0.0
+
+
+class TestBandwidthCurve:
+    def make_curve(self):
+        curve = membench.BandwidthCurve(name="X", machine="M")
+        for i, n in enumerate([1, 10, 100]):
+            curve.points.append(
+                membench.BandwidthPoint(n=n, m=100 // n, seconds=1e-3 / (i + 1),
+                                        elements_moved=100)
+            )
+        return curve
+
+    def test_peak_and_asymptote(self):
+        curve = self.make_curve()
+        assert curve.peak.n == 100
+        assert curve.asymptote_mb_per_s == curve.peak.bandwidth_mb_per_s
+
+    def test_series_sorted(self):
+        ns, bws = self.make_curve().series()
+        assert ns == sorted(ns)
+        assert len(bws) == len(ns)
+
+    def test_empty_curve_raises(self):
+        empty = membench.BandwidthCurve(name="e", machine="m")
+        with pytest.raises(ValueError):
+            _ = empty.peak
+        with pytest.raises(ValueError):
+            _ = empty.asymptote_mb_per_s
+
+
+class TestModelCurve:
+    def test_runs_on_machine_model(self):
+        from repro.kernels import copy as copy_kernel
+
+        proc = sx4_processor()
+        curve = membench.model_curve(
+            "COPY", proc, copy_kernel.build_trace,
+            axes=[(10, 1000), (1000, 10)],
+        )
+        assert len(curve) == 2
+        assert all(p.seconds > 0 for p in curve)
+        assert curve.machine == proc.name

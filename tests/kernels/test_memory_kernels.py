@@ -1,0 +1,133 @@
+"""Tests for COPY, IA and XPOSE (functional kernels + Figure 5 shapes)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import copy as kcopy
+from repro.kernels import ia as kia
+from repro.kernels import xpose as kxpose
+from repro.machine.presets import sx4_processor
+
+
+@pytest.fixture(scope="module")
+def sx4():
+    return sx4_processor()
+
+
+class TestCopyFunctional:
+    def test_copies_exactly(self):
+        rng = np.random.default_rng(0)
+        a = np.asfortranarray(rng.standard_normal((50, 7)))
+        b = kcopy.copy_kernel(a)
+        assert kcopy.verify(a, b)
+        assert b is not a
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            kcopy.copy_kernel(np.zeros(10))
+
+    @given(n=st.integers(1, 64), m=st.integers(1, 8))
+    @settings(max_examples=20)
+    def test_copy_any_shape(self, n, m):
+        a = np.asfortranarray(np.arange(n * m, dtype=float).reshape(n, m, order="F"))
+        assert kcopy.verify(a, kcopy.copy_kernel(a))
+
+
+class TestIAFunctional:
+    def test_gathers_correctly(self):
+        rng = np.random.default_rng(1)
+        a = np.asfortranarray(rng.standard_normal((40, 5)))
+        indx = kia.random_index(40)
+        b = kia.ia_kernel(a, indx)
+        assert kia.verify(a, indx, b)
+
+    def test_identity_index_is_copy(self):
+        a = np.asfortranarray(np.arange(12.0).reshape(6, 2, order="F"))
+        b = kia.ia_kernel(a, np.arange(6))
+        assert np.array_equal(a, b)
+
+    def test_index_validation(self):
+        a = np.zeros((4, 2), order="F")
+        with pytest.raises(ValueError):
+            kia.ia_kernel(a, np.array([0, 1, 2]))  # wrong length
+        with pytest.raises(ValueError):
+            kia.ia_kernel(a, np.array([0, 1, 2, 4]))  # out of range
+        with pytest.raises(ValueError):
+            kia.random_index(0)
+
+    @given(n=st.integers(1, 64))
+    @settings(max_examples=20)
+    def test_permutation_gather_preserves_multiset(self, n):
+        rng = np.random.default_rng(n)
+        a = np.asfortranarray(rng.standard_normal((n, 3)))
+        indx = kia.random_index(n, rng)
+        b = kia.ia_kernel(a, indx)
+        assert np.allclose(np.sort(a, axis=0), np.sort(b, axis=0))
+
+
+class TestXposeFunctional:
+    def test_transposes(self):
+        rng = np.random.default_rng(2)
+        a = np.asfortranarray(rng.standard_normal((8, 8, 3)))
+        b = kxpose.xpose_kernel(a)
+        assert kxpose.verify(a, b)
+
+    def test_involution(self):
+        rng = np.random.default_rng(3)
+        a = np.asfortranarray(rng.standard_normal((5, 5, 2)))
+        assert np.array_equal(kxpose.xpose_kernel(kxpose.xpose_kernel(a)), a)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            kxpose.xpose_kernel(np.zeros((3, 4, 2)))
+
+    def test_sweep_axes_constant_volume(self):
+        for n, m in kxpose.sweep_axes(total_elements=1_000_000):
+            assert 2 <= n <= 1000
+            assert m >= 1
+            # The volume N^2*M stays near 1e6 (within rounding for big N).
+            assert n * n * m == pytest.approx(1_000_000, rel=0.5)
+
+
+class TestFigure5Shapes:
+    """The performance claims of Section 4.2 / Figure 5."""
+
+    def test_bandwidth_rises_with_axis_length(self, sx4):
+        curve = kcopy.model_curve(sx4)
+        ns, bws = curve.series()
+        assert bws[-1] > 50 * bws[0]
+
+    def test_copy_far_exceeds_ia_and_xpose(self, sx4):
+        copy_bw = kcopy.model_curve(sx4).asymptote_mb_per_s
+        ia_bw = kia.model_curve(sx4).asymptote_mb_per_s
+        xpose_bw = kxpose.model_curve(sx4).asymptote_mb_per_s
+        assert copy_bw > 2 * ia_bw
+        assert copy_bw > 2 * xpose_bw
+
+    def test_copy_asymptote_near_port_limit(self, sx4):
+        """Long unit-stride copies should approach the one-way store rate
+        (half the 16 GB/s port at the 9.2 ns clock ≈ 7 GB/s, less startup)."""
+        bw = kcopy.model_curve(sx4).asymptote_mb_per_s
+        assert 4000 < bw < 7000
+
+    def test_ia_slowest_of_three(self, sx4):
+        ia_bw = kia.model_curve(sx4).asymptote_mb_per_s
+        xpose_bw = kxpose.model_curve(sx4).asymptote_mb_per_s
+        assert ia_bw <= xpose_bw * 1.2  # IA at or below XPOSE
+
+    def test_trace_validation(self):
+        for mod in (kcopy, kia, kxpose):
+            with pytest.raises(ValueError):
+                mod.build_trace(0, 10)
+            with pytest.raises(ValueError):
+                mod.build_trace(10, 0)
+
+    def test_traces_move_expected_data(self):
+        n, m = 100, 10
+        assert kcopy.build_trace(n, m).words_moved == pytest.approx(2 * n * m)
+        # IA moves a gathered load and a store per element.
+        assert kia.build_trace(n, m).words_moved == pytest.approx(2 * n * m)
+        # XPOSE moves n*n*m elements each way.
+        assert kxpose.build_trace(n, m).words_moved == pytest.approx(2 * n * n * m)

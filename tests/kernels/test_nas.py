@@ -1,0 +1,101 @@
+"""Tests for the NAS EP and CG kernels (Section 3.2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.kernels import nas
+from repro.machine.presets import sx4_processor
+
+
+class TestNasRandom:
+    def test_reproducible(self):
+        assert np.array_equal(nas.nas_random(100), nas.nas_random(100))
+
+    def test_uniform_range_and_mean(self):
+        u = nas.nas_random(20_000)
+        assert u.min() > 0.0 and u.max() < 1.0
+        assert abs(u.mean() - 0.5) < 0.01
+
+    def test_lcg_recurrence(self):
+        """First values follow x_{k+1} = 5^13 x_k mod 2^46 exactly."""
+        seed = 271828183
+        u = nas.nas_random(3, seed=seed)
+        x = seed
+        for k in range(3):
+            x = (5**13 * x) % 2**46
+            assert u[k] == x / 2**46
+
+    def test_seed_validation(self):
+        with pytest.raises(ValueError):
+            nas.nas_random(10, seed=2)  # even
+        with pytest.raises(ValueError):
+            nas.nas_random(10, seed=0)
+        with pytest.raises(ValueError):
+            nas.nas_random(0)
+
+
+class TestEP:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return nas.ep_kernel(20_000)
+
+    def test_acceptance_rate_is_pi_over_4(self, result):
+        assert result.acceptance_rate == pytest.approx(math.pi / 4.0, abs=0.01)
+
+    def test_counts_partition_acceptances(self, result):
+        assert sum(result.counts) == result.pairs_accepted
+
+    def test_counts_decay_like_a_gaussian(self, result):
+        """Nearly all deviates fall in |X| < 3; bins must decay fast."""
+        assert result.counts[0] > result.counts[2] > result.counts[4]
+        assert sum(result.counts[4:]) < 0.01 * result.pairs_accepted
+
+    def test_sums_near_zero(self, result):
+        """Gaussian deviates have zero mean; the verification sums are
+        small relative to the sample size's standard error."""
+        sigma = math.sqrt(result.pairs_accepted)
+        assert abs(result.sum_x) < 5 * sigma
+        assert abs(result.sum_y) < 5 * sigma
+
+    def test_deterministic(self):
+        a, b = nas.ep_kernel(5_000), nas.ep_kernel(5_000)
+        assert a.counts == b.counts and a.sum_x == b.sum_x
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nas.ep_kernel(0)
+        with pytest.raises(ValueError):
+            nas.ep_trace(0)
+
+
+class TestEPModel:
+    def test_ep_ignores_the_memory_system(self):
+        """The paper's point, asserted: EP performance is (nearly)
+        independent of memory bandwidth, so a suite built from kernels
+        like it cannot characterise a bandwidth-limited workload."""
+        fast = sx4_processor()
+        slow = sx4_processor()
+        slow.memory.port_words_per_cycle /= 8.0  # strangle the memory port
+        ep_fast = nas.ep_model_mflops(fast)
+        ep_slow = nas.ep_model_mflops(slow)
+        assert ep_slow > 0.95 * ep_fast
+        # ...whereas the NCAR COPY benchmark collapses with the port.
+        from repro.kernels import copy as kcopy
+
+        copy_fast = kcopy.model_curve(fast).asymptote_mb_per_s
+        copy_slow = kcopy.model_curve(slow).asymptote_mb_per_s
+        assert copy_slow < 0.25 * copy_fast
+
+    def test_ep_runs_at_vector_arithmetic_rates(self):
+        mflops = nas.ep_model_mflops(sx4_processor())
+        assert 200 < mflops < 1739
+
+
+class TestCG:
+    def test_solves_and_reports(self):
+        out = nas.cg_benchmark(nlat=16, nlon=24)
+        assert out["iterations"] >= 1
+        assert out["residual"] < 1e-8
+        assert out["unknowns"] == 384

@@ -1,0 +1,108 @@
+"""Tests for the RFFT/VFFT coding-style benchmarks (Figures 6 and 7)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import fftpack, rfft, vfft
+from repro.machine.presets import sx4_processor
+
+
+@pytest.fixture(scope="module")
+def sx4():
+    return sx4_processor()
+
+
+class TestFunctionalEquivalence:
+    """The two styles compute identical transforms; only loop order differs."""
+
+    def test_rfft_multi_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((5, 48))  # 5 instances of length 48
+        assert rfft.verify(a, rfft.rfft_multi(a))
+
+    def test_vfft_multi_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((48, 5))  # instance axis last
+        assert vfft.verify(a, vfft.vfft_multi(a))
+
+    def test_both_styles_agree(self):
+        rng = np.random.default_rng(2)
+        data = rng.standard_normal((7, 60))
+        scalar_style = rfft.rfft_multi(data)
+        vector_style = vfft.vfft_multi(data.T)
+        assert np.allclose(scalar_style, vector_style.T, atol=1e-10)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            rfft.rfft_multi(np.zeros(8))
+        with pytest.raises(ValueError):
+            vfft.vfft_multi(np.zeros(8))
+
+
+class TestTraceAccounting:
+    def test_rfft_trace_validation(self):
+        with pytest.raises(ValueError):
+            rfft.build_trace(64, 0)
+
+    def test_vfft_trace_validation(self):
+        with pytest.raises(ValueError):
+            vfft.build_trace(64, 0)
+
+    def test_rfft_default_instances(self):
+        trace = rfft.build_trace(1000)
+        assert "M=1000" in trace.name  # 1e6 / 1000
+
+    def test_vfft_startup_count_independent_of_m(self):
+        """VFFT's defining property: startups per pass don't grow with M."""
+        from repro.machine.operations import VectorOp
+
+        small = vfft.build_trace(64, 10)
+        large = vfft.build_trace(64, 500)
+        count_small = sum(op.count for op in small if isinstance(op, VectorOp))
+        count_large = sum(op.count for op in large if isinstance(op, VectorOp))
+        assert count_small == count_large
+
+
+class TestFigure6and7Shapes:
+    def test_vfft_order_of_magnitude_faster(self, sx4):
+        """Section 4.3: 'The VFFT performance results are approximately an
+        order of magnitude faster than those from RFFT.'"""
+        n = 256
+        rfft_mflops = rfft.model_mflops(sx4, n)
+        vfft_mflops = vfft.model_mflops(sx4, n, m=200)
+        assert vfft_mflops > 7 * rfft_mflops
+
+    def test_rfft_rises_with_n(self, sx4):
+        values = [rfft.model_mflops(sx4, n) for n in (16, 64, 256, 1024)]
+        assert values == sorted(values)
+
+    def test_rfft_stays_low(self, sx4):
+        """Scalar-style code never approaches the vector rates."""
+        for n in (64, 256, 1024):
+            assert rfft.model_mflops(sx4, n) < 200
+
+    def test_vfft_rises_with_vector_length(self, sx4):
+        values = [vfft.model_mflops(sx4, 256, m) for m in (1, 10, 100, 500)]
+        assert values == sorted(values)
+        assert values[-1] > 1000  # long vectors approach gigaflop rates
+
+    def test_vfft_m1_comparable_to_scalar(self, sx4):
+        """With a vector length of 1 the vector style loses its advantage."""
+        assert vfft.model_mflops(sx4, 256, 1) < rfft.model_mflops(sx4, 256)
+
+    def test_model_family_covers_all_curves(self, sx4):
+        fam6 = rfft.model_family(sx4)
+        assert set(fam6) == {"2^n", "3*2^n", "5*2^n"}
+        assert all(mf > 0 for curve in fam6.values() for _, mf in curve)
+        fam7 = vfft.model_family(sx4, instance_counts=(1, 100))
+        assert set(fam7) == {"2^n", "3*2^n", "5*2^n"}
+        lengths = fftpack.vfft_axis_lengths()
+        assert len(fam7["2^n"]) == 2 * len(lengths["2^n"])
+
+    def test_mflops_accounting_uses_fixed_counts(self, sx4):
+        """Benchmark Mflops divide the *algorithm's* flop count by time,
+        so the value is invariant to how the trace spells the work."""
+        n, m = 128, 50
+        seconds = sx4.time(vfft.build_trace(n, m))
+        expected = fftpack.real_fft_flops(n) * m / seconds / 1e6
+        assert vfft.model_mflops(sx4, n, m) == pytest.approx(expected)

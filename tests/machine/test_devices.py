@@ -1,0 +1,158 @@
+"""Tests for XMU, IOP/disk, and IXS device models."""
+
+import pytest
+
+from repro.machine.iop import DiskArray, IOProcessor
+from repro.machine.ixs import InternodeCrossbar, MultiNodeSystem
+from repro.machine.presets import sx4_node
+from repro.machine.xmu import ExtendedMemoryUnit
+from repro.units import GB, MB
+
+
+class TestXMU:
+    def test_transfer_time_dominated_by_bandwidth_for_large(self):
+        xmu = ExtendedMemoryUnit()
+        one_gb = xmu.transfer_seconds(1 * GB)
+        assert one_gb == pytest.approx(1 * GB / xmu.bandwidth_bytes_per_s, rel=0.01)
+
+    def test_zero_transfer_free(self):
+        assert ExtendedMemoryUnit().transfer_seconds(0) == 0.0
+
+    def test_fits(self):
+        xmu = ExtendedMemoryUnit(capacity_bytes=4 * GB)
+        assert xmu.fits(3 * GB)
+        assert not xmu.fits(5 * GB)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExtendedMemoryUnit(capacity_bytes=0)
+        with pytest.raises(ValueError):
+            ExtendedMemoryUnit().transfer_seconds(-1)
+
+
+class TestIOP:
+    def test_channel_bandwidth(self):
+        iop = IOProcessor()
+        # 1.6 GB in ~1 second plus overhead.
+        assert iop.channel_seconds(1.6 * GB) == pytest.approx(1.0, rel=0.01)
+
+    def test_request_overhead_scales(self):
+        iop = IOProcessor()
+        one = iop.channel_seconds(1 * MB, requests=1)
+        many = iop.channel_seconds(1 * MB, requests=100)
+        assert many > one
+
+    def test_validation(self):
+        iop = IOProcessor()
+        with pytest.raises(ValueError):
+            iop.channel_seconds(-1)
+        with pytest.raises(ValueError):
+            iop.channel_seconds(1, requests=0)
+        with pytest.raises(ValueError):
+            IOProcessor(bandwidth_bytes_per_s=0)
+
+
+class TestDiskArray:
+    def test_capacity(self):
+        array = DiskArray(disks=16, disk_capacity_bytes=18 * GB)
+        assert array.capacity_bytes == pytest.approx(288 * GB)
+
+    def test_stripe_rate_caps_at_iop(self):
+        small = DiskArray(disks=4)
+        big = DiskArray(disks=10_000)  # absurd stripe, IOP-limited
+        assert small.stripe_rate_bytes_per_s == pytest.approx(4 * small.media_rate_bytes_per_s)
+        assert big.stripe_rate_bytes_per_s == pytest.approx(big.iop.bandwidth_bytes_per_s)
+
+    def test_sequential_faster_than_random(self):
+        array = DiskArray()
+        size = 64 * MB
+        assert array.access_seconds(size, sequential=True) < array.access_seconds(
+            size, sequential=False
+        )
+
+    def test_small_transfers_positioning_dominated(self):
+        array = DiskArray()
+        bw_small = array.sequential_bandwidth(64 * 1024)
+        bw_large = array.sequential_bandwidth(1 * GB)
+        assert bw_large > 10 * bw_small
+
+    def test_rotational_latency(self):
+        array = DiskArray(rpm=7200)
+        assert array.rotational_latency_s == pytest.approx(0.5 * 60 / 7200)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiskArray(disks=0)
+        with pytest.raises(ValueError):
+            DiskArray().access_seconds(-1)
+
+
+class TestIXS:
+    def test_bisection_matches_paper(self):
+        """128 GB/s bisection for a full 16-node system."""
+        ixs = InternodeCrossbar()
+        assert ixs.bisection_bytes_per_s(16) == pytest.approx(128 * GB)
+
+    def test_transfer_time(self):
+        ixs = InternodeCrossbar()
+        t = ixs.transfer_seconds(8 * GB)
+        assert t == pytest.approx(1.0, rel=0.01)
+
+    def test_barrier_grows_logarithmically(self):
+        ixs = InternodeCrossbar()
+        assert ixs.barrier_seconds(1) == 0.0
+        assert ixs.barrier_seconds(16) > ixs.barrier_seconds(2) > 0
+
+    def test_node_bounds(self):
+        ixs = InternodeCrossbar()
+        with pytest.raises(ValueError):
+            ixs.bisection_bytes_per_s(1)
+        with pytest.raises(ValueError):
+            ixs.bisection_bytes_per_s(17)
+
+
+class TestMultiNodeSystem:
+    def test_sx4_512_aggregate_numbers(self):
+        """Section 2: an SX-4/512 has >8 TB/s memory bandwidth and 512 CPUs."""
+        system = MultiNodeSystem(node=sx4_node(cpus=32, period_ns=8.0), node_count=16)
+        assert system.cpu_count == 512
+        assert system.aggregate_memory_bandwidth_bytes_per_s == pytest.approx(8.192e12)
+        assert system.peak_flops == pytest.approx(1.024e12)
+
+    def test_single_node_exchange_free(self):
+        system = MultiNodeSystem(node=sx4_node(), node_count=1)
+        assert system.exchange_seconds(1 * GB) == 0.0
+
+    def test_exchange_time_positive(self):
+        system = MultiNodeSystem(node=sx4_node(), node_count=4)
+        assert system.exchange_seconds(1 * GB) > 0
+
+    def test_node_count_bounds(self):
+        with pytest.raises(ValueError):
+            MultiNodeSystem(node=sx4_node(), node_count=17)
+        with pytest.raises(ValueError):
+            MultiNodeSystem(node=sx4_node(), node_count=0)
+
+
+class TestAllToAll:
+    def test_zero_and_single_node_free(self):
+        system = MultiNodeSystem(node=sx4_node(), node_count=4)
+        assert system.alltoall_seconds(0.0) == 0.0
+        single = MultiNodeSystem(node=sx4_node(), node_count=1)
+        assert single.alltoall_seconds(1 * GB) == 0.0
+
+    def test_latency_dominates_small_messages(self):
+        system = MultiNodeSystem(node=sx4_node(), node_count=16)
+        tiny = system.alltoall_seconds(16 * 1024)
+        # 15 rounds of ~5us latency dwarf the byte time.
+        assert tiny > 10 * (16 * 1024 / 16) / system.ixs.channel_bytes_per_s
+
+    def test_more_nodes_more_rounds(self):
+        few = MultiNodeSystem(node=sx4_node(), node_count=2)
+        many = MultiNodeSystem(node=sx4_node(), node_count=16)
+        assert many.alltoall_seconds(1024) > few.alltoall_seconds(1024)
+
+    def test_negative_rejected(self):
+        system = MultiNodeSystem(node=sx4_node(), node_count=4)
+        with pytest.raises(ValueError):
+            system.alltoall_seconds(-1.0)

@@ -1,0 +1,148 @@
+"""Tests for operation descriptors and traces."""
+
+import pytest
+
+from repro.machine.operations import (
+    INTRINSIC_FLOP_EQUIV,
+    ScalarOp,
+    Trace,
+    VectorOp,
+)
+
+
+class TestVectorOp:
+    def test_elements_accounting(self):
+        op = VectorOp("v", length=100, count=5, flops_per_element=2.0)
+        assert op.elements == 500
+        assert op.raw_flops == 1000
+
+    def test_flop_equivalents_include_intrinsics(self):
+        op = VectorOp.make(
+            "v", 10, count=2, flops_per_element=1.0, intrinsics={"exp": 1.0}
+        )
+        expected = 10 * 2 * (1.0 + INTRINSIC_FLOP_EQUIV["exp"])
+        assert op.flop_equivalents == pytest.approx(expected)
+
+    def test_words_moved_counts_data_not_indices(self):
+        op = VectorOp(
+            "gather",
+            length=100,
+            loads_per_element=0.0,
+            stores_per_element=1.0,
+            gather_loads_per_element=1.0,
+        )
+        # 1 gathered load + 1 store per element; index words excluded.
+        assert op.words_moved == pytest.approx(200)
+
+    def test_scaled_multiplies_count(self):
+        op = VectorOp("v", length=8, count=3.0)
+        assert op.scaled(4.0).count == pytest.approx(12.0)
+
+    def test_intrinsics_sorted_and_filtered(self):
+        op = VectorOp.make("v", 4, intrinsics={"sqrt": 0.5, "exp": 0.0})
+        assert op.intrinsic_calls == (("sqrt", 0.5),)
+
+    def test_unknown_intrinsic_rejected(self):
+        with pytest.raises(ValueError):
+            VectorOp.make("v", 4, intrinsics={"tanh": 1.0})
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            VectorOp("v", length=0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            VectorOp("v", length=4, count=-1)
+        with pytest.raises(ValueError):
+            VectorOp("v", length=4, flops_per_element=-1)
+
+    def test_invalid_stride_rejected(self):
+        with pytest.raises(ValueError):
+            VectorOp("v", length=4, load_stride=0)
+
+    def test_frozen(self):
+        op = VectorOp("v", length=4)
+        with pytest.raises(AttributeError):
+            op.length = 8
+
+
+class TestScalarOp:
+    def test_accounting(self):
+        op = ScalarOp("s", instructions=10, flops=2, memory_words=3, count=7)
+        assert op.raw_flops == 14
+        assert op.words_moved == 21
+        assert op.flop_equivalents == op.raw_flops
+
+    def test_flops_cannot_exceed_instructions(self):
+        with pytest.raises(ValueError):
+            ScalarOp("s", instructions=1, flops=2)
+
+    def test_scaled(self):
+        op = ScalarOp("s", instructions=10, count=2)
+        assert op.scaled(3).count == pytest.approx(6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ScalarOp("s", instructions=-1)
+
+
+class TestTrace:
+    def make_trace(self):
+        return Trace(
+            [
+                VectorOp("a", length=10, count=2, flops_per_element=2.0,
+                         loads_per_element=1.0, stores_per_element=1.0),
+                ScalarOp("b", instructions=100, flops=10, memory_words=5, count=3),
+            ],
+            name="t",
+        )
+
+    def test_aggregates(self):
+        trace = self.make_trace()
+        assert trace.raw_flops == pytest.approx(10 * 2 * 2 + 10 * 3)
+        assert trace.words_moved == pytest.approx(10 * 2 * 2 + 5 * 3)
+        assert trace.bytes_moved == pytest.approx(trace.words_moved * 8)
+
+    def test_concatenation(self):
+        t1, t2 = self.make_trace(), self.make_trace()
+        combined = t1 + t2
+        assert len(combined) == 4
+        assert combined.raw_flops == pytest.approx(2 * t1.raw_flops)
+
+    def test_scaling_by_timesteps(self):
+        trace = self.make_trace()
+        scaled = trace * 12
+        assert scaled.raw_flops == pytest.approx(12 * trace.raw_flops)
+        assert (3 * trace).raw_flops == pytest.approx(3 * trace.raw_flops)
+
+    def test_gather_fraction(self):
+        trace = Trace(
+            [
+                VectorOp("seq", length=100, loads_per_element=1.0, stores_per_element=1.0),
+                VectorOp("idx", length=100, gather_loads_per_element=1.0,
+                         stores_per_element=1.0),
+            ]
+        )
+        # 100 of 400 data words are gathered (200 copy + 100 gather + 100 store).
+        assert trace.gather_fraction == pytest.approx(100 / 400)
+
+    def test_gather_fraction_empty_trace(self):
+        assert Trace([]).gather_fraction == 0.0
+
+    def test_intrinsic_totals(self):
+        trace = Trace(
+            [
+                VectorOp.make("a", 10, count=2, intrinsics={"exp": 1.0, "sqrt": 0.5}),
+                VectorOp.make("b", 5, intrinsics={"exp": 2.0}),
+            ]
+        )
+        totals = trace.intrinsic_calls_total
+        assert totals["exp"] == pytest.approx(10 * 2 * 1.0 + 5 * 2.0)
+        assert totals["sqrt"] == pytest.approx(10 * 2 * 0.5)
+
+    def test_append_type_checked(self):
+        trace = Trace([])
+        with pytest.raises(TypeError):
+            trace.append("not an op")
+        with pytest.raises(TypeError):
+            Trace(["junk"])

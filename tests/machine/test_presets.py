@@ -1,0 +1,92 @@
+"""Tests for calibrated machine presets and the Table 2 spec sheet."""
+
+import pytest
+
+from repro.machine import presets
+from repro.machine.specs import sx4_32_benchmark_specs
+
+
+class TestSX4Presets:
+    def test_benchmark_clock_default(self):
+        proc = presets.sx4_processor()
+        assert proc.clock.period_ns == presets.BENCHMARK_CLOCK_NS == 9.2
+
+    def test_production_clock_gives_2gflops(self):
+        proc = presets.sx4_processor(period_ns=presets.PRODUCTION_CLOCK_NS)
+        assert proc.peak_flops == pytest.approx(2e9)
+
+    def test_clock_change_is_15_percent(self):
+        bench = presets.sx4_processor(9.2)
+        prod = presets.sx4_processor(8.0)
+        assert prod.peak_flops / bench.peak_flops == pytest.approx(1.15)
+
+    def test_vector_machine_flag(self):
+        assert presets.sx4_processor().is_vector_machine
+
+    def test_node_default_is_32(self):
+        assert presets.sx4_node().cpu_count == 32
+
+    def test_fresh_instances(self):
+        a, b = presets.sx4_processor(), presets.sx4_processor()
+        assert a is not b
+        assert a.vector is not b.vector
+
+
+class TestComparators:
+    def test_table1_machine_names_in_paper_order(self):
+        machines = presets.table1_machines()
+        assert list(machines) == ["SUN SPARC20", "IBM RS6K 590", "CRI J90", "CRI YMP"]
+
+    def test_vector_vs_cache_split(self):
+        machines = presets.table1_machines()
+        assert not machines["SUN SPARC20"].is_vector_machine
+        assert not machines["IBM RS6K 590"].is_vector_machine
+        assert machines["CRI J90"].is_vector_machine
+        assert machines["CRI YMP"].is_vector_machine
+
+    def test_ymp_peak(self):
+        # 6 ns, one add + one multiply pipe: 333 Mflops.
+        ymp = presets.cray_ymp()
+        assert ymp.peak_flops == pytest.approx(333.3e6, rel=1e-2)
+
+    def test_j90_slower_than_ymp(self):
+        assert presets.cray_j90().peak_flops < presets.cray_ymp().peak_flops
+
+    def test_rs6000_peak(self):
+        # 66 MHz POWER2 with FMA: 264 Mflops wait, 2 flops/cycle = 132;
+        # the 590 issues two FMAs per cycle in hardware but our scalar
+        # model folds that into flops_per_cycle=2 at 66 MHz.
+        rs6k = presets.ibm_rs6000_590()
+        assert rs6k.peak_flops == pytest.approx(132e6, rel=1e-2)
+
+    def test_sx4_dwarfs_comparators(self):
+        sx4 = presets.sx4_processor()
+        for proc in presets.table1_machines().values():
+            assert sx4.peak_flops > 4 * proc.peak_flops
+
+
+class TestSpecs:
+    def test_table2_rows(self):
+        specs = sx4_32_benchmark_specs()
+        rows = dict(specs.rows())
+        assert rows["Clock Rate"] == "9.2 ns"
+        assert rows["Peak FLOP Rate Per Processor"] == "2 GFLOPS"
+        assert rows["Peak Memory Bandwidth"] == "16 GB/sec/proc"
+        assert rows["Disk Capacity"] == "282 GB"
+        assert rows["Main Memory"] == "8GB"
+        assert rows["Extended Memory"] == "4GB"
+        assert rows["Cooling"] == "air cooled"
+        assert rows["Power Consumption"] == "122.8 KVA"
+
+    def test_row_order_matches_paper(self):
+        labels = [label for label, _ in sx4_32_benchmark_specs().rows()]
+        assert labels == [
+            "Clock Rate",
+            "Peak FLOP Rate Per Processor",
+            "Peak Memory Bandwidth",
+            "Disk Capacity",
+            "Main Memory",
+            "Extended Memory",
+            "Cooling",
+            "Power Consumption",
+        ]

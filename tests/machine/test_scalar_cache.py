@@ -1,0 +1,99 @@
+"""Tests for the cache and scalar-unit models."""
+
+import pytest
+
+from repro.machine.cache import CacheModel
+from repro.machine.operations import ScalarOp, VectorOp
+from repro.machine.scalar_unit import ScalarUnit
+
+
+class TestCacheModel:
+    def test_resident_working_set_never_misses(self):
+        cache = CacheModel(size_bytes=64 * 1024)
+        assert cache.miss_rate(1, working_set_bytes=32 * 1024) == 0.0
+        assert cache.miss_rate(1, working_set_bytes=32 * 1024, indexed=True) == 0.0
+
+    def test_streaming_unit_stride_misses_per_line(self):
+        cache = CacheModel(size_bytes=64 * 1024, line_bytes=64)
+        rate = cache.miss_rate(1, working_set_bytes=1e9)
+        assert rate == pytest.approx(1 / 8)  # 8 words per 64-byte line
+
+    def test_large_stride_misses_every_word(self):
+        cache = CacheModel(line_bytes=64)
+        assert cache.miss_rate(8, 1e9) == 1.0
+        assert cache.miss_rate(100, 1e9) == 1.0
+
+    def test_indexed_misses_every_word(self):
+        cache = CacheModel()
+        assert cache.miss_rate(1, 1e9, indexed=True) == 1.0
+
+    def test_cycles_per_word_monotone_in_stride(self):
+        cache = CacheModel()
+        costs = [cache.cycles_per_word(s, 1e9) for s in (1, 2, 4, 8)]
+        assert costs == sorted(costs)
+
+    def test_line_fill_cost(self):
+        cache = CacheModel(miss_latency_cycles=20, line_bytes=64, mem_words_per_cycle=0.5)
+        assert cache.line_fill_cycles() == pytest.approx(20 + 8 / 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheModel(size_bytes=0)
+        with pytest.raises(ValueError):
+            CacheModel(line_bytes=60)  # not whole words
+        with pytest.raises(ValueError):
+            CacheModel(line_bytes=1024, size_bytes=512)
+        with pytest.raises(ValueError):
+            CacheModel(mem_words_per_cycle=0)
+        with pytest.raises(ValueError):
+            CacheModel().miss_rate(0, 1e9)
+
+
+class TestScalarUnit:
+    def test_scalar_op_issue_limited(self):
+        unit = ScalarUnit(issue_width=2.0)
+        op = ScalarOp("s", instructions=100)
+        assert unit.scalar_op_cycles(op) == pytest.approx(50.0)
+
+    def test_scalar_op_memory_component(self):
+        unit = ScalarUnit(issue_width=2.0, cache=CacheModel(hit_cycles_per_word=1.0))
+        op = ScalarOp("s", instructions=10, memory_words=20)
+        assert unit.scalar_op_cycles(op) == pytest.approx(5.0 + 20.0)
+
+    def test_vector_op_as_scalar_loop(self):
+        unit = ScalarUnit()
+        op = VectorOp("v", length=100, flops_per_element=2.0,
+                      loads_per_element=1.0, stores_per_element=1.0)
+        cycles = unit.vector_op_cycles(op)
+        # At least the flop time plus loop overhead per element.
+        assert cycles >= 100 * (2.0 / unit.flops_per_cycle)
+        assert cycles > 0
+
+    def test_intrinsics_dominate_scalar_radabs_mix(self):
+        """Scalar intrinsic calls cost hundreds of cycles; this is what
+        keeps workstation RADABS in the ~10 Mflops range (Table 1)."""
+        unit = ScalarUnit()
+        plain = VectorOp("v", length=100, flops_per_element=2.0)
+        physics = VectorOp.make("v", 100, flops_per_element=2.0,
+                                intrinsics={"exp": 1.0})
+        assert unit.vector_op_cycles(physics) > 10 * unit.vector_op_cycles(plain)
+
+    def test_indexed_lookups_add_cost_but_stay_cache_resident(self):
+        """On cache machines indexed access is modelled as small-table
+        lookups: dearer than no access, cheaper than streaming misses."""
+        unit = ScalarUnit()
+        base = VectorOp("v", length=100_000, stores_per_element=1.0)
+        idx = VectorOp("v", length=100_000, gather_loads_per_element=2.0,
+                       stores_per_element=1.0)
+        stream = VectorOp("v", length=100_000, loads_per_element=2.0,
+                          stores_per_element=1.0)
+        assert unit.vector_op_cycles(idx) > unit.vector_op_cycles(base)
+        assert unit.vector_op_cycles(idx) < unit.vector_op_cycles(stream)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScalarUnit(issue_width=0)
+        with pytest.raises(ValueError):
+            ScalarUnit(flops_per_cycle=0)
+        with pytest.raises(ValueError):
+            ScalarUnit(intrinsic_cycles_per_call={"exp": 1.0})

@@ -1,0 +1,166 @@
+"""Tests for the vector unit and banked-memory models."""
+
+import pytest
+
+from repro.machine.memory import BankedMemory
+from repro.machine.operations import VectorOp
+from repro.machine.vector_unit import VectorUnit
+
+
+class TestVectorUnit:
+    def test_sx4_peak_is_16_flops_per_cycle(self):
+        vu = VectorUnit()
+        assert vu.peak_flops_per_cycle == 16.0
+
+    def test_chained_add_multiply_throughput(self):
+        vu = VectorUnit()
+        # 2 flops/element keeps both pipe sets busy: 16 flops/cycle.
+        op = VectorOp("axpy", length=256, flops_per_element=2.0)
+        assert vu.arithmetic_cycles(op) == pytest.approx(256 * 2 / 16)
+
+    def test_single_pipe_set_throughput(self):
+        vu = VectorUnit()
+        # 1 flop/element uses one set of 8 pipes: 8 flops/cycle.
+        op = VectorOp("add", length=256, flops_per_element=1.0)
+        assert vu.arithmetic_cycles(op) == pytest.approx(256 / 8)
+
+    def test_copy_has_no_arithmetic(self):
+        vu = VectorUnit()
+        op = VectorOp("copy", length=256, loads_per_element=1, stores_per_element=1)
+        assert vu.arithmetic_cycles(op) == 0.0
+
+    def test_intrinsic_cycles_added(self):
+        vu = VectorUnit()
+        op = VectorOp.make("physics", 100, intrinsics={"exp": 1.0})
+        expected = 100 * vu.intrinsic_cycles_per_element["exp"]
+        assert vu.arithmetic_cycles(op) == pytest.approx(expected)
+
+    def test_startup_charged_once_per_execution(self):
+        vu = VectorUnit(startup_cycles=40.0, register_length=256)
+        short = VectorOp("v", length=8)
+        assert vu.overhead_cycles(short) == pytest.approx(40.0)
+
+    def test_stripmining_beyond_register_length(self):
+        vu = VectorUnit(startup_cycles=40.0, register_length=256, stripmine_cycles=8.0)
+        long_op = VectorOp("v", length=1000)  # 4 strips
+        assert vu.overhead_cycles(long_op) == pytest.approx(40.0 + 3 * 8.0)
+
+    def test_intrinsic_rate(self):
+        vu = VectorUnit()
+        assert vu.intrinsic_rate_per_cycle("exp") == pytest.approx(
+            1.0 / vu.intrinsic_cycles_per_element["exp"]
+        )
+        with pytest.raises(KeyError):
+            vu.intrinsic_rate_per_cycle("tanh")
+
+    def test_missing_intrinsic_table_entry_rejected(self):
+        with pytest.raises(ValueError):
+            VectorUnit(intrinsic_cycles_per_element={"exp": 1.0})
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            VectorUnit(pipes=0)
+        with pytest.raises(ValueError):
+            VectorUnit(register_length=0)
+        with pytest.raises(ValueError):
+            VectorUnit(startup_cycles=-1)
+
+
+class TestBankedMemory:
+    def test_unit_and_stride2_conflict_free(self):
+        """The paper guarantees conflict-free stride 1 and 2 access."""
+        mem = BankedMemory()
+        assert mem.stride_factor(1) == 1.0
+        assert mem.stride_factor(2) == 1.0
+
+    def test_higher_strides_penalised(self):
+        mem = BankedMemory()
+        assert mem.stride_factor(3) > 1.0
+        assert mem.stride_factor(7) >= mem.stride_base_penalty
+
+    def test_power_of_two_strides_worst(self):
+        mem = BankedMemory(banks=1024, bank_busy_cycles=2.0)
+        # Stride 512 hits only 2 distinct banks; stride 511 hits all 1024.
+        assert mem.stride_factor(512) > mem.stride_factor(511)
+
+    def test_bank_count_softens_conflicts(self):
+        few = BankedMemory(banks=64)
+        many = BankedMemory(banks=1024)
+        assert many.stride_factor(64) <= few.stride_factor(64)
+
+    def test_gather_factor_exceeds_unit_stride(self):
+        mem = BankedMemory()
+        assert mem.gather_factor() > 1.0
+
+    def test_short_bank_cycle_helps_gather(self):
+        """'Higher strides and list vector access benefit from the very
+        short bank cycle time' — longer busy time must hurt gathers."""
+        fast = BankedMemory(bank_busy_cycles=2.0)
+        slow = BankedMemory(bank_busy_cycles=16.0)
+        assert fast.gather_factor() < slow.gather_factor()
+
+    def test_copy_transfer_overlaps_load_store(self):
+        mem = BankedMemory(port_words_per_cycle=16.0)
+        op = VectorOp("copy", length=800, loads_per_element=1, stores_per_element=1)
+        # 800 words each way at 8 words/cycle/path, overlapped.
+        assert mem.transfer_cycles(op) == pytest.approx(100.0)
+
+    def test_gather_includes_index_traffic(self):
+        mem = BankedMemory()
+        plain = VectorOp("load", length=100, loads_per_element=1.0)
+        gathered = VectorOp("ia", length=100, gather_loads_per_element=1.0)
+        assert mem.load_cycles(gathered) > mem.load_cycles(plain)
+
+    def test_scatter_on_store_path(self):
+        mem = BankedMemory()
+        op = VectorOp("scatter", length=100, scatter_stores_per_element=1.0)
+        assert mem.store_cycles(op) > 0
+        # Scatter index vectors still ride the load path.
+        assert mem.load_cycles(op) > 0
+
+    def test_contention_unit_stride_nearly_free(self):
+        """All 32 CPUs doing unit-stride see only the small base-slope
+        interference (independent jobs lose the alignment behind the
+        conflict-free guarantee) — a few percent, matching the ~2%
+        ensemble degradation scale of Table 6."""
+        mem = BankedMemory()
+        factor = mem.contention_factor(32, irregular_fraction=0.0)
+        assert 1.0 <= factor <= 1.0 + mem.contention_base_slope + 1e-12
+        # A single CPU sees no interference at all.
+        assert mem.contention_factor(1, 0.0) == 1.0
+
+    def test_contention_grows_with_cpus_and_irregularity(self):
+        mem = BankedMemory()
+        assert mem.contention_factor(1, 1.0) == 1.0
+        f16 = mem.contention_factor(16, 0.5)
+        f32 = mem.contention_factor(32, 0.5)
+        assert 1.0 < f16 < f32
+        assert mem.contention_factor(32, 1.0) > f32
+
+    def test_contention_bounded(self):
+        mem = BankedMemory()
+        # Even a fully-gathered workload from all 32 CPUs dilates less
+        # than 2x; mixed workloads (the ensemble test) stay near 2%.
+        assert mem.contention_factor(32, 1.0) <= 1.0 + (
+            mem.contention_base_slope + mem.contention_slope
+        )
+        assert mem.contention_factor(32, 1.0) < 2.0
+
+    def test_contention_validates_inputs(self):
+        mem = BankedMemory()
+        with pytest.raises(ValueError):
+            mem.contention_factor(0, 0.5)
+        with pytest.raises(ValueError):
+            mem.contention_factor(4, 1.5)
+
+    def test_stride_validates(self):
+        with pytest.raises(ValueError):
+            BankedMemory().stride_factor(0)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            BankedMemory(banks=0)
+        with pytest.raises(ValueError):
+            BankedMemory(stride_base_penalty=0.5)
+        with pytest.raises(ValueError):
+            BankedMemory(port_words_per_cycle=0)

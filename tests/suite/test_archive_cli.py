@@ -1,0 +1,112 @@
+"""Tests for result archiving, run comparison, and the CLI."""
+
+import json
+
+import pytest
+
+from repro.suite import archive
+from repro.suite.results import Experiment
+from repro.suite.runner import run_suite
+from repro.__main__ import main as cli_main
+
+
+def make_experiment(value=10.0, check_pass=True):
+    exp = Experiment(exp_id="x", title="t", headers=["a"], rows=[[1]])
+    exp.series["curve"] = [(1.0, value), (2.0, 2 * value)]
+    exp.paper_values["anchor"] = 10.0
+    exp.check("something holds", check_pass, detail="d")
+    return exp
+
+
+class TestArchive:
+    def test_roundtrip(self, tmp_path):
+        exps = [make_experiment()]
+        path = archive.save_run(exps, tmp_path / "run.json")
+        loaded = archive.load_run(path)
+        assert len(loaded) == 1
+        assert loaded[0].exp_id == "x"
+        assert loaded[0].series["curve"] == [(1.0, 10.0), (2.0, 20.0)]
+        assert loaded[0].checks[0].passed
+
+    def test_real_experiment_roundtrip(self, tmp_path):
+        report = run_suite(["table2", "table4"])
+        path = archive.save_run(report.experiments, tmp_path / "real.json")
+        loaded = archive.load_run(path)
+        assert [e.exp_id for e in loaded] == ["table2", "table4"]
+        assert all(e.passed for e in loaded)
+
+    def test_json_is_plain(self, tmp_path):
+        path = archive.save_run([make_experiment()], tmp_path / "r.json")
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 1
+        assert payload["experiments"][0]["exp_id"] == "x"
+
+    def test_schema_checked(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 99, "experiments": []}))
+        with pytest.raises(ValueError):
+            archive.load_run(path)
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            archive.save_run([], tmp_path / "e.json")
+
+
+class TestCompareRuns:
+    def test_identical_runs_have_no_drift(self):
+        assert archive.compare_runs([make_experiment()], [make_experiment()]) == []
+
+    def test_value_drift_detected(self):
+        drifts = archive.compare_runs([make_experiment(10.0)], [make_experiment(11.0)])
+        assert any(d.kind == "value" for d in drifts)
+
+    def test_small_drift_within_tolerance(self):
+        drifts = archive.compare_runs(
+            [make_experiment(10.0)], [make_experiment(10.1)], rel_tolerance=0.02
+        )
+        assert drifts == []
+
+    def test_check_regression_detected(self):
+        drifts = archive.compare_runs(
+            [make_experiment(check_pass=True)], [make_experiment(check_pass=False)]
+        )
+        assert any(d.kind == "check" for d in drifts)
+
+    def test_missing_experiments_reported(self):
+        base = [make_experiment()]
+        other = Experiment(exp_id="y", title="t2")
+        drifts = archive.compare_runs(base, [other])
+        kinds = sorted(d.kind for d in drifts)
+        assert kinds == ["missing", "missing"]  # x dropped, y new
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ValueError):
+            archive.compare_runs([], [], rel_tolerance=-1.0)
+
+
+class TestCLI:
+    def test_list_command(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table7" in out and "figure8" in out
+
+    def test_machine_command(self, capsys):
+        assert cli_main(["machine"]) == 0
+        out = capsys.readouterr().out
+        assert "NEC SX-4/1" in out and "CRI YMP" in out
+
+    def test_suite_single_experiment(self, capsys):
+        assert cli_main(["suite", "table2", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "ALL SHAPE CHECKS PASS" in out
+
+    def test_suite_save_and_compare(self, tmp_path, capsys):
+        path = str(tmp_path / "baseline.json")
+        assert cli_main(["suite", "table2", "--quiet", "--save", path]) == 0
+        assert cli_main(["suite", "table2", "--quiet", "--compare", path]) == 0
+        out = capsys.readouterr().out
+        assert "no drifts" in out
+
+    def test_unknown_experiment_fails(self):
+        with pytest.raises(KeyError):
+            cli_main(["suite", "bogus"])

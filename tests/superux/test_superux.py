@@ -1,0 +1,239 @@
+"""Tests for the SUPER-UX models: checkpoint/restart, NQS, SFS."""
+
+import numpy as np
+import pytest
+
+from repro.apps.ccm2.gaussian import GaussianGrid
+from repro.apps.ccm2.model import CCM2Model
+from repro.apps.mom.grid import OceanGrid
+from repro.apps.mom.model import MOMModel
+from repro.apps.mom.state import warm_pool_state
+from repro.apps.pop.model import POPModel
+from repro.superux.checkpoint import Checkpoint, restore_model, take_checkpoint
+from repro.superux.nqs import BatchJob, NQSQueue, QueueComplex
+from repro.superux.sfs import MAX_FILE_BYTES, SFSFileSystem
+from repro.units import GB, MB
+
+
+class TestCheckpointRestart:
+    """Section 2.6.2: bit-identical continuation, no special programming."""
+
+    def _roundtrip(self, make_model, warm_steps, extra_steps, probe):
+        reference = make_model()
+        reference.run(warm_steps)
+        blob = take_checkpoint(reference)
+        assert isinstance(blob, Checkpoint) and blob.nbytes > 0
+        reference.run(extra_steps)
+
+        restored = make_model()
+        restore_model(restored, blob)
+        assert restored.step_count == warm_steps
+        restored.run(extra_steps)
+        assert np.array_equal(probe(reference), probe(restored)), "continuation diverged"
+
+    def test_ccm2_bit_identical(self):
+        self._roundtrip(
+            lambda: CCM2Model(GaussianGrid(32, 64), trunc=21, nlev=4),
+            warm_steps=3,
+            extra_steps=3,
+            probe=lambda m: m.state.phi,
+        )
+
+    def test_mom_bit_identical(self):
+        def make():
+            grid = OceanGrid(nlon=24, nlat=16, nlev=3)
+            model = MOMModel(grid, dt=1800.0)
+            model.set_state(warm_pool_state(grid))
+            return model
+
+        self._roundtrip(make, warm_steps=4, extra_steps=4,
+                        probe=lambda m: m.state.temperature)
+
+    def test_pop_bit_identical(self):
+        def make():
+            model = POPModel(OceanGrid(nlon=24, nlat=16, nlev=3), dt=600.0)
+            eta = np.zeros(model.grid.shape2d)
+            eta[8, 12] = 0.5
+            model.set_surface_anomaly(eta)
+            return model
+
+        self._roundtrip(make, warm_steps=3, extra_steps=3, probe=lambda m: m.eta)
+
+    def test_kind_mismatch_rejected(self):
+        ccm2 = CCM2Model(GaussianGrid(32, 64), trunc=21, nlev=4)
+        pop = POPModel(OceanGrid(nlon=24, nlat=16, nlev=3), dt=600.0)
+        blob = take_checkpoint(ccm2)
+        with pytest.raises(ValueError):
+            restore_model(pop, blob)
+
+    def test_non_checkpointable_rejected(self):
+        with pytest.raises(TypeError):
+            take_checkpoint(object())
+        with pytest.raises(TypeError):
+            restore_model(object(), Checkpoint(data=b"", model_kind="X"))
+
+    def test_blob_is_portable_npz(self):
+        import io
+
+        model = POPModel(OceanGrid(nlon=24, nlat=16, nlev=3), dt=600.0)
+        blob = take_checkpoint(model)
+        with np.load(io.BytesIO(blob.data)) as npz:
+            assert "eta" in npz.files
+            assert str(npz["__kind__"]) == "POPModel"
+
+
+class TestNQS:
+    def make_complex(self):
+        return QueueComplex(
+            queues=[
+                NQSQueue("express", priority=10, max_cpus_per_job=4,
+                         max_run_seconds=600, run_limit=2),
+                NQSQueue("batch", priority=0, max_cpus_per_job=32,
+                         max_run_seconds=86400, run_limit=4),
+            ],
+            node_cpus=32,
+        )
+
+    def test_queue_limits_enforced(self):
+        qc = self.make_complex()
+        with pytest.raises(ValueError):
+            qc.submit(BatchJob("too-big", cpus=8, memory_gb=1, duration_s=60), "express")
+        with pytest.raises(ValueError):
+            qc.submit(BatchJob("too-long", cpus=2, memory_gb=1, duration_s=1e6), "express")
+        with pytest.raises(KeyError):
+            qc.submit(BatchJob("j", cpus=1, memory_gb=1, duration_s=10), "nonexistent")
+
+    def test_priority_order(self):
+        qc = self.make_complex()
+        qc.submit(BatchJob("slowpoke", cpus=32, memory_gb=4, duration_s=100), "batch")
+        qc.submit(BatchJob("urgent", cpus=4, memory_gb=1, duration_s=10), "express")
+        qc.run()
+        urgent = next(j for j, _ in qc.submitted if j.name == "urgent")
+        slow = next(j for j, _ in qc.submitted if j.name == "slowpoke")
+        # The express job starts first despite later submission order.
+        assert urgent.start_time <= slow.start_time
+
+    def test_run_limit_serialises_queue(self):
+        qc = self.make_complex()
+        for i in range(4):
+            qc.submit(BatchJob(f"e{i}", cpus=1, memory_gb=0.1, duration_s=10), "express")
+        makespan = qc.run()
+        # run_limit=2: four 10s jobs take two waves.
+        assert makespan == pytest.approx(20.0)
+
+    def test_cpu_pool_enforced(self):
+        qc = self.make_complex()
+        for i in range(3):
+            qc.submit(BatchJob(f"b{i}", cpus=16, memory_gb=1, duration_s=10), "batch")
+        makespan = qc.run()
+        # 3 x 16 CPUs on 32: two run, the third waits.
+        assert makespan == pytest.approx(20.0)
+
+    def test_accounting_records(self):
+        qc = self.make_complex()
+        qc.submit(BatchJob("j", cpus=4, memory_gb=1, duration_s=25), "batch")
+        qc.run()
+        rec = qc.accounting[0]
+        assert rec.job == "j" and rec.queue == "batch"
+        assert rec.ran_s == pytest.approx(25.0)
+        assert rec.cpu_seconds == pytest.approx(100.0)
+
+    def test_qcat_progressive_output(self):
+        job = BatchJob(
+            "chatty", cpus=1, memory_gb=0.1, duration_s=100,
+            output_script=((0.0, "starting"), (0.5, "halfway"), (1.0, "done")),
+        )
+        assert job.qcat(now=0.0) == []  # not started
+        job.start_time = 0.0
+        assert job.qcat(now=10.0) == ["starting"]
+        assert job.qcat(now=60.0) == ["starting", "halfway"]
+        job.finish_time = 100.0
+        assert job.qcat(now=100.0) == ["starting", "halfway", "done"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchJob("x", cpus=0, memory_gb=1, duration_s=1)
+        with pytest.raises(ValueError):
+            NQSQueue("q", run_limit=0)
+        with pytest.raises(ValueError):
+            QueueComplex(queues=[])
+        with pytest.raises(ValueError):
+            QueueComplex(queues=[NQSQueue("a"), NQSQueue("a")])
+        qc = self.make_complex()
+        with pytest.raises(ValueError):
+            qc.run()
+
+
+class TestSFS:
+    def test_write_back_faster_than_write_through_for_bursts(self):
+        wb = SFSFileSystem(write_back=True)
+        wt = SFSFileSystem(write_back=False)
+        wb.create("history")
+        wt.create("history")
+        t_wb = sum(wb.write("history", 4 * MB) for _ in range(20))
+        t_wt = sum(wt.write("history", 4 * MB) for _ in range(20))
+        assert t_wb < 0.1 * t_wt
+
+    def test_flush_pays_the_disk_cost(self):
+        fs = SFSFileSystem(write_back=True)
+        fs.create("f")
+        fs.write("f", 64 * MB)
+        assert fs.dirty_total == pytest.approx(64 * MB)
+        t_flush = fs.flush("f")
+        assert fs.dirty_total == 0.0
+        assert t_flush > 0.1  # 64 MB at tens of MB/s
+
+    def test_cache_overflow_drains_synchronously(self):
+        fs = SFSFileSystem(write_back=True, cache_limit_bytes=32 * MB)
+        fs.create("f")
+        fast = fs.write("f", 16 * MB)
+        slow = fs.write("f", 32 * MB)  # overflows the 32 MB cache
+        assert slow > fast
+        assert fs.cached_bytes <= fs.cache_limit_bytes + 1e-6
+
+    def test_read_prefers_cache(self):
+        fs = SFSFileSystem(write_back=True)
+        fs.create("f")
+        fs.write("f", 16 * MB)
+        cached = fs.read("f", 16 * MB)
+        fs.flush("f")
+        on_disk = fs.read("f", 16 * MB)
+        assert cached < on_disk
+
+    def test_cluster_allocation(self):
+        fs = SFSFileSystem(cluster_bytes=1 * MB)
+        fs.create("f")
+        fs.write("f", 1.5 * MB)
+        assert fs.allocated_bytes("f") == pytest.approx(2 * MB)
+        fs.create("empty")
+        assert fs.allocated_bytes("empty") == 0.0
+
+    def test_files_beyond_two_terabytes(self):
+        """'Individual files can exceed 2 terabytes in size.'"""
+        fs = SFSFileSystem(write_back=False,
+                           disk=__import__("repro.machine.iop", fromlist=["DiskArray"]).DiskArray(disks=256))
+        fs.create("huge")
+        fs.files["huge"].size_bytes = 3e12  # 3 TB
+        assert fs.files["huge"].size_bytes > 2e12
+        with pytest.raises(ValueError):
+            fs.write("huge", MAX_FILE_BYTES)  # but not unbounded
+
+    def test_namespace_rules(self):
+        fs = SFSFileSystem()
+        fs.create("a")
+        with pytest.raises(FileExistsError):
+            fs.create("a")
+        with pytest.raises(FileNotFoundError):
+            fs.write("missing", 1.0)
+        with pytest.raises(ValueError):
+            fs.read("a", 10.0)  # longer than the file
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SFSFileSystem(staging_unit_bytes=0)
+        with pytest.raises(ValueError):
+            SFSFileSystem(cache_limit_bytes=-1.0)
+        fs = SFSFileSystem()
+        fs.create("f")
+        with pytest.raises(ValueError):
+            fs.write("f", -1.0)

@@ -1,0 +1,260 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.events import Acquire, Process, Release, Resource, SimulationError, Simulator
+
+
+class TestBasics:
+    def test_single_process_advances_time(self):
+        sim = Simulator()
+
+        def worker():
+            yield 2.5
+            return "done"
+
+        proc = sim.spawn(worker(), name="w")
+        sim.run()
+        assert sim.now == pytest.approx(2.5)
+        assert proc.finished
+        assert proc.result == "done"
+        assert proc.finish_time == pytest.approx(2.5)
+
+    def test_spawn_with_delay(self):
+        sim = Simulator()
+
+        def worker():
+            yield 1.0
+
+        proc = sim.spawn(worker(), delay=3.0)
+        sim.run()
+        assert proc.start_time == pytest.approx(3.0)
+        assert sim.now == pytest.approx(4.0)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+
+        def worker():
+            yield -1.0
+
+        sim.spawn(worker())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_negative_spawn_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.spawn(iter(()), delay=-1.0)
+
+    def test_unsupported_yield_rejected(self):
+        sim = Simulator()
+
+        def worker():
+            yield "nonsense"
+
+        sim.spawn(worker())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_run_until_pauses_and_resumes(self):
+        sim = Simulator()
+
+        def worker():
+            yield 10.0
+            return 99
+
+        proc = sim.spawn(worker())
+        sim.run(until=4.0)
+        assert sim.now == pytest.approx(4.0)
+        assert not proc.finished
+        sim.run()
+        assert proc.finished and proc.result == 99
+
+
+class TestDeterminism:
+    def test_fifo_tie_breaking(self):
+        """Events at the same timestamp fire in spawn order."""
+        sim = Simulator()
+        order = []
+
+        def worker(tag):
+            yield 1.0
+            order.append(tag)
+
+        for tag in range(5):
+            sim.spawn(worker(tag))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_repeated_runs_identical(self):
+        def build():
+            sim = Simulator()
+            log = []
+
+            def worker(tag, delay):
+                yield delay
+                log.append((tag, sim.now))
+
+            for tag, delay in enumerate([0.3, 0.1, 0.3, 0.2]):
+                sim.spawn(worker(tag, delay))
+            sim.run()
+            return log
+
+        assert build() == build()
+
+
+class TestJoin:
+    def test_join_returns_result(self):
+        sim = Simulator()
+
+        def child():
+            yield 5.0
+            return 42
+
+        def parent():
+            kid = sim.spawn(child(), name="kid")
+            value = yield kid
+            return value * 2
+
+        proc = sim.spawn(parent())
+        sim.run()
+        assert proc.result == 84
+        assert sim.now == pytest.approx(5.0)
+
+    def test_join_already_finished(self):
+        sim = Simulator()
+
+        def child():
+            yield 1.0
+            return "early"
+
+        kid = sim.spawn(child())
+
+        def parent():
+            yield 3.0
+            value = yield kid
+            return value
+
+        proc = sim.spawn(parent())
+        sim.run()
+        assert proc.result == "early"
+        assert sim.now == pytest.approx(3.0)
+
+    def test_fork_join_fan_out(self):
+        sim = Simulator()
+
+        def child(delay):
+            yield delay
+            return delay
+
+        def parent():
+            kids = [sim.spawn(child(d)) for d in (2.0, 5.0, 3.0)]
+            results = []
+            for kid in kids:
+                value = yield kid
+                results.append(value)
+            return results
+
+        proc = sim.spawn(parent())
+        sim.run()
+        assert proc.result == [2.0, 5.0, 3.0]
+        # Wall time is the max of the children, not the sum.
+        assert sim.now == pytest.approx(5.0)
+
+
+class TestResources:
+    def test_capacity_enforced(self):
+        sim = Simulator()
+        cpus = Resource(2, "cpus")
+        busy_intervals = []
+
+        def job(tag):
+            yield Acquire(cpus)
+            start = sim.now
+            yield 1.0
+            yield Release(cpus)
+            busy_intervals.append((tag, start))
+
+        for tag in range(4):
+            sim.spawn(job(tag))
+        sim.run()
+        # Two jobs run immediately, two wait for a free slot.
+        starts = sorted(start for _, start in busy_intervals)
+        assert starts == pytest.approx([0.0, 0.0, 1.0, 1.0])
+        assert cpus.available == 2
+
+    def test_fifo_granting_no_barging(self):
+        sim = Simulator()
+        res = Resource(2, "r")
+        grants = []
+
+        def big():
+            yield Acquire(res, 2)
+            grants.append(("big", sim.now))
+            yield 1.0
+            yield Release(res, 2)
+
+        def small(tag):
+            yield Acquire(res, 1)
+            grants.append((tag, sim.now))
+            yield 0.5
+            yield Release(res, 1)
+
+        def scenario():
+            yield Acquire(res, 1)
+            sim.spawn(big())  # needs both units; must wait for us
+            yield 0.0
+            sim.spawn(small("late"))  # would fit now, but big is ahead
+            yield 2.0
+            yield Release(res, 1)
+
+        sim.spawn(scenario())
+        sim.run()
+        assert grants[0][0] == "big"  # FIFO: big goes before late small
+
+    def test_over_release_rejected(self):
+        sim = Simulator()
+        res = Resource(1, "r")
+
+        def bad():
+            yield Release(res, 1)
+
+        sim.spawn(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_oversized_request_rejected(self):
+        sim = Simulator()
+        res = Resource(2, "r")
+
+        def bad():
+            yield Acquire(res, 3)
+
+        sim.spawn(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_zero_amount_rejected(self):
+        res = Resource(2, "r")
+        with pytest.raises(SimulationError):
+            Acquire(res, 0)
+        with pytest.raises(SimulationError):
+            Release(res, 0)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Resource(0, "r")
+
+    def test_utilisation_trace_recorded(self):
+        sim = Simulator()
+        res = Resource(1, "r")
+
+        def job():
+            yield Acquire(res)
+            yield 1.0
+            yield Release(res)
+
+        sim.spawn(job())
+        sim.run()
+        assert res.utilisation[0] == (0.0, 1)
+        assert res.utilisation[-1][1] == 0

@@ -1,0 +1,155 @@
+"""Failure-injection and stress tests for the discrete-event engine.
+
+The engine under PRODLOAD and NQS must fail loudly, not silently: a
+crashing process, a deadlock, or resource misuse should surface as an
+exception at ``run()``, never as a hung or quietly-wrong simulation.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import Acquire, Release, Resource, SimulationError, Simulator
+
+
+class TestProcessCrashes:
+    def test_exception_propagates_from_run(self):
+        sim = Simulator()
+
+        def bomb():
+            yield 1.0
+            raise RuntimeError("component crashed")
+
+        sim.spawn(bomb())
+        with pytest.raises(RuntimeError, match="component crashed"):
+            sim.run()
+
+    def test_crash_timing_is_deterministic(self):
+        """The crash surfaces at its simulated time, after earlier events."""
+        sim = Simulator()
+        log = []
+
+        def fine():
+            yield 0.5
+            log.append("fine done")
+
+        def bomb():
+            yield 1.0
+            raise ValueError("late bomb")
+
+        sim.spawn(bomb())
+        sim.spawn(fine())
+        with pytest.raises(ValueError):
+            sim.run()
+        assert log == ["fine done"]
+        assert sim.now == pytest.approx(1.0)
+
+    def test_joiner_of_crashed_process_never_resumes_silently(self):
+        sim = Simulator()
+
+        def child():
+            yield 1.0
+            raise RuntimeError("child died")
+
+        def parent():
+            kid = sim.spawn(child())
+            yield kid
+            return "should never get here"
+
+        proc = sim.spawn(parent())
+        with pytest.raises(RuntimeError):
+            sim.run()
+        assert not proc.finished
+
+
+class TestResourceMisuse:
+    def test_leaked_resource_blocks_later_jobs_visibly(self):
+        """A process that forgets to release leaves waiters queued; the
+        simulation ends with the resource still held — detectable state,
+        not a wrong answer."""
+        sim = Simulator()
+        cpus = Resource(1, "cpus")
+        started = []
+
+        def leaker():
+            yield Acquire(cpus)
+            yield 1.0
+            # no Release: the bug under test
+
+        def waiter():
+            yield Acquire(cpus)
+            started.append("waiter ran")
+            yield Release(cpus)
+
+        sim.spawn(leaker())
+        sim.spawn(waiter())
+        sim.run()
+        assert started == []  # the waiter never ran...
+        assert cpus.in_use == 1  # ...and the leak is visible
+
+    def test_double_release_raises(self):
+        sim = Simulator()
+        res = Resource(2, "r")
+
+        def buggy():
+            yield Acquire(res)
+            yield Release(res)
+            yield Release(res)
+
+        sim.spawn(buggy())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestStress:
+    @given(n=st.integers(1, 60), capacity=st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_pipeline_conserves_jobs(self, n, capacity):
+        """n unit jobs through a capacity-c resource: all complete, the
+        makespan is exactly ceil(n/c), and the resource drains."""
+        sim = Simulator()
+        res = Resource(capacity, "r")
+        done = []
+
+        def job(i):
+            yield Acquire(res)
+            yield 1.0
+            yield Release(res)
+            done.append(i)
+
+        for i in range(n):
+            sim.spawn(job(i))
+        sim.run()
+        assert sorted(done) == list(range(n))
+        assert res.available == capacity
+        assert sim.now == pytest.approx(-(-n // capacity) * 1.0)
+
+    @given(delays=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=30))
+    @settings(max_examples=20, deadline=None)
+    def test_wall_clock_is_max_of_delays(self, delays):
+        sim = Simulator()
+
+        def sleeper(d):
+            yield d
+
+        for d in delays:
+            sim.spawn(sleeper(d))
+        sim.run()
+        assert sim.now == pytest.approx(max(delays))
+
+    def test_deep_fork_join_chain(self):
+        """A 100-deep chain of joins completes without recursion issues."""
+        sim = Simulator()
+
+        def link(depth):
+            if depth == 0:
+                yield 1.0
+                return 0
+            child = sim.spawn(link(depth - 1))
+            value = yield child
+            return value + 1
+
+        root = sim.spawn(link(100))
+        sim.run()
+        assert root.result == 100
+        assert sim.now == pytest.approx(1.0)

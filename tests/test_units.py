@@ -1,0 +1,106 @@
+"""Tests for repro.units."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_hz_from_period_ns_sx4_benchmark_clock(self):
+        # The 9.2 ns benchmarked machine runs at ~108.7 MHz.
+        assert units.hz_from_period_ns(9.2) == pytest.approx(108.695652e6, rel=1e-6)
+
+    def test_hz_from_period_ns_production_clock(self):
+        assert units.hz_from_period_ns(8.0) == pytest.approx(125e6)
+
+    def test_period_roundtrip(self):
+        for period in (0.5, 6.0, 8.0, 9.2, 1000.0):
+            assert units.period_ns_from_hz(units.hz_from_period_ns(period)) == pytest.approx(
+                period
+            )
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            units.hz_from_period_ns(0.0)
+        with pytest.raises(ValueError):
+            units.hz_from_period_ns(-1.0)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            units.period_ns_from_hz(0.0)
+
+    def test_ns_to_s(self):
+        assert units.ns_to_s(9.2) == pytest.approx(9.2e-9)
+        assert units.s_to_ns(1.0) == pytest.approx(1e9)
+
+
+class TestFormatting:
+    def test_fmt_rate_gigabytes(self):
+        assert units.fmt_rate(16e9) == "16.00 GB/s"
+
+    def test_fmt_rate_megabytes(self):
+        assert units.fmt_rate(2.5e6) == "2.50 MB/s"
+
+    def test_fmt_bytes(self):
+        assert units.fmt_bytes(15e9) == "15.00 GB"
+        assert units.fmt_bytes(512) == "512.00 B"
+
+    def test_fmt_flops(self):
+        assert units.fmt_flops(865.9e6) == "865.9 Mflops"
+        assert units.fmt_flops(24e9) == "24.0 Gflops"
+
+    def test_fmt_time_subsecond(self):
+        assert units.fmt_time(5e-9).endswith("ns")
+        assert units.fmt_time(5e-6).endswith("us")
+        assert units.fmt_time(5e-3).endswith("ms")
+
+    def test_fmt_time_prodload_result(self):
+        # The paper's PRODLOAD completion: 93 minutes 28 seconds.
+        assert units.fmt_time(5608) == "1h33m28s"
+
+    def test_fmt_time_minutes(self):
+        assert units.fmt_time(1327.53) == "22m08s"
+
+    def test_fmt_time_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.fmt_time(-1.0)
+
+
+class TestParseHms:
+    def test_parse_prodload(self):
+        assert units.parse_hms("1h33m28s") == pytest.approx(5608.0)
+
+    def test_parse_minutes_only(self):
+        assert units.parse_hms("93m28s") == pytest.approx(5608.0)
+
+    def test_parse_seconds(self):
+        assert units.parse_hms("42s") == pytest.approx(42.0)
+        assert units.parse_hms("42.5s") == pytest.approx(42.5)
+
+    def test_roundtrip_with_fmt_time(self):
+        for seconds in (61, 3599, 3600, 5608, 86399):
+            assert units.parse_hms(units.fmt_time(seconds)) == pytest.approx(seconds)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            units.parse_hms("not a duration")
+        with pytest.raises(ValueError):
+            units.parse_hms("")
+
+
+class TestConstants:
+    def test_decimal_units(self):
+        assert units.GB == 1e9
+        assert units.MB == 1e6
+
+    def test_word_size(self):
+        # The SX-4 is a 64-bit machine.
+        assert units.WORD_BYTES == 8
+
+    def test_scaled_picks_largest_unit(self):
+        value, suffix = units._scaled(1.0, [(1e3, "k"), (1.0, "u")])
+        assert (value, suffix) == (1.0, "u")
+        value, suffix = units._scaled(0.5, [(1e3, "k"), (1.0, "u")])
+        assert math.isclose(value, 0.5) and suffix == "u"
