@@ -17,9 +17,9 @@ Commands
 from __future__ import annotations
 
 import argparse
-import sys
 
 from repro.suite import archive
+from repro.units import GB, MEGA
 from repro.suite.experiments import EXPERIMENTS
 from repro.suite.runner import render_experiment, run_suite
 
@@ -57,9 +57,9 @@ def _cmd_machine(_: argparse.Namespace) -> int:
         rows.append([
             name,
             f"{proc.clock.period_ns:g} ns",
-            f"{proc.peak_flops / 1e6:,.0f}",
+            f"{proc.peak_flops / MEGA:,.0f}",
             "vector" if proc.is_vector_machine else "cache",
-            f"{proc.port_bandwidth_bytes_per_s / 1e9:.1f}",
+            f"{proc.port_bandwidth_bytes_per_s / GB:.1f}",
         ])
     print(render_table(
         ["machine", "clock", "peak Mflops", "class", "memory GB/s"],

@@ -1,0 +1,52 @@
+"""Static analysis: vectorization diagnostics and repo-invariant lint.
+
+Two analyzers share one diagnostics vocabulary
+(:class:`~repro.analysis.diagnostics.Diagnostic`):
+
+* the **trace analyzer** (:mod:`repro.analysis.traces` +
+  :mod:`repro.analysis.rules`) inspects machine-model traces for the
+  coding-style anti-patterns Section 4.4 of the paper identifies — short
+  vectors, bank-conflict strides, gather-dominated and scalar-dominated
+  loops — and quantifies each with the analytic model (advisory);
+* the **repo linter** (:mod:`repro.analysis.repolint`) enforces the
+  repository's structural invariants over the AST (CI-gating).
+
+Run either from the command line::
+
+    python -m repro.analysis trace radabs
+    python -m repro.analysis --repolint
+"""
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+    count_by_rule,
+)
+from repro.analysis.repolint import lint_file, lint_repo, repo_root
+from repro.analysis.rules import ALL_RULES
+from repro.analysis.traces import (
+    EXPERIMENT_TRACE_IDS,
+    TRACE_BUILDERS,
+    analyze_benchmark,
+    analyze_trace,
+    build_registered_trace,
+    experiment_summaries,
+)
+
+__all__ = [
+    "Diagnostic",
+    "DiagnosticReport",
+    "Severity",
+    "count_by_rule",
+    "ALL_RULES",
+    "analyze_trace",
+    "analyze_benchmark",
+    "build_registered_trace",
+    "experiment_summaries",
+    "TRACE_BUILDERS",
+    "EXPERIMENT_TRACE_IDS",
+    "lint_repo",
+    "lint_file",
+    "repo_root",
+]

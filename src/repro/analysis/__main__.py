@@ -1,0 +1,92 @@
+"""CLI for the static-analysis subsystem.
+
+Usage::
+
+    python -m repro.analysis list             # registered benchmark ids
+    python -m repro.analysis trace <id> ...   # analyze benchmark traces
+    python -m repro.analysis trace --all      # analyze every registered id
+    python -m repro.analysis --repolint       # lint the repo (CI gate)
+
+``trace`` is advisory (always exits 0: diagnostics are performance
+explanations, not failures); ``--repolint`` exits 1 on any finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.repolint import lint_repo
+from repro.analysis.traces import TRACE_BUILDERS, analyze_benchmark
+
+
+def _cmd_list() -> int:
+    width = max(len(trace_id) for trace_id in TRACE_BUILDERS)
+    for trace_id, (description, _) in TRACE_BUILDERS.items():
+        print(f"{trace_id:<{width}}  {description}")
+    return 0
+
+
+def _cmd_trace(ids: list[str]) -> int:
+    for trace_id in ids:
+        if trace_id not in TRACE_BUILDERS:
+            known = ", ".join(sorted(TRACE_BUILDERS))
+            print(f"error: unknown benchmark id {trace_id!r}; known ids: {known}")
+            return 2
+    for trace_id in ids:
+        report = analyze_benchmark(trace_id)
+        print(f"== {trace_id}: {report.subject}")
+        if report.clean:
+            print("   no diagnostics — trace follows the SX-4 coding-style rules")
+        else:
+            for diag in report:
+                print(f"   {diag}")
+        print(f"   summary: {report.summary_line()}")
+    return 0
+
+
+def _cmd_repolint() -> int:
+    report = lint_repo()
+    for diag in report:
+        print(diag)
+    if report.clean:
+        print("repolint: all repo invariants hold")
+        return 0
+    print(f"repolint: {len(report)} violation(s)")
+    return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Vectorization diagnostics and repo-invariant lint.",
+    )
+    parser.add_argument(
+        "--repolint",
+        action="store_true",
+        help="lint src/repro and tests for repo invariants (exit 1 on findings)",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list registered benchmark ids")
+    trace_parser = sub.add_parser("trace", help="analyze benchmark traces by id")
+    trace_parser.add_argument("ids", nargs="*", metavar="id")
+    trace_parser.add_argument(
+        "--all", action="store_true", help="analyze every registered benchmark"
+    )
+    args = parser.parse_args(argv)
+
+    if args.repolint:
+        return _cmd_repolint()
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "trace":
+        ids = list(TRACE_BUILDERS) if args.all else args.ids
+        if not ids:
+            trace_parser.error("give at least one benchmark id or --all")
+        return _cmd_trace(ids)
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

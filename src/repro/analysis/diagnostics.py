@@ -1,0 +1,117 @@
+"""Shared diagnostics core for the static-analysis subsystem.
+
+Both analyzer levels — the machine-model trace analyzer
+(:mod:`repro.analysis.traces`) and the AST repo linter
+(:mod:`repro.analysis.repolint`) — report their findings as
+:class:`Diagnostic` records: a stable rule id, a severity, a location
+(operation index within a trace, or file:line within the repo), a
+human-readable message, and, for performance rules, a predicted-impact
+estimate derived from the analytic machine model.  That estimate is what
+makes the trace diagnostics *quantitative*, the way the SX compiler's
+vectorization listings told you not just "this loop did not vectorize"
+but what it cost you.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["Severity", "Diagnostic", "DiagnosticReport", "count_by_rule"]
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severities, ordered so max() picks the worst."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # "warning", not "Severity.WARNING"
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding from either analyzer level.
+
+    Parameters
+    ----------
+    rule_id:
+        Stable identifier: ``VEC00x`` for trace rules, ``REPO00x`` for
+        repo-invariant rules.
+    severity:
+        :class:`Severity`; repolint ERRORs gate CI, trace WARNINGs/INFOs
+        are advisory.
+    location:
+        Where: ``op[3] 'radabs level-pair'`` for traces, ``path:line``
+        for repolint.
+    message:
+        The finding, with the numbers that justify it.
+    predicted_impact:
+        For trace rules, the modelled slowdown factor currently being
+        paid (e.g. 8.0 = the flagged pattern makes this op ~8x slower
+        than the conflict-free form).  ``None`` where no single factor
+        is meaningful (e.g. purely structural findings).
+    op_index:
+        Index of the offending op within the trace, or ``None`` for
+        trace-level and repo-level findings.
+    """
+
+    rule_id: str
+    severity: Severity
+    location: str
+    message: str
+    predicted_impact: float | None = None
+    op_index: int | None = None
+
+    def __str__(self) -> str:
+        impact = ""
+        if self.predicted_impact is not None and self.predicted_impact > 1.0:
+            impact = f" [~{self.predicted_impact:.1f}x]"
+        return f"{self.rule_id} {self.severity}: {self.location}: {self.message}{impact}"
+
+
+@dataclass
+class DiagnosticReport:
+    """All findings for one analyzed subject (a trace or a repo tree)."""
+
+    subject: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics
+
+    @property
+    def worst_severity(self) -> Severity | None:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def by_rule(self, rule_id: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule_id == rule_id]
+
+    def summary_line(self) -> str:
+        """One-line digest: ``clean`` or ``VEC001 x2, VEC004 x1 (worst ~6.2x)``."""
+        if self.clean:
+            return "clean"
+        counts = count_by_rule(self.diagnostics)
+        parts = [f"{rule} x{n}" for rule, n in counts.items()]
+        impacts = [d.predicted_impact for d in self.diagnostics if d.predicted_impact]
+        worst = f" (worst ~{max(impacts):.1f}x)" if impacts else ""
+        return ", ".join(parts) + worst
+
+
+def count_by_rule(diagnostics: list[Diagnostic]) -> dict[str, int]:
+    """Rule id -> occurrence count, in first-seen order."""
+    counts: dict[str, int] = {}
+    for diag in diagnostics:
+        counts[diag.rule_id] = counts.get(diag.rule_id, 0) + 1
+    return counts

@@ -1,0 +1,372 @@
+"""Repo-invariant linter: AST checks generic linters cannot express.
+
+Walks ``src/repro`` and ``tests`` and enforces the conventions this
+repository depends on:
+
+========  ==============================================================
+rule      invariant
+========  ==============================================================
+REPO001   every kernel module exposes a functional entry point AND a
+          trace builder (the two-faces contract of repro.machine)
+REPO002   ``__all__`` matches the module's public definitions
+REPO003   operation descriptors are only built with known intrinsic
+          names (the :data:`repro.machine.operations.INTRINSICS` set)
+REPO004   no wall-clock or randomness in simulator code paths (the
+          determinism invariant of :mod:`repro.events`)
+REPO005   no magic unit constants (1e6/1e9/1e12) where
+          :mod:`repro.units` symbols exist
+========  ==============================================================
+
+All findings are ERROR severity — the CLI exits non-zero on any, which
+is how CI gates on this.  Escape hatches, for the rare legitimate case:
+
+* ``# repolint: skip`` on the offending line suppresses that line;
+* ``# repolint: exempt=REPO001 -- reason`` anywhere in a module exempts
+  the whole module from the listed (comma-separated) rules.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport, Severity
+from repro.machine.operations import INTRINSICS
+
+__all__ = ["lint_repo", "lint_file", "repo_root"]
+
+#: Kernel functional entry points that do not follow the ``*_kernel``
+#: naming pattern (solver-style or multi-transform interfaces).
+FUNCTIONAL_ENTRY_ALTERNATES = frozenset(
+    {"solve", "hint_integrate", "rfft_multi", "vfft_multi", "run_accuracy_suite"}
+)
+
+#: Magic constants REPO005 rejects in arithmetic, with the repro.units
+#: replacement to name in the message.
+MAGIC_UNIT_CONSTANTS = {1e6: "MEGA", 1e9: "GIGA", 1e12: "TERA"}
+
+#: Subtrees of src/repro where the determinism invariant (REPO004) holds:
+#: simulator state may only advance through event time, never host time.
+SIMULATOR_PATHS = ("machine", "iosim", "scheduler", "superux", "events.py")
+
+_EXEMPT_RE = re.compile(r"#\s*repolint:\s*exempt=([A-Z0-9,\s]+?)(?:\s+--.*)?$", re.M)
+_SKIP_RE = re.compile(r"#\s*repolint:\s*skip\b")
+
+
+def repo_root() -> Path:
+    """The repository root, located from this package's install path."""
+    return Path(__file__).resolve().parents[3]
+
+
+def _module_exemptions(source: str) -> set[str]:
+    exempt: set[str] = set()
+    for match in _EXEMPT_RE.finditer(source):
+        exempt.update(r.strip() for r in match.group(1).split(",") if r.strip())
+    return exempt
+
+
+def _skipped_lines(source: str) -> set[int]:
+    return {
+        i for i, line in enumerate(source.splitlines(), start=1) if _SKIP_RE.search(line)
+    }
+
+
+def _top_level_defs(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """(all defined top-level names, public def/class names)."""
+    defined: set[str] = set()
+    public_defs: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            defined.add(node.name)
+            if not node.name.startswith("_"):
+                public_defs.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    defined.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            defined.add(node.target.id)
+        elif isinstance(node, ast.ImportFrom):
+            defined.update(alias.asname or alias.name for alias in node.names)
+        elif isinstance(node, ast.Import):
+            defined.update((alias.asname or alias.name).split(".")[0] for alias in node.names)
+    return defined, public_defs
+
+
+def _literal_all(tree: ast.Module) -> tuple[int, list[str]] | None:
+    """(__all__ line number, names) if the module declares a literal __all__."""
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets):
+            continue
+        if isinstance(node.value, (ast.List, ast.Tuple)):
+            names = [
+                elt.value
+                for elt in node.value.elts
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+            ]
+            return node.lineno, names
+    return None
+
+
+# ---------------------------------------------------------------- rules
+def _check_kernel_contract(
+    path: Path, rel: str, tree: ast.Module
+) -> list[Diagnostic]:
+    """REPO001: a kernel module has both faces — function and trace."""
+    has_builder = False
+    has_functional = False
+    for node in tree.body:
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        if node.name == "build_trace" or node.name.endswith("_trace"):
+            has_builder = True
+        if "kernel" in node.name or node.name in FUNCTIONAL_ENTRY_ALTERNATES:
+            has_functional = True
+    missing = []
+    if not has_functional:
+        missing.append("a functional entry point (*_kernel or equivalent)")
+    if not has_builder:
+        missing.append("a trace builder (build_trace/*_trace)")
+    if not missing:
+        return []
+    return [
+        Diagnostic(
+            rule_id="REPO001",
+            severity=Severity.ERROR,
+            location=f"{rel}:1",
+            message=(
+                f"kernel module lacks {' and '.join(missing)}; every benchmark "
+                f"has two faces — the computation and its machine-model trace"
+            ),
+        )
+    ]
+
+
+def _check_all_exports(rel: str, tree: ast.Module) -> list[Diagnostic]:
+    """REPO002: __all__ and the public definitions agree."""
+    declared = _literal_all(tree)
+    if declared is None:
+        return []
+    lineno, names = declared
+    defined, public_defs = _top_level_defs(tree)
+    found = []
+    for name in names:
+        if name not in defined:
+            found.append(
+                Diagnostic(
+                    rule_id="REPO002",
+                    severity=Severity.ERROR,
+                    location=f"{rel}:{lineno}",
+                    message=f"__all__ exports {name!r} but the module never defines it",
+                )
+            )
+    for name in sorted(public_defs - set(names)):
+        found.append(
+            Diagnostic(
+                rule_id="REPO002",
+                severity=Severity.ERROR,
+                location=f"{rel}:{lineno}",
+                message=(
+                    f"public definition {name!r} is missing from __all__ "
+                    f"(export it or prefix it with an underscore)"
+                ),
+            )
+        )
+    return found
+
+
+def _check_intrinsic_names(rel: str, tree: ast.Module) -> list[Diagnostic]:
+    """REPO003: intrinsic mixes only use names the machine model knows."""
+
+    def bad_keys(mapping: ast.Dict) -> list[tuple[int, str]]:
+        out = []
+        for key in mapping.keys:
+            if (
+                isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                and key.value not in INTRINSICS
+            ):
+                out.append((key.lineno, key.value))
+        return out
+
+    found = []
+    for node in ast.walk(tree):
+        candidates: list[ast.Dict] = []
+        if isinstance(node, ast.Call):
+            for kw in node.keywords:
+                if kw.arg in ("intrinsics", "intrinsic_calls") and isinstance(
+                    kw.value, ast.Dict
+                ):
+                    candidates.append(kw.value)
+        elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Dict):
+            if any(
+                isinstance(t, ast.Name) and "INTRINSIC" in t.id for t in node.targets
+            ):
+                candidates.append(node.value)
+        for mapping in candidates:
+            for lineno, name in bad_keys(mapping):
+                found.append(
+                    Diagnostic(
+                        rule_id="REPO003",
+                        severity=Severity.ERROR,
+                        location=f"{rel}:{lineno}",
+                        message=(
+                            f"unknown intrinsic {name!r}; the machine model "
+                            f"prices only {', '.join(INTRINSICS)}"
+                        ),
+                    )
+                )
+    return found
+
+
+def _check_determinism(rel: str, tree: ast.Module) -> list[Diagnostic]:
+    """REPO004: simulator code never reads host clocks or entropy."""
+    found = []
+
+    def flag(lineno: int, what: str) -> None:
+        found.append(
+            Diagnostic(
+                rule_id="REPO004",
+                severity=Severity.ERROR,
+                location=f"{rel}:{lineno}",
+                message=(
+                    f"{what} in a simulator code path; simulated time only "
+                    f"advances through the event queue (determinism invariant)"
+                ),
+            )
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            modules = (
+                [alias.name for alias in node.names]
+                if isinstance(node, ast.Import)
+                else [node.module or ""]
+            )
+            for mod in modules:
+                if mod.split(".")[0] in ("time", "random"):
+                    flag(node.lineno, f"import of {mod!r}")
+        elif isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            if node.value.id == "time" and node.attr in (
+                "time",
+                "perf_counter",
+                "monotonic",
+                "process_time",
+            ):
+                flag(node.lineno, f"time.{node.attr}()")
+            elif node.value.id == "random":
+                flag(node.lineno, f"random.{node.attr}")
+        elif (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Attribute)
+            and node.value.attr == "random"
+            and isinstance(node.value.value, ast.Name)
+            and node.value.value.id in ("np", "numpy")
+        ):
+            flag(node.lineno, f"numpy.random.{node.attr}")
+    return found
+
+
+def _check_magic_units(rel: str, tree: ast.Module) -> list[Diagnostic]:
+    """REPO005: scale factors come from repro.units, not literals."""
+    found = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.BinOp) or not isinstance(
+            node.op, (ast.Mult, ast.Div)
+        ):
+            continue
+        for operand in (node.left, node.right):
+            if (
+                isinstance(operand, ast.Constant)
+                and isinstance(operand.value, float)
+                and operand.value in MAGIC_UNIT_CONSTANTS
+            ):
+                symbol = MAGIC_UNIT_CONSTANTS[operand.value]
+                found.append(
+                    Diagnostic(
+                        rule_id="REPO005",
+                        severity=Severity.ERROR,
+                        location=f"{rel}:{operand.lineno}",
+                        message=(
+                            f"magic unit constant {operand.value:g}; use "
+                            f"repro.units.{symbol} so scale factors are named"
+                        ),
+                    )
+                )
+    return found
+
+
+# ---------------------------------------------------------------- driver
+def _is_kernel_module(rel_parts: tuple[str, ...]) -> bool:
+    return (
+        len(rel_parts) == 4
+        and rel_parts[:3] == ("src", "repro", "kernels")
+        and rel_parts[3] != "__init__.py"
+    )
+
+
+def _is_simulator_path(rel_parts: tuple[str, ...]) -> bool:
+    if rel_parts[:2] != ("src", "repro") or len(rel_parts) < 3:
+        return False
+    return rel_parts[2] in SIMULATOR_PATHS
+
+
+def _in_src(rel_parts: tuple[str, ...]) -> bool:
+    return rel_parts[:2] == ("src", "repro")
+
+
+def lint_file(path: Path, root: Path) -> list[Diagnostic]:
+    """All repo-invariant findings for one file."""
+    rel_parts = path.relative_to(root).parts
+    rel = "/".join(rel_parts)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=rel)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                rule_id="REPO000",
+                severity=Severity.ERROR,
+                location=f"{rel}:{exc.lineno or 1}",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    exempt = _module_exemptions(source)
+    skipped = _skipped_lines(source)
+
+    found: list[Diagnostic] = []
+    if _is_kernel_module(rel_parts):
+        found.extend(_check_kernel_contract(path, rel, tree))
+    found.extend(_check_all_exports(rel, tree))
+    found.extend(_check_intrinsic_names(rel, tree))
+    if _is_simulator_path(rel_parts):
+        found.extend(_check_determinism(rel, tree))
+    if _in_src(rel_parts) and rel_parts[-1] != "units.py":
+        found.extend(_check_magic_units(rel, tree))
+
+    def kept(diag: Diagnostic) -> bool:
+        if diag.rule_id in exempt:
+            return False
+        lineno = int(diag.location.rsplit(":", 1)[1])
+        return lineno not in skipped
+
+    return [d for d in found if kept(d)]
+
+
+def lint_repo(root: Path | None = None) -> DiagnosticReport:
+    """Lint src/repro and tests; report is CI-gating (any finding fails)."""
+    root = root or repo_root()
+    report = DiagnosticReport(subject=str(root))
+    files: list[Path] = []
+    for sub in ("src/repro", "tests"):
+        base = root / sub
+        if base.is_dir():
+            files.extend(sorted(base.rglob("*.py")))
+    for path in files:
+        if "egg-info" in str(path):
+            continue
+        report.diagnostics.extend(lint_file(path, root))
+    return report

@@ -24,7 +24,6 @@ curve follows.
 
 from __future__ import annotations
 
-import math
 
 from repro.apps.mom.grid import OceanGrid
 from repro.machine.node import Node, ParallelReport
@@ -35,6 +34,7 @@ __all__ = [
     "baroclinic_trace",
     "barotropic_trace",
     "diagnostics_trace",
+    "sor_iterations_for",
     "parallel_step",
     "benchmark_time",
     "speedup_table",

@@ -24,7 +24,7 @@ import heapq
 import itertools
 from collections import deque
 from collections.abc import Generator
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 __all__ = ["Simulator", "Process", "Resource", "Acquire", "Release", "SimulationError"]

@@ -35,6 +35,7 @@ __all__ = [
     "test_sqrt",
     "test_pwr",
     "run_accuracy_suite",
+    "throughput_trace",
     "model_mcalls_per_s",
     "model_table3",
     "host_mcalls_per_s",
@@ -164,7 +165,8 @@ def run_accuracy_suite(n: int = 2000) -> list[AccuracyResult]:
 
 # -- throughput (Table 3) -----------------------------------------------------
 
-def _throughput_trace(func: str, length: int, count: int) -> Trace:
+def throughput_trace(func: str, length: int = 10_000, count: int = 20) -> Trace:
+    """The Table 3 throughput loop: ``count`` sweeps of ``length`` calls."""
     return Trace(
         [
             VectorOp.make(
@@ -186,7 +188,7 @@ def model_mcalls_per_s(
     """Millions of calls/s for one intrinsic on a machine model."""
     if func not in MEASURED_FUNCTIONS:
         raise ValueError(f"Table 3 measures {MEASURED_FUNCTIONS}, not {func!r}")
-    trace = _throughput_trace(func, length, count)
+    trace = throughput_trace(func, length, count)
     seconds = processor.time(trace)
     return length * count / seconds / MEGA
 

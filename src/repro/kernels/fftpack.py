@@ -23,10 +23,10 @@ code from NumPy is used in the transform itself.
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 
+# repolint: exempt=REPO001 -- shared FFT machinery; rfft/vfft own the benchmark faces
 __all__ = [
     "RADICES",
     "factorize",
@@ -38,6 +38,7 @@ __all__ = [
     "pass_structure",
     "rfft_axis_lengths",
     "vfft_axis_lengths",
+    "rfft_instance_count",
     "PASS_FLOPS_PER_POINT",
 ]
 

@@ -23,17 +23,19 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Sequence
 
 from repro.machine.operations import Trace
 from repro.machine.processor import Processor
 from repro.units import MB, WORD_BYTES
 
+# repolint: exempt=REPO001 -- sweep/timing machinery shared by COPY/IA/XPOSE
 __all__ = [
     "DEFAULT_TOTAL_ELEMENTS",
     "DEFAULT_KTRIES",
     "sweep_axes",
     "best_of",
+    "time_host",
     "BandwidthPoint",
     "BandwidthCurve",
     "model_curve",

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+# repolint: exempt=REPO001 -- correctness probe (Section 4.1); nothing to price
 __all__ = ["Check", "ParanoiaReport", "run_paranoia"]
 
 

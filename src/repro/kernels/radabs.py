@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.machine.operations import Trace, VectorOp
+from repro.machine.operations import ScalarOp, Trace, VectorOp
 from repro.machine.processor import Processor
 from repro.units import MEGA
 
@@ -36,7 +36,10 @@ __all__ = [
     "radabs_kernel",
     "INTRINSIC_MIX",
     "RAW_FLOPS_PER_ELEMENT",
+    "GATHERED_LOADS_PER_ELEMENT",
+    "SCALAR_BOOKKEEPING_INSTRUCTIONS",
     "build_trace",
+    "build_scalar_trace",
     "model_mflops",
 ]
 
@@ -181,6 +184,56 @@ def build_trace(ncol: int, nlev: int = 18) -> Trace:
             )
         ],
         name=f"RADABS ncol={ncol} nlev={nlev}",
+    )
+
+
+#: Scalar loop-control/addressing instructions per level pair per column in
+#: the pre-rewrite coding style (index arithmetic, branch tests, scalar
+#: temporaries the compiler could not hoist into vector registers).
+SCALAR_BOOKKEEPING_INSTRUCTIONS = 60.0
+
+
+def build_scalar_trace(ncol: int, nlev: int = 18) -> Trace:
+    """The pre-Section-4.4 coding style of the same RADABS sweep.
+
+    Section 4.4's worked example: before the rewrite, RADABS iterated the
+    columns in an outer loop with the level-pair recurrences inside, so the
+    compiler could vectorise only over the short vertical extent (``nlev``
+    elements, far below the SX-4's half-performance length) while the
+    per-pair bookkeeping ran on the scalar unit.  The rewrite collapsed
+    the horizontal into long vectors — :func:`build_trace` — and is the
+    paper's exemplar of its "vector ≫ scalar" coding-style rule.
+
+    Total elements processed (and therefore flop-equivalents) match
+    :func:`build_trace` exactly; only the *shape* of the work differs.
+    The static analyzer flags this trace with VEC001 (short vectors) and
+    VEC004 (scalar-dominated) and the vectorised one with neither.
+    """
+    if ncol < 1 or nlev < 2:
+        raise ValueError(f"need ncol >= 1 and nlev >= 2, got {ncol}, {nlev}")
+    pairs = nlev * (nlev - 1) // 2 + nlev
+    # Same element count as the vectorised trace, in nlev-long slivers.
+    executions = pairs * ncol / nlev
+    return Trace(
+        [
+            VectorOp.make(
+                "radabs level sliver",
+                nlev,
+                count=executions,
+                flops_per_element=RAW_FLOPS_PER_ELEMENT,
+                loads_per_element=6.0,
+                stores_per_element=2.0,
+                gather_loads_per_element=GATHERED_LOADS_PER_ELEMENT,
+                intrinsics=INTRINSIC_MIX,
+            ),
+            ScalarOp(
+                "radabs pair bookkeeping",
+                instructions=SCALAR_BOOKKEEPING_INSTRUCTIONS,
+                memory_words=4.0,
+                count=float(pairs * ncol),
+            ),
+        ],
+        name=f"RADABS (scalar style) ncol={ncol} nlev={nlev}",
     )
 
 

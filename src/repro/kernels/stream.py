@@ -36,8 +36,8 @@ from repro.machine.operations import Trace, VectorOp
 from repro.machine.processor import Processor
 from repro.units import MB
 
-__all__ = ["STREAM_KERNELS", "StreamKernel", "run_host_kernel", "build_trace",
-           "model_bandwidths", "DEFAULT_ARRAY_ELEMENTS"]
+__all__ = ["STREAM_KERNELS", "StreamKernel", "kernel", "run_host_kernel",
+           "build_trace", "model_bandwidths", "DEFAULT_ARRAY_ELEMENTS"]
 
 #: STREAM's fixed array size (the point the paper criticises).
 DEFAULT_ARRAY_ELEMENTS = 2_000_000

@@ -93,25 +93,44 @@ class BankedMemory:
         return self.port_words_per_cycle / 2.0
 
     # -- stride / gather dilation ------------------------------------------
-    def stride_factor(self, stride: int) -> float:
-        """Throughput dilation for a constant-stride access pattern.
+    def distinct_banks(self, stride: int) -> int:
+        """How many distinct banks a constant-stride pattern cycles through.
 
-        Stride 1 and 2 are conflict-free by hardware guarantee.  Higher
-        strides pay the crossbar dilation plus a bank-conflict term: with
-        ``B`` banks the access pattern cycles through ``B / gcd(s, B)``
-        distinct banks, and if that subset cannot source
-        ``path_words_per_cycle`` words per cycle given the bank busy time,
-        throughput drops proportionally (power-of-two strides are the
-        worst case, as on any interleaved memory).
+        With ``B`` banks, stride ``s`` visits ``B / gcd(s, B)`` of them —
+        the interleaved-memory classic that makes power-of-two strides the
+        worst case (stride 512 on 1024 banks touches just 2 banks).
+        """
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        return self.banks // math.gcd(stride, self.banks)
+
+    def conflict_factor(self, stride: int) -> float:
+        """The pure bank-conflict part of the stride dilation (>= 1).
+
+        1.0 when the visited bank subset can still source the full path
+        width given the bank busy time; above 1.0 the banks themselves are
+        the bottleneck.  Strides 1 and 2 are conflict-free by hardware
+        guarantee.  The static analyzer's VEC002 rule reports this factor.
         """
         if stride < 1:
             raise ValueError(f"stride must be >= 1, got {stride}")
         if stride in (1, 2):
             return 1.0
-        distinct_banks = self.banks // math.gcd(stride, self.banks)
-        sustainable = distinct_banks / self.bank_busy_cycles
-        conflict = max(1.0, self.path_words_per_cycle / sustainable)
-        return self.stride_base_penalty * conflict
+        sustainable = self.distinct_banks(stride) / self.bank_busy_cycles
+        return max(1.0, self.path_words_per_cycle / sustainable)
+
+    def stride_factor(self, stride: int) -> float:
+        """Throughput dilation for a constant-stride access pattern.
+
+        Stride 1 and 2 are conflict-free by hardware guarantee.  Higher
+        strides pay the crossbar dilation (:attr:`stride_base_penalty`)
+        times the bank-conflict term (:meth:`conflict_factor`).
+        """
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        if stride in (1, 2):
+            return 1.0
+        return self.stride_base_penalty * self.conflict_factor(stride)
 
     def gather_factor(self) -> float:
         """Throughput dilation for list-vector (randomly indexed) access.

@@ -79,6 +79,21 @@ class VectorUnit:
         """Chained add+multiply across all pipes (16 for the SX-4)."""
         return float(self.pipes * self.concurrent_sets)
 
+    @property
+    def half_performance_length(self) -> int:
+        """Hockney's n½: the vector length at which a loop reaches half its
+        asymptotic rate.
+
+        With ``time(n) = startup + n / rate`` for a single chained vector
+        instruction stream delivering ``pipes`` results per cycle, half
+        performance is reached exactly when the pipe-busy time equals the
+        startup time, i.e. at ``startup_cycles * pipes`` elements (320 for
+        the SX-4's 40-cycle startup across 8 pipes, 15 for the Y-MP).
+        Loops shorter than this are startup-dominated — the knee of the
+        paper's Figures 5-7 short-vector roll-off.
+        """
+        return max(1, round(self.startup_cycles * self.pipes))
+
     def arithmetic_cycles(self, op: VectorOp) -> float:
         """Pipeline-busy cycles for the arithmetic of one loop execution.
 

@@ -15,7 +15,7 @@ block with room.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["ResourceBlock", "ResourceBlockSet", "Policy"]
 

@@ -10,7 +10,7 @@ numeric drifts beyond a tolerance.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.suite.results import Experiment, ShapeCheck

@@ -37,7 +37,7 @@ from repro.machine.specs import sx4_32_benchmark_specs
 from repro.scheduler import prodload
 from repro.iosim import hippi, history, network
 from repro.suite.results import Experiment
-from repro.units import fmt_time
+from repro.units import GB, GIGA, MB, MEGA, TB, fmt_time
 
 __all__ = [
     "table1_hint_vs_radabs",
@@ -56,6 +56,8 @@ __all__ = [
     "sec45_io",
     "sec46_prodload",
     "sec473_pop",
+    "sec2_architecture",
+    "sec3_other_benchmarks",
     "EXPERIMENTS",
 ]
 
@@ -233,7 +235,7 @@ def table5_one_year() -> Experiment:
     exp.check(
         "T63 year writes approximately 15 GB",
         abs(y63["io_bytes"] - 15e9) <= 0.15 * 15e9,
-        detail=f"model {y63['io_bytes'] / 1e9:.1f} GB",
+        detail=f"model {y63['io_bytes'] / GB:.1f} GB",
     )
     exp.check(
         "both runs complete in minutes-to-an-hour, not hours",
@@ -509,11 +511,11 @@ def sec45_io() -> Experiment:
     hip = hippi.hippi_benchmark(channels=1)
     net = network.network_benchmark()
     exp.rows = [
-        ["I/O (disk)", "T63 history write rate", f"{t63['write_rate_bytes_per_s'] / 1e6:.1f} MB/s"],
-        ["I/O (disk)", "T63 tape size", f"{t63['tape_bytes'] / 1e6:.1f} MB"],
-        ["HIPPI", "best single-transfer rate", f"{hip['single_curve'][-1][1] / 1e6:.1f} MB/s"],
-        ["HIPPI", "4-channel aggregate", f"{hippi.hippi_benchmark(channels=4)['aggregate_rate_bytes_per_s'] / 1e6:.1f} MB/s"],
-        ["NETWORK", "ftp put 100MB", f"{net['ftp put 100MB']['rate_bytes_per_s'] / 1e6:.2f} MB/s"],
+        ["I/O (disk)", "T63 history write rate", f"{t63['write_rate_bytes_per_s'] / MB:.1f} MB/s"],
+        ["I/O (disk)", "T63 tape size", f"{t63['tape_bytes'] / MB:.1f} MB"],
+        ["HIPPI", "best single-transfer rate", f"{hip['single_curve'][-1][1] / MB:.1f} MB/s"],
+        ["HIPPI", "4-channel aggregate", f"{hippi.hippi_benchmark(channels=4)['aggregate_rate_bytes_per_s'] / MB:.1f} MB/s"],
+        ["NETWORK", "ftp put 100MB", f"{net['ftp put 100MB']['rate_bytes_per_s'] / MB:.2f} MB/s"],
     ]
     disk_rate = t63["write_rate_bytes_per_s"]
     hippi_rate = hip["single_curve"][-1][1]
@@ -521,7 +523,7 @@ def sec45_io() -> Experiment:
     exp.check(
         "the hierarchy holds: FDDI < disk < HIPPI < memory",
         fddi_rate < disk_rate < hippi_rate < 16e9,
-        detail=f"{fddi_rate / 1e6:.1f} < {disk_rate / 1e6:.1f} < {hippi_rate / 1e6:.1f} MB/s",
+        detail=f"{fddi_rate / MB:.1f} < {disk_rate / MB:.1f} < {hippi_rate / MB:.1f} MB/s",
     )
     exp.check(
         "HIPPI approaches its 100 MB/s line rate on large packets",
@@ -596,15 +598,15 @@ def sec2_architecture() -> Experiment:
         headers=["Claim", "Model value", "Paper value"],
     )
     rows = [
-        ("peak per processor", f"{node.processor.peak_flops / 1e9:g} GFLOPS", "2 GFLOPS"),
-        ("peak per node", f"{node.peak_flops / 1e9:g} GFLOPS", "64 GFLOPS"),
+        ("peak per processor", f"{node.processor.peak_flops / GIGA:g} GFLOPS", "2 GFLOPS"),
+        ("peak per node", f"{node.peak_flops / GIGA:g} GFLOPS", "64 GFLOPS"),
         ("full system CPUs", f"{full.cpu_count}", "512"),
         ("memory bandwidth, full system",
-         f"{full.aggregate_memory_bandwidth_bytes_per_s / 1e12:.1f} TB/s", "> 8 TB/s"),
+         f"{full.aggregate_memory_bandwidth_bytes_per_s / TB:.1f} TB/s", "> 8 TB/s"),
         ("IXS bisection, 16 nodes",
-         f"{full.ixs.bisection_bytes_per_s(16) / 1e9:g} GB/s", "128 GB/s"),
+         f"{full.ixs.bisection_bytes_per_s(16) / GB:g} GB/s", "128 GB/s"),
         ("node memory bandwidth",
-         f"{node.node_bandwidth_bytes_per_s / 1e9:g} GB/s", "512 GB/s"),
+         f"{node.node_bandwidth_bytes_per_s / GB:g} GB/s", "512 GB/s"),
     ]
     exp.rows = [list(r) for r in rows]
     exp.check("peak per processor is 2 GFLOPS at 8.0 ns",
@@ -638,8 +640,8 @@ def sec3_other_benchmarks() -> Experiment:
         headers=["Benchmark", "Result", "The paper's criticism, measured"],
     )
     linpack_mflops = linpack.model_mflops(proc, 1000)
-    linpack_eff = linpack_mflops * 1e6 / proc.peak_flops
-    radabs_raw_eff = proc.execute(radabs.build_trace(8192)).raw_mflops * 1e6 / proc.peak_flops
+    linpack_eff = linpack_mflops * MEGA / proc.peak_flops
+    radabs_raw_eff = proc.execute(radabs.build_trace(8192)).raw_mflops * MEGA / proc.peak_flops
     stream_bws = stream.model_bandwidths(proc)
     ncar_copy = kcopy.model_curve(proc)
     ns, bws = ncar_copy.series()

@@ -10,6 +10,7 @@ from __future__ import annotations
 import sys
 from dataclasses import dataclass, field
 
+from repro.analysis.traces import experiment_summaries
 from repro.suite.experiments import EXPERIMENTS
 from repro.suite.figures import render_ascii_chart
 from repro.suite.results import Experiment
@@ -57,8 +58,13 @@ def run_suite(exp_ids: list[str] | None = None) -> SuiteReport:
     return report
 
 
-def render_experiment(exp: Experiment) -> str:
-    """Full text rendering: table, chart, notes, checks."""
+def render_experiment(exp: Experiment, diagnostics: bool = True) -> str:
+    """Full text rendering: table, chart, notes, checks, diagnostics.
+
+    The trailing ``vectorization:`` lines summarise what the static
+    analyzer says about each trace behind the experiment — the coding
+    styles that *produced* the numbers above them (Section 4.4).
+    """
     parts = [f"=== {exp.exp_id}: {exp.title} ==="]
     if exp.rows:
         parts.append(render_table(exp.headers, exp.rows))
@@ -67,6 +73,9 @@ def render_experiment(exp: Experiment) -> str:
     if exp.notes:
         parts.append(f"note: {exp.notes}")
     parts.extend(str(check) for check in exp.checks)
+    if diagnostics:
+        for trace_id, report in experiment_summaries(exp.exp_id):
+            parts.append(f"vectorization: {trace_id}: {report.summary_line()}")
     return "\n".join(parts)
 
 

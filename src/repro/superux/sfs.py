@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.machine.iop import DiskArray
 from repro.machine.xmu import ExtendedMemoryUnit
-from repro.units import GB, MB, TB
+from repro.units import MB, TB
 
 __all__ = ["SFSFile", "SFSFileSystem"]
 

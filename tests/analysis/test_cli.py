@@ -1,0 +1,54 @@
+"""Smoke tests for the ``python -m repro.analysis`` CLI."""
+
+import pytest
+
+from repro.analysis.__main__ import main
+from repro.analysis.traces import TRACE_BUILDERS
+
+
+class TestList:
+    def test_lists_every_registered_id(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for trace_id in TRACE_BUILDERS:
+            assert trace_id in out
+
+
+class TestTrace:
+    def test_clean_benchmark_exits_zero(self, capsys):
+        assert main(["trace", "radabs"]) == 0
+        out = capsys.readouterr().out
+        assert "== radabs:" in out
+        assert "no diagnostics" in out
+        assert "summary: clean" in out
+
+    def test_diagnosed_benchmark_still_exits_zero(self, capsys):
+        # trace is advisory: diagnostics explain performance, not failures
+        assert main(["trace", "radabs-scalar"]) == 0
+        out = capsys.readouterr().out
+        assert "VEC004" in out
+
+    def test_multiple_ids_in_order(self, capsys):
+        assert main(["trace", "copy", "xpose"]) == 0
+        out = capsys.readouterr().out
+        assert out.index("== copy:") < out.index("== xpose:")
+        assert "VEC002" in out  # xpose's stride-512 bank conflict
+
+    def test_unknown_id_exits_two(self, capsys):
+        assert main(["trace", "no-such-benchmark"]) == 2
+        assert "unknown benchmark id" in capsys.readouterr().out
+
+    def test_no_ids_and_no_all_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["trace"])
+        assert exc.value.code == 2
+
+
+def test_repolint_gate_passes_at_head(capsys):
+    assert main(["--repolint"]) == 0
+    assert "all repo invariants hold" in capsys.readouterr().out
+
+
+def test_no_arguments_prints_help_and_exits_two(capsys):
+    assert main([]) == 2
+    assert "usage:" in capsys.readouterr().out

@@ -1,0 +1,71 @@
+"""Tests for the shared diagnostics core."""
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+    count_by_rule,
+)
+
+
+def _diag(rule="VEC001", sev=Severity.WARNING, impact=None):
+    return Diagnostic(
+        rule_id=rule,
+        severity=sev,
+        location="op[0] 'x'",
+        message="finding",
+        predicted_impact=impact,
+    )
+
+
+class TestSeverity:
+    def test_ordering_picks_worst(self):
+        assert max(Severity.INFO, Severity.WARNING, Severity.ERROR) is Severity.ERROR
+
+    def test_renders_lowercase(self):
+        assert str(Severity.WARNING) == "warning"
+
+
+class TestDiagnostic:
+    def test_str_carries_rule_severity_location(self):
+        text = str(_diag())
+        assert text.startswith("VEC001 warning: op[0] 'x':")
+
+    def test_impact_rendered_when_meaningful(self):
+        assert "[~8.0x]" in str(_diag(impact=8.0))
+        assert "[~" not in str(_diag(impact=None))
+        assert "[~" not in str(_diag(impact=1.0))  # no slowdown, no suffix
+
+
+class TestDiagnosticReport:
+    def test_clean_report(self):
+        report = DiagnosticReport(subject="t")
+        assert report.clean
+        assert len(report) == 0
+        assert report.worst_severity is None
+        assert report.summary_line() == "clean"
+
+    def test_worst_severity_and_by_rule(self):
+        report = DiagnosticReport(
+            subject="t",
+            diagnostics=[_diag(), _diag("VEC005", Severity.INFO)],
+        )
+        assert report.worst_severity is Severity.WARNING
+        assert len(report.by_rule("VEC005")) == 1
+        assert not report.clean
+
+    def test_summary_line_counts_and_worst_impact(self):
+        report = DiagnosticReport(
+            subject="t",
+            diagnostics=[_diag(impact=2.0), _diag(impact=8.0), _diag("VEC004")],
+        )
+        line = report.summary_line()
+        assert "VEC001 x2" in line
+        assert "VEC004 x1" in line
+        assert "worst ~8.0x" in line
+
+
+def test_count_by_rule_first_seen_order():
+    counts = count_by_rule([_diag("VEC002"), _diag("VEC001"), _diag("VEC002")])
+    assert counts == {"VEC002": 2, "VEC001": 1}
+    assert list(counts) == ["VEC002", "VEC001"]

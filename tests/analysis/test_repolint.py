@@ -1,0 +1,231 @@
+"""Repolint tests: each REPO rule against synthetic modules, and the
+repo itself, which must be clean at head (the CI gate)."""
+
+import textwrap
+
+from repro.analysis.repolint import lint_file, lint_repo, repo_root
+
+
+def write_module(root, rel, source):
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def rule_ids(diagnostics):
+    return [d.rule_id for d in diagnostics]
+
+
+class TestKernelContract:
+    def test_missing_both_faces(self, tmp_path):
+        path = write_module(
+            tmp_path, "src/repro/kernels/bad.py", "def helper():\n    pass\n"
+        )
+        found = lint_file(path, tmp_path)
+        assert rule_ids(found) == ["REPO001"]
+        assert "functional entry point" in found[0].message
+        assert "trace builder" in found[0].message
+
+    def test_both_faces_satisfy_the_contract(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/kernels/good.py",
+            """
+            def good_kernel(a):
+                return a
+
+            def build_trace(n):
+                return None
+            """,
+        )
+        assert lint_file(path, tmp_path) == []
+
+    def test_alternate_entry_and_suffixed_builder(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/kernels/alt.py",
+            """
+            def solve(a, b):
+                return b
+
+            def throughput_trace(name):
+                return None
+            """,
+        )
+        assert lint_file(path, tmp_path) == []
+
+    def test_module_exempt_pragma(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/kernels/shared.py",
+            """
+            # repolint: exempt=REPO001 -- shared machinery, no benchmark face
+            def helper():
+                pass
+            """,
+        )
+        assert lint_file(path, tmp_path) == []
+
+    def test_non_kernel_module_is_out_of_scope(self, tmp_path):
+        path = write_module(
+            tmp_path, "src/repro/suite/misc.py", "def helper():\n    pass\n"
+        )
+        assert lint_file(path, tmp_path) == []
+
+
+class TestAllExports:
+    def test_phantom_export_and_missing_public_def(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/suite/exports.py",
+            """
+            __all__ = ["phantom"]
+
+
+            def public_fn():
+                pass
+            """,
+        )
+        found = lint_file(path, tmp_path)
+        assert rule_ids(found) == ["REPO002", "REPO002"]
+        messages = " ".join(d.message for d in found)
+        assert "phantom" in messages
+        assert "public_fn" in messages
+
+    def test_matching_all_is_clean(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/suite/ok.py",
+            """
+            __all__ = ["public_fn"]
+
+
+            def public_fn():
+                pass
+
+
+            def _private():
+                pass
+            """,
+        )
+        assert lint_file(path, tmp_path) == []
+
+    def test_module_without_all_is_not_checked(self, tmp_path):
+        path = write_module(
+            tmp_path, "src/repro/suite/no_all.py", "def public_fn():\n    pass\n"
+        )
+        assert lint_file(path, tmp_path) == []
+
+
+class TestIntrinsicNames:
+    def test_unknown_intrinsic_in_call_kwarg(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/suite/mix.py",
+            'op = VectorOp.make("v", 8, intrinsics={"tanh": 1.0})\n',
+        )
+        found = lint_file(path, tmp_path)
+        assert rule_ids(found) == ["REPO003"]
+        assert "tanh" in found[0].message
+
+    def test_unknown_key_in_intrinsic_table(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/suite/table.py",
+            'MY_INTRINSIC_RATES = {"exp": 1.0, "cosh": 2.0}\n',
+        )
+        assert rule_ids(lint_file(path, tmp_path)) == ["REPO003"]
+
+    def test_known_names_are_clean(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/suite/okmix.py",
+            'op = VectorOp.make("v", 8, intrinsics={"exp": 1.0, "sqrt": 0.5})\n',
+        )
+        assert lint_file(path, tmp_path) == []
+
+    def test_line_skip_pragma(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "tests/test_neg.py",
+            'op = VectorOp.make("v", 8, intrinsics={"tanh": 1.0})  # repolint: skip\n',
+        )
+        assert lint_file(path, tmp_path) == []
+
+
+class TestDeterminism:
+    SOURCE = """
+    import time
+    import numpy as np
+
+
+    def now():
+        return time.perf_counter() + np.random.rand()
+    """
+
+    def test_clock_and_entropy_in_simulator_path(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/machine/clocky.py", self.SOURCE)
+        ids = rule_ids(lint_file(path, tmp_path))
+        assert ids.count("REPO004") == 3  # import, time.perf_counter, np.random
+
+    def test_same_code_outside_simulator_paths_is_allowed(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/kernels/hosty.py", self.SOURCE)
+        assert "REPO004" not in rule_ids(lint_file(path, tmp_path))
+
+    def test_event_time_is_clean(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/scheduler/fine.py",
+            "def advance(queue):\n    return queue.pop()\n",
+        )
+        assert lint_file(path, tmp_path) == []
+
+
+class TestMagicUnits:
+    def test_literal_scale_factor_in_src(self, tmp_path):
+        path = write_module(
+            tmp_path, "src/repro/suite/scales.py", "mflops = flops / 1e6\n"
+        )
+        found = lint_file(path, tmp_path)
+        assert rule_ids(found) == ["REPO005"]
+        assert "MEGA" in found[0].message
+
+    def test_units_module_itself_is_exempt(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/units.py", "MEGA = 1.0 * 1e6\n")
+        assert lint_file(path, tmp_path) == []
+
+    def test_tests_are_out_of_scope(self, tmp_path):
+        path = write_module(tmp_path, "tests/test_scales.py", "x = 3.0 * 1e9\n")
+        assert lint_file(path, tmp_path) == []
+
+    def test_non_unit_literals_are_fine(self, tmp_path):
+        path = write_module(
+            tmp_path, "src/repro/suite/maths.py", "y = x * 2.5e6\n"
+        )
+        assert lint_file(path, tmp_path) == []
+
+
+def test_syntax_error_is_repo000(tmp_path):
+    path = write_module(tmp_path, "src/repro/suite/broken.py", "def oops(:\n")
+    found = lint_file(path, tmp_path)
+    assert rule_ids(found) == ["REPO000"]
+
+
+def test_lint_repo_walks_and_aggregates(tmp_path):
+    write_module(tmp_path, "src/repro/kernels/bad.py", "def helper():\n    pass\n")
+    write_module(tmp_path, "tests/test_ok.py", "def test_x():\n    assert True\n")
+    report = lint_repo(tmp_path)
+    assert rule_ids(report.diagnostics) == ["REPO001"]
+
+
+def test_repo_is_clean_at_head():
+    """The CI gate: the repository's own invariants all hold."""
+    report = lint_repo(repo_root())
+    assert report.clean, "\n".join(str(d) for d in report)
+
+
+def test_repo_root_points_at_the_checkout():
+    root = repo_root()
+    assert (root / "src" / "repro").is_dir()
+    assert (root / "tests").is_dir()

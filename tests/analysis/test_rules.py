@@ -1,0 +1,146 @@
+"""Per-rule tests: one positive and one negative trace for each VEC rule.
+
+Synthetic traces are built directly from operation descriptors so each
+test isolates exactly the coding style its rule is meant to catch, priced
+against the calibrated SX-4 model.
+"""
+
+import pytest
+
+from repro.analysis import analyze_trace
+from repro.analysis.rules import (
+    SCALAR_FRACTION_THRESHOLD,
+    rule_vec001_short_vectors,
+    rule_vec002_bank_conflict_stride,
+    rule_vec003_gather_dominated,
+    rule_vec004_scalar_dominated,
+    rule_vec005_low_intensity,
+    rule_vec006_intrinsic_heavy,
+)
+from repro.machine.operations import ScalarOp, Trace, VectorOp
+from repro.machine.presets import sx4_processor
+
+
+@pytest.fixture(scope="module")
+def sx4():
+    return sx4_processor()
+
+
+def _long_vector(flops=4.0, **kwargs):
+    """A loop the rules should all accept: long, unit stride, flop-rich."""
+    kwargs.setdefault("loads_per_element", 1.0)
+    kwargs.setdefault("stores_per_element", 1.0)
+    return VectorOp("good loop", length=65536, flops_per_element=flops, **kwargs)
+
+
+class TestVec001ShortVectors:
+    def test_fires_below_half_performance_length(self, sx4):
+        n_half = sx4.vector.half_performance_length
+        trace = Trace([VectorOp("short", length=n_half - 1, flops_per_element=2.0)])
+        found = rule_vec001_short_vectors(trace, sx4)
+        assert len(found) == 1
+        assert found[0].rule_id == "VEC001"
+        assert found[0].predicted_impact > 1.0
+        assert str(n_half) in found[0].message
+
+    def test_silent_at_asymptotic_length(self, sx4):
+        trace = Trace([_long_vector()])
+        assert rule_vec001_short_vectors(trace, sx4) == []
+
+
+class TestVec002BankConflicts:
+    def test_fires_on_power_of_two_stride(self, sx4):
+        trace = Trace([_long_vector(load_stride=512)])
+        found = rule_vec002_bank_conflict_stride(trace, sx4)
+        assert len(found) == 1
+        # Stride 512 on 1024 two-cycle banks: the modelled 8x slowdown.
+        assert found[0].predicted_impact == pytest.approx(8.0)
+
+    def test_silent_at_unit_and_guaranteed_strides(self, sx4):
+        for stride in (1, 2):
+            trace = Trace([_long_vector(load_stride=stride, store_stride=stride)])
+            assert rule_vec002_bank_conflict_stride(trace, sx4) == []
+
+    def test_ignores_stride_on_idle_path(self, sx4):
+        # A bad store stride with zero stores moves nothing: no finding.
+        trace = Trace([_long_vector(stores_per_element=0.0, store_stride=512)])
+        assert rule_vec002_bank_conflict_stride(trace, sx4) == []
+
+
+class TestVec003GatherDominated:
+    def test_fires_when_indexed_words_dominate(self, sx4):
+        trace = Trace(
+            [
+                _long_vector(
+                    loads_per_element=0.0, gather_loads_per_element=1.0
+                )
+            ]
+        )
+        found = rule_vec003_gather_dominated(trace, sx4)
+        assert len(found) == 1
+        assert found[0].predicted_impact > 1.0
+
+    def test_silent_when_sequential_words_dominate(self, sx4):
+        trace = Trace([_long_vector(gather_loads_per_element=0.5)])
+        assert rule_vec003_gather_dominated(trace, sx4) == []
+
+
+class TestVec004ScalarDominated:
+    def test_fires_past_the_amdahl_threshold(self, sx4):
+        trace = Trace(
+            [_long_vector(), ScalarOp("bookkeeping", instructions=1e7)]
+        )
+        found = rule_vec004_scalar_dominated(trace, sx4)
+        assert len(found) == 1
+        assert found[0].predicted_impact > 1.0 / (1.0 - SCALAR_FRACTION_THRESHOLD)
+
+    def test_all_scalar_trace_has_unquantified_impact(self, sx4):
+        trace = Trace([ScalarOp("recursion", instructions=1e6)])
+        found = rule_vec004_scalar_dominated(trace, sx4)
+        assert len(found) == 1
+        assert found[0].predicted_impact is None  # no 'inf' factors
+
+    def test_silent_when_vector_work_dominates(self, sx4):
+        trace = Trace([_long_vector(), ScalarOp("loop setup", instructions=8.0)])
+        assert rule_vec004_scalar_dominated(trace, sx4) == []
+
+
+class TestVec005LowIntensity:
+    def test_fires_below_machine_balance(self, sx4):
+        # 0.5 flops over 2 words = 0.25 flops/word against a 1.0 balance.
+        trace = Trace([_long_vector(flops=0.5)])
+        found = rule_vec005_low_intensity(trace, sx4)
+        assert len(found) == 1
+        assert found[0].predicted_impact == pytest.approx(4.0)
+
+    def test_zero_flop_trace_has_unquantified_impact(self, sx4):
+        trace = Trace([_long_vector(flops=0.0)])
+        found = rule_vec005_low_intensity(trace, sx4)
+        assert len(found) == 1
+        assert found[0].predicted_impact is None
+
+    def test_silent_at_or_above_balance(self, sx4):
+        trace = Trace([_long_vector(flops=8.0)])
+        assert rule_vec005_low_intensity(trace, sx4) == []
+
+
+class TestVec006IntrinsicHeavy:
+    def test_fires_on_radabs_style_mix(self, sx4):
+        trace = Trace(
+            [_long_vector(flops=0.5, intrinsic_calls=(("exp", 1.0),))]
+        )
+        found = rule_vec006_intrinsic_heavy(trace, sx4)
+        assert len(found) == 1
+        assert "exp" in found[0].message
+
+    def test_silent_when_genuine_flops_dominate(self, sx4):
+        trace = Trace(
+            [_long_vector(flops=8.0, intrinsic_calls=(("div", 0.1),))]
+        )
+        assert rule_vec006_intrinsic_heavy(trace, sx4) == []
+
+
+def test_well_styled_trace_is_fully_clean(sx4):
+    """A long unit-stride flop-rich loop trips none of the six rules."""
+    report = analyze_trace(Trace([_long_vector(flops=8.0)]), sx4)
+    assert report.clean

@@ -44,7 +44,7 @@ class TestVectorOp:
 
     def test_unknown_intrinsic_rejected(self):
         with pytest.raises(ValueError):
-            VectorOp.make("v", 4, intrinsics={"tanh": 1.0})
+            VectorOp.make("v", 4, intrinsics={"tanh": 1.0})  # repolint: skip
 
     def test_invalid_length_rejected(self):
         with pytest.raises(ValueError):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.machine.clock import Clock
-from repro.machine.node import Node, block_imbalance
+from repro.machine.node import block_imbalance
 from repro.machine.operations import ScalarOp, Trace, VectorOp
 from repro.machine.presets import sx4_node, sx4_processor
 from repro.machine.processor import Processor

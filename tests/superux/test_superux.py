@@ -12,7 +12,7 @@ from repro.apps.pop.model import POPModel
 from repro.superux.checkpoint import Checkpoint, restore_model, take_checkpoint
 from repro.superux.nqs import BatchJob, NQSQueue, QueueComplex
 from repro.superux.sfs import MAX_FILE_BYTES, SFSFileSystem
-from repro.units import GB, MB
+from repro.units import MB
 
 
 class TestCheckpointRestart:

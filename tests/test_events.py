@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.events import Acquire, Process, Release, Resource, SimulationError, Simulator
+from repro.events import Acquire, Release, Resource, SimulationError, Simulator
 
 
 class TestBasics:
