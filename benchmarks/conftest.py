@@ -8,6 +8,31 @@ import pytest
 sys.path.insert(0, os.path.dirname(__file__))
 
 
+def pytest_addoption(parser):
+    group = parser.getgroup("repro engine")
+    group.addoption("--engine", action="store_true", default=False,
+                    help="route experiment regeneration through repro.engine "
+                         "(content-addressed cache + parallel fan-out)")
+    group.addoption("--jobs", type=int, default=1,
+                    help="engine worker processes (with --engine)")
+    group.addoption("--no-cache", action="store_true", default=False,
+                    help="with --engine: bypass the result store")
+    group.addoption("--engine-cache-dir", default=None,
+                    help="with --engine: result store root "
+                         "(default: .repro-cache)")
+
+
+def pytest_configure(config):
+    if config.getoption("--engine", default=False):
+        import _harness
+
+        _harness.configure_engine(
+            jobs=config.getoption("--jobs"),
+            use_cache=not config.getoption("--no-cache"),
+            cache_dir=config.getoption("--engine-cache-dir"),
+        )
+
+
 @pytest.fixture
 def sx4():
     from repro.machine.presets import sx4_processor

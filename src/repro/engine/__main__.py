@@ -1,0 +1,6 @@
+"""``python -m repro.engine`` entry point."""
+
+from repro.engine.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

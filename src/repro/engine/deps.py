@@ -1,0 +1,277 @@
+"""Static dependency tracing and content-addressed experiment digests.
+
+The cache key for an experiment must change exactly when its result
+could: the engine never *runs* anything to decide staleness.  So the
+key is a digest over
+
+1. the experiment id,
+2. the source bytes of every ``repro.*`` module the experiment's
+   builder function *transitively* imports (traced statically, below),
+3. the machine-preset configuration fingerprint (the clock periods the
+   calibrated presets are built around), and
+4. a digest schema version, so a change to the keying scheme itself
+   invalidates every prior entry.
+
+Tracing is per-builder, not per-module: ``repro.suite.experiments``
+imports every kernel, so hashing *its* import closure would make any
+kernel edit invalidate the whole suite.  Instead we walk the builder
+function's AST, resolve the names it references against the module's
+import table (following module-local helpers like ``_sx4``), and take
+the transitive ``repro.*`` closure of only those seeds.  Editing
+``rfft.py`` therefore invalidates ``figure6`` and ``figure7`` but not
+``table1``.  The experiments module itself is always part of the key —
+an edit there conservatively invalidates everything.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+
+import repro
+from repro.machine import presets
+
+__all__ = [
+    "DIGEST_SCHEMA",
+    "EXPERIMENTS_MODULE",
+    "ExperimentDigest",
+    "package_root",
+    "module_path",
+    "dependency_closure",
+    "experiment_dependencies",
+    "machine_fingerprint",
+    "experiment_digest",
+    "suite_digests",
+]
+
+#: Bump when the keying scheme changes: old cache entries become stale.
+DIGEST_SCHEMA = 1
+
+#: The module whose builder functions define the suite.
+EXPERIMENTS_MODULE = "repro.suite.experiments"
+
+_PACKAGE = "repro"
+
+
+def package_root() -> Path:
+    """Directory holding the installed ``repro`` package sources."""
+    return Path(repro.__file__).resolve().parent
+
+
+def module_path(dotted: str) -> Path | None:
+    """File for a dotted ``repro.*`` module name, or None if no such module."""
+    if dotted != _PACKAGE and not dotted.startswith(_PACKAGE + "."):
+        return None
+    parts = dotted.split(".")[1:]
+    base = package_root().joinpath(*parts) if parts else package_root()
+    if base.with_suffix(".py").is_file():
+        return base.with_suffix(".py")
+    init = base / "__init__.py"
+    if init.is_file():
+        return init
+    return None
+
+
+def _imported_modules(tree: ast.AST, current_package: str) -> set[str]:
+    """Every ``repro.*`` module a parsed source imports (anywhere in it).
+
+    ``from repro.kernels import hint`` names the *submodule* — resolve
+    each alias against the filesystem to tell submodules from symbols.
+    """
+    found: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if module_path(alias.name) is not None:
+                    found.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if node.level:  # relative import: resolve against this package
+                pkg_parts = current_package.split(".")
+                module = ".".join(pkg_parts[: len(pkg_parts) - node.level + 1]
+                                  + ([module] if module else []))
+            if module_path(module) is None:
+                continue
+            for alias in node.names:
+                submodule = f"{module}.{alias.name}"
+                found.add(submodule if module_path(submodule) is not None else module)
+    return found
+
+
+def dependency_closure(
+    seeds: Iterable[str], no_traverse: Iterable[str] = ()
+) -> dict[str, Path]:
+    """Transitive ``repro.*`` import closure of the seed modules.
+
+    Package ``__init__`` files are *hashed but never traversed*: they run
+    on import (so their bytes belong in the key), but they re-export
+    wide — ``repro.kernels`` imports every kernel — and following them
+    would collapse every experiment's closure into the whole repo.  This
+    repo's modules import submodules directly, which is the path the
+    tracer follows.  ``no_traverse`` marks additional hash-only modules
+    (the experiments module, whose imports span the suite by design).
+    """
+    closure: dict[str, Path] = {}
+    hash_only = set(no_traverse)
+    frontier = [s for s in seeds if module_path(s) is not None]
+    while frontier:
+        name = frontier.pop()
+        if name in closure:
+            continue
+        path = module_path(name)
+        if path is None:
+            continue
+        closure[name] = path
+        # A module implies its ancestor packages (their __init__ runs on
+        # import) — included hash-only.
+        parts = name.split(".")
+        for i in range(1, len(parts)):
+            ancestor = ".".join(parts[:i])
+            ancestor_path = module_path(ancestor)
+            if ancestor_path is not None:
+                closure.setdefault(ancestor, ancestor_path)
+        if name in hash_only or path.name == "__init__.py":
+            continue
+        tree = _parse(path)
+        frontier.extend(_imported_modules(tree, name.rsplit(".", 1)[0]))
+    return closure
+
+
+@lru_cache(maxsize=None)
+def _parse(path: Path) -> ast.Module:
+    return ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+
+
+@lru_cache(maxsize=1)
+def _experiments_module_index() -> tuple[dict[str, str], dict[str, ast.FunctionDef]]:
+    """(import table: local name -> module, top-level functions by name)."""
+    tree = _parse(module_path(EXPERIMENTS_MODULE))
+    imports: dict[str, str] = {}
+    functions: dict[str, ast.FunctionDef] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if module_path(alias.name) is not None:
+                    imports[(alias.asname or alias.name).split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module_path(module) is None:
+                continue
+            for alias in node.names:
+                submodule = f"{module}.{alias.name}"
+                target = submodule if module_path(submodule) is not None else module
+                imports[alias.asname or alias.name] = target
+        elif isinstance(node, ast.FunctionDef):
+            functions[node.name] = node
+    return imports, functions
+
+
+def _builder_seeds(builder_name: str) -> set[str]:
+    """Modules a builder function references, following local helpers."""
+    imports, functions = _experiments_module_index()
+    seeds: set[str] = set()
+    visited: set[str] = set()
+
+    def visit(name: str) -> None:
+        if name in visited:
+            return
+        visited.add(name)
+        fn = functions.get(name)
+        if fn is None:
+            raise KeyError(
+                f"no builder function {name!r} in {EXPERIMENTS_MODULE}"
+            )
+        seeds.update(_imported_modules(fn, EXPERIMENTS_MODULE.rsplit(".", 1)[0]))
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if node.id in imports:
+                    seeds.add(imports[node.id])
+                elif node.id in functions and node.id != name:
+                    visit(node.id)
+
+    visit(builder_name)
+    return seeds
+
+
+def _seeds_for(exp_id: str) -> set[str]:
+    from repro.suite.experiments import EXPERIMENTS
+
+    if exp_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
+        )
+    builder = EXPERIMENTS[exp_id]
+    module = getattr(builder, "__module__", "")
+    if module == EXPERIMENTS_MODULE:
+        return _builder_seeds(builder.__name__)
+    # A builder registered from elsewhere (tests, extensions): seed from
+    # its defining module if that is a repro module, else nothing — the
+    # experiments module below still anchors the digest.
+    return {module} if module_path(module) is not None else set()
+
+
+def experiment_dependencies(exp_id: str) -> dict[str, Path]:
+    """Module name -> source file for everything the experiment depends on."""
+    seeds = _seeds_for(exp_id)
+    seeds.add(EXPERIMENTS_MODULE)
+    return dependency_closure(seeds, no_traverse={EXPERIMENTS_MODULE})
+
+
+def machine_fingerprint() -> str:
+    """Digest of the machine-preset configuration the suite is built on."""
+    config = {
+        "benchmark_clock_ns": presets.BENCHMARK_CLOCK_NS,
+        "production_clock_ns": presets.PRODUCTION_CLOCK_NS,
+    }
+    text = ",".join(f"{k}={v!r}" for k, v in sorted(config.items()))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ExperimentDigest:
+    """The content-addressed identity of one experiment's result."""
+
+    exp_id: str
+    key: str  # sha256 hex over id + dep sources + machine config
+    modules: tuple[str, ...]  # sorted dependency module names
+
+
+def experiment_digest(
+    exp_id: str, sources: Mapping[str, bytes] | None = None
+) -> ExperimentDigest:
+    """Digest for one experiment.
+
+    ``sources`` overrides the on-disk bytes per module name — the seam
+    tests (and ``plan --what-if`` style tooling) use to ask "what would
+    an edit to module X invalidate?" without touching the tree.
+    """
+    deps = experiment_dependencies(exp_id)
+    hasher = hashlib.sha256()
+    hasher.update(f"schema={DIGEST_SCHEMA}\x00".encode())
+    hasher.update(f"exp_id={exp_id}\x00".encode())
+    hasher.update(f"machine={machine_fingerprint()}\x00".encode())
+    for name in sorted(deps):
+        if sources is not None and name in sources:
+            blob = sources[name]
+        else:
+            blob = deps[name].read_bytes()
+        hasher.update(f"{name}\x00".encode())
+        hasher.update(hashlib.sha256(blob).digest())
+        hasher.update(b"\x00")
+    return ExperimentDigest(exp_id=exp_id, key=hasher.hexdigest(),
+                            modules=tuple(sorted(deps)))
+
+
+def suite_digests(
+    exp_ids: Iterable[str] | None = None,
+    sources: Mapping[str, bytes] | None = None,
+) -> dict[str, ExperimentDigest]:
+    """Digests for the requested experiments (default: all, paper order)."""
+    from repro.suite.experiments import EXPERIMENTS
+
+    ids = list(EXPERIMENTS) if exp_ids is None else list(exp_ids)
+    return {exp_id: experiment_digest(exp_id, sources) for exp_id in ids}

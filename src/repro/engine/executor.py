@@ -1,0 +1,300 @@
+"""Parallel experiment execution with crash isolation.
+
+``execute_jobs`` fans experiment builders out over a
+``ProcessPoolExecutor`` (forked workers where the platform has them, so
+the registry state the parent sees is exactly what workers see).  The
+isolation contract:
+
+* a builder that **raises** comes back as a structured
+  :class:`JobFailure` (kind ``error``) carrying the traceback;
+* a worker process that **dies** (segfault, ``os._exit``, OOM-kill)
+  surfaces as kind ``crash``;
+* a job that exceeds its **timeout** surfaces as kind ``timeout``;
+* in every case the remaining jobs keep running and results come back
+  in the order the ids were requested — never completion order.
+
+``run_engine`` is the orchestrator the CLI and the suite runner call:
+plan against the store, execute only stale/missing experiments,
+persist what ran, and splice cache hits back in.  With ``verify=True``
+every result (executed or cached) is re-derived serially in-process
+and byte-compared against :func:`repro.engine.store.canonical_bytes` —
+the simulator is deterministic, and this asserts it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from collections.abc import Iterable
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+
+from repro.engine.deps import ExperimentDigest
+from repro.engine.plan import HIT, ExecutionPlan, plan_suite
+from repro.engine.store import ResultStore, canonical_bytes
+from repro.suite.results import Experiment
+
+__all__ = [
+    "EXECUTED",
+    "CACHE",
+    "JobResult",
+    "JobFailure",
+    "DeterminismError",
+    "EngineReport",
+    "execute_jobs",
+    "run_engine",
+]
+
+EXECUTED = "executed"
+CACHE = "cache"
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """One experiment that produced a result."""
+
+    exp_id: str
+    experiment: Experiment
+    elapsed_s: float  # wall seconds the (original) execution took
+    source: str  # EXECUTED or CACHE
+    worker_pid: int = 0
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """One experiment that did not: error, crash, or timeout.
+
+    A failure never propagates as an exception out of the executor —
+    it is a value in the result list, in the failed job's slot.
+    """
+
+    exp_id: str
+    kind: str  # "error" | "crash" | "timeout"
+    message: str
+    traceback: str = ""
+
+    def summary_line(self) -> str:
+        return f"FAIL {self.exp_id:<10} [{self.kind}] {self.message}"
+
+
+class DeterminismError(AssertionError):
+    """Serial, parallel, and cached bytes disagreed — should be impossible."""
+
+
+def _execute_job(exp_id: str) -> dict:
+    """Worker entry: build one experiment, serialized for the pipe.
+
+    Returns a plain dict (picklable regardless of what the builder
+    touched); builder exceptions are caught here so they come back as
+    data, not as a poisoned future.
+    """
+    from repro.suite.archive import experiment_to_dict
+    from repro.suite.experiments import EXPERIMENTS
+
+    start = time.perf_counter()
+    try:
+        experiment = EXPERIMENTS[exp_id]()
+        return {
+            "ok": True,
+            "exp_id": exp_id,
+            "experiment": experiment_to_dict(experiment),
+            "elapsed_s": time.perf_counter() - start,
+            "pid": os.getpid(),
+        }
+    except Exception as exc:
+        return {
+            "ok": False,
+            "exp_id": exp_id,
+            "message": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+        }
+
+
+def _from_payload(payload: dict) -> JobResult | JobFailure:
+    from repro.suite.archive import experiment_from_dict
+
+    if payload["ok"]:
+        return JobResult(
+            exp_id=payload["exp_id"],
+            experiment=experiment_from_dict(payload["experiment"]),
+            elapsed_s=payload["elapsed_s"],
+            source=EXECUTED,
+            worker_pid=payload["pid"],
+        )
+    return JobFailure(
+        exp_id=payload["exp_id"],
+        kind="error",
+        message=payload["message"],
+        traceback=payload["traceback"],
+    )
+
+
+def _pool_context():
+    """Fork where available: workers inherit the parent's module state."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()
+
+
+def execute_jobs(
+    exp_ids: Iterable[str],
+    jobs: int = 1,
+    timeout_s: float | None = None,
+) -> list[JobResult | JobFailure]:
+    """Run builders, ``jobs`` at a time; results in request order.
+
+    ``jobs=1`` runs inline in this process (no pool, no pickling) —
+    the serial reference path the parallel one must byte-match.
+    ``timeout_s`` is per job, measured while the engine waits on it.
+    """
+    ids = list(exp_ids)
+    if jobs < 1:
+        raise ValueError(f"need at least one job slot, got {jobs}")
+    if not ids:
+        return []
+    if jobs == 1:
+        return [_from_payload(_execute_job(exp_id)) for exp_id in ids]
+
+    results: list[JobResult | JobFailure] = []
+    pool = ProcessPoolExecutor(
+        max_workers=min(jobs, len(ids)), mp_context=_pool_context()
+    )
+    try:
+        futures = [(exp_id, pool.submit(_execute_job, exp_id)) for exp_id in ids]
+        for exp_id, future in futures:
+            try:
+                results.append(_from_payload(future.result(timeout=timeout_s)))
+            except FutureTimeoutError:
+                future.cancel()
+                results.append(
+                    JobFailure(
+                        exp_id=exp_id,
+                        kind="timeout",
+                        message=f"exceeded {timeout_s:g} s",
+                    )
+                )
+            except Exception as exc:  # worker died: BrokenProcessPool etc.
+                results.append(
+                    JobFailure(
+                        exp_id=exp_id,
+                        kind="crash",
+                        message=f"worker died: {type(exc).__name__}: {exc}",
+                    )
+                )
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return results
+
+
+@dataclass
+class EngineReport:
+    """Everything one engine invocation did, in deterministic order."""
+
+    plan: ExecutionPlan
+    results: list[JobResult | JobFailure] = field(default_factory=list)
+    jobs: int = 1
+    wall_s: float = 0.0
+
+    @property
+    def successes(self) -> list[JobResult]:
+        return [r for r in self.results if isinstance(r, JobResult)]
+
+    @property
+    def failures(self) -> list[JobFailure]:
+        return [r for r in self.results if isinstance(r, JobFailure)]
+
+    @property
+    def cache_hits(self) -> list[JobResult]:
+        return [r for r in self.successes if r.source == CACHE]
+
+    @property
+    def executed(self) -> list[JobResult]:
+        return [r for r in self.successes if r.source == EXECUTED]
+
+    @property
+    def experiments(self) -> list[Experiment]:
+        return [r.experiment for r in self.successes]
+
+    def cache_counts(self) -> dict[str, int]:
+        return {
+            "hits": len(self.cache_hits),
+            "executed": len(self.executed),
+            "failed": len(self.failures),
+            "total": len(self.results),
+        }
+
+    def summary(self) -> str:
+        c = self.cache_counts()
+        plan = self.plan.counts()
+        return (
+            f"engine: {c['total']} experiments — {c['hits']} cache hits, "
+            f"{c['executed']} executed ({plan['stale']} stale, "
+            f"{plan['miss']} new), {c['failed']} failed "
+            f"[jobs={self.jobs}, {self.wall_s:.2f}s]"
+        )
+
+
+def _verify_results(report: EngineReport) -> None:
+    """Re-derive every success serially; byte-compare against it."""
+    mismatched = []
+    for result in report.successes:
+        reference = _from_payload(_execute_job(result.exp_id))
+        if isinstance(reference, JobFailure):
+            mismatched.append(f"{result.exp_id} (re-run failed: {reference.message})")
+        elif canonical_bytes(reference.experiment) != canonical_bytes(result.experiment):
+            mismatched.append(f"{result.exp_id} ({result.source} path)")
+    if mismatched:
+        raise DeterminismError(
+            "results are not byte-identical to a serial re-run: "
+            + ", ".join(mismatched)
+        )
+
+
+def run_engine(
+    exp_ids: Iterable[str] | None = None,
+    jobs: int = 1,
+    use_cache: bool = True,
+    store: ResultStore | None = None,
+    timeout_s: float | None = None,
+    verify: bool = False,
+) -> EngineReport:
+    """Plan, execute what's stale, persist, splice cache hits back in."""
+    store = store if store is not None else ResultStore()
+    start = time.perf_counter()
+    plan = plan_suite(store, exp_ids)
+    digests: dict[str, ExperimentDigest] = {
+        e.exp_id: e.digest for e in plan.entries
+    }
+
+    by_id: dict[str, JobResult | JobFailure] = {}
+    run_ids = []
+    for entry in plan.entries:
+        cached = store.get(entry.digest) if (use_cache and entry.status == HIT) else None
+        if cached is not None:
+            by_id[entry.exp_id] = JobResult(
+                exp_id=cached.exp_id,
+                experiment=cached.experiment,
+                elapsed_s=cached.elapsed_s,
+                source=CACHE,
+            )
+        else:
+            run_ids.append(entry.exp_id)
+
+    for outcome in execute_jobs(run_ids, jobs=jobs, timeout_s=timeout_s):
+        by_id[outcome.exp_id] = outcome
+        if use_cache and isinstance(outcome, JobResult):
+            store.put(digests[outcome.exp_id], outcome.experiment, outcome.elapsed_s)
+
+    report = EngineReport(
+        plan=plan,
+        results=[by_id[e.exp_id] for e in plan.entries],
+        jobs=jobs,
+        wall_s=time.perf_counter() - start,
+    )
+    if verify:
+        _verify_results(report)
+    return report

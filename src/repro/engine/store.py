@@ -1,0 +1,212 @@
+"""Content-addressed result store for suite experiments.
+
+Layout, under the store root (default ``.repro-cache/``)::
+
+    results/<exp_id>.<sha256-key>.json    one entry per (experiment, digest)
+    tmp/                                  staging for atomic writes
+
+Entries are written to ``tmp/`` and moved into place with
+:func:`os.replace`, so a reader never sees a torn file and two writers
+racing on the same key both leave a complete entry.  Corrupt or
+unreadable entries behave as misses — the engine recomputes and
+overwrites them.
+
+Payloads serialize through :mod:`repro.suite.archive`, the same
+schema the run-archiving CLI uses; :func:`canonical_bytes` is the
+byte-identity yardstick the determinism contract is asserted against
+(serial, parallel, and cache-hit paths must all produce it verbatim).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.engine.deps import ExperimentDigest
+from repro.suite.archive import experiment_from_dict, experiment_to_dict
+from repro.suite.results import Experiment
+
+__all__ = [
+    "DEFAULT_STORE_ROOT",
+    "STORE_SCHEMA",
+    "CachedResult",
+    "StoreEntry",
+    "StoreStats",
+    "ResultStore",
+    "canonical_bytes",
+]
+
+DEFAULT_STORE_ROOT = ".repro-cache"
+STORE_SCHEMA = 1
+
+
+def canonical_bytes(experiment: Experiment) -> bytes:
+    """The canonical serialized form of a result, for byte-identity checks."""
+    payload = experiment_to_dict(experiment)
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """One deserialized store hit."""
+
+    exp_id: str
+    key: str
+    experiment: Experiment
+    elapsed_s: float  # wall seconds the original execution took
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One on-disk entry, without deserializing its payload."""
+
+    exp_id: str
+    key: str
+    path: Path
+    size_bytes: int
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Aggregate view of the store, optionally against current digests."""
+
+    entries: int
+    total_bytes: int
+    by_experiment: dict[str, int]
+    live: int | None = None  # entries matching a current digest
+    stale: int | None = None  # entries for known experiments, old digests
+
+    def summary(self) -> str:
+        parts = [f"{self.entries} entries, {self.total_bytes} bytes"]
+        if self.live is not None:
+            parts.append(f"{self.live} live, {self.stale} stale")
+        return "; ".join(parts)
+
+
+class ResultStore:
+    """Digest-keyed experiment results with atomic, crash-safe writes."""
+
+    def __init__(self, root: str | Path = DEFAULT_STORE_ROOT) -> None:
+        self.root = Path(root)
+        self.results_dir = self.root / "results"
+        self.tmp_dir = self.root / "tmp"
+
+    # ------------------------------------------------------------ paths
+    def entry_path(self, digest: ExperimentDigest) -> Path:
+        return self.results_dir / f"{digest.exp_id}.{digest.key}.json"
+
+    def _ensure_layout(self) -> None:
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        self.tmp_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------ access
+    def contains(self, digest: ExperimentDigest) -> bool:
+        return self.entry_path(digest).is_file()
+
+    def get(self, digest: ExperimentDigest) -> CachedResult | None:
+        """The cached result for a digest, or None (missing or corrupt)."""
+        path = self.entry_path(digest)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if payload.get("schema") != STORE_SCHEMA:
+                return None
+            return CachedResult(
+                exp_id=payload["exp_id"],
+                key=payload["key"],
+                experiment=experiment_from_dict(payload["experiment"]),
+                elapsed_s=float(payload.get("elapsed_s", 0.0)),
+            )
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def put(
+        self, digest: ExperimentDigest, experiment: Experiment, elapsed_s: float
+    ) -> Path:
+        """Persist one result atomically; returns the entry path."""
+        if experiment.exp_id != digest.exp_id:
+            raise ValueError(
+                f"digest is for {digest.exp_id!r} but the result is "
+                f"{experiment.exp_id!r}"
+            )
+        self._ensure_layout()
+        payload = {
+            "schema": STORE_SCHEMA,
+            "exp_id": digest.exp_id,
+            "key": digest.key,
+            "modules": list(digest.modules),
+            "elapsed_s": elapsed_s,
+            "experiment": experiment_to_dict(experiment),
+        }
+        final = self.entry_path(digest)
+        staging = self.tmp_dir / f"{digest.key}.{os.getpid()}.tmp"
+        staging.write_text(
+            json.dumps(payload, indent=1, sort_keys=True), encoding="utf-8"
+        )
+        os.replace(staging, final)
+        return final
+
+    # ------------------------------------------------------------ survey
+    def entries(self) -> list[StoreEntry]:
+        """Every entry on disk, cheapest-first metadata only."""
+        if not self.results_dir.is_dir():
+            return []
+        found = []
+        for path in sorted(self.results_dir.glob("*.json")):
+            stem = path.name[: -len(".json")]
+            exp_id, _, key = stem.rpartition(".")
+            if not exp_id or len(key) != 64:
+                continue
+            found.append(
+                StoreEntry(exp_id=exp_id, key=key, path=path,
+                           size_bytes=path.stat().st_size)
+            )
+        return found
+
+    def stats(self, current: dict[str, ExperimentDigest] | None = None) -> StoreStats:
+        """Store size, and liveness against the given current digests."""
+        entries = self.entries()
+        by_exp: dict[str, int] = {}
+        for entry in entries:
+            by_exp[entry.exp_id] = by_exp.get(entry.exp_id, 0) + 1
+        live = stale = None
+        if current is not None:
+            live_keys = {d.key for d in current.values()}
+            live = sum(e.key in live_keys for e in entries)
+            stale = len(entries) - live
+        return StoreStats(
+            entries=len(entries),
+            total_bytes=sum(e.size_bytes for e in entries),
+            by_experiment=by_exp,
+            live=live,
+            stale=stale,
+        )
+
+    # ------------------------------------------------------------ hygiene
+    def gc(
+        self, current: dict[str, ExperimentDigest], dry_run: bool = False
+    ) -> list[StoreEntry]:
+        """Drop entries no current digest addresses; returns what went."""
+        live_keys = {d.key for d in current.values()}
+        removed = []
+        for entry in self.entries():
+            if entry.key in live_keys:
+                continue
+            if not dry_run:
+                entry.path.unlink(missing_ok=True)
+            removed.append(entry)
+        if not dry_run and self.tmp_dir.is_dir():
+            for leftover in self.tmp_dir.glob("*.tmp"):
+                leftover.unlink(missing_ok=True)
+        return removed
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were dropped."""
+        entries = self.entries()
+        for entry in entries:
+            entry.path.unlink(missing_ok=True)
+        if self.tmp_dir.is_dir():
+            for leftover in self.tmp_dir.glob("*.tmp"):
+                leftover.unlink(missing_ok=True)
+        return len(entries)

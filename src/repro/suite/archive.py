@@ -29,7 +29,10 @@ def experiment_to_dict(exp: Experiment) -> dict:
         "headers": list(exp.headers),
         "rows": [[_plain(cell) for cell in row] for row in exp.rows],
         "series": {k: [[float(x), float(y)] for x, y in v] for k, v in exp.series.items()},
-        "paper_values": {k: _plain(v) for k, v in exp.paper_values.items()},
+        # Keys coerced to str: JSON object keys are strings, so this keeps
+        # to_dict idempotent across a save/load round-trip (the store's
+        # byte-identity contract depends on it).
+        "paper_values": {str(k): _plain(v) for k, v in exp.paper_values.items()},
         "checks": [
             {"description": c.description, "passed": c.passed, "detail": c.detail}
             for c in exp.checks

@@ -2,12 +2,18 @@
 
 ``python -m repro.suite.runner [exp_id ...]`` prints each experiment's
 regenerated table/figure, its shape-check verdicts, and a final summary —
-the command-line face of the reproduction.
+the command-line face of the reproduction.  ``--json`` emits the same
+report machine-readably (for CI); ``--engine`` routes execution through
+:mod:`repro.engine` — parallel fan-out (``--jobs N``) and the
+content-addressed result cache (disable with ``--no-cache``).
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
+import time
 from dataclasses import dataclass, field
 
 from repro.analysis.traces import experiment_summaries
@@ -16,7 +22,8 @@ from repro.suite.figures import render_ascii_chart
 from repro.suite.results import Experiment
 from repro.suite.tables import render_table
 
-__all__ = ["SuiteReport", "run_suite", "render_experiment", "main"]
+__all__ = ["SuiteReport", "run_suite", "render_experiment",
+           "suite_report_to_dict", "main"]
 
 
 @dataclass
@@ -24,6 +31,8 @@ class SuiteReport:
     """Outcome of a full (or filtered) suite run."""
 
     experiments: list[Experiment] = field(default_factory=list)
+    #: wall seconds to build each experiment, keyed by exp_id.
+    timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -54,7 +63,9 @@ def run_suite(exp_ids: list[str] | None = None) -> SuiteReport:
             raise KeyError(
                 f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
             )
+        start = time.perf_counter()
         report.experiments.append(EXPERIMENTS[exp_id]())
+        report.timings[exp_id] = time.perf_counter() - start
     return report
 
 
@@ -79,14 +90,91 @@ def render_experiment(exp: Experiment, diagnostics: bool = True) -> str:
     return "\n".join(parts)
 
 
+def suite_report_to_dict(report: SuiteReport) -> dict:
+    """Machine-readable SuiteReport: ids, verdicts, timings (for CI)."""
+    good, total = report.check_counts
+    return {
+        "schema": 1,
+        "passed": report.passed,
+        "checks": {"passed": good, "total": total},
+        "experiments": [
+            {
+                "exp_id": exp.exp_id,
+                "title": exp.title,
+                "passed": exp.passed,
+                "elapsed_s": report.timings.get(exp.exp_id),
+                "checks": [
+                    {
+                        "description": c.description,
+                        "passed": c.passed,
+                        "detail": c.detail,
+                    }
+                    for c in exp.checks
+                ],
+            }
+            for exp in report.experiments
+        ],
+    }
+
+
+def _run_through_engine(args: argparse.Namespace) -> tuple[SuiteReport, int]:
+    """Execute via repro.engine; returns (report, n_failed_jobs)."""
+    from repro.engine import run_engine
+
+    engine_report = run_engine(
+        args.ids or None, jobs=args.jobs, use_cache=not args.no_cache
+    )
+    report = SuiteReport(
+        experiments=engine_report.experiments,
+        timings={r.exp_id: r.elapsed_s for r in engine_report.successes},
+    )
+    for failure in engine_report.failures:
+        print(failure.summary_line(), file=sys.stderr)
+    if not args.json:
+        print(engine_report.summary(), file=sys.stderr)
+    return report, len(engine_report.failures)
+
+
 def main(argv: list[str] | None = None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
-    report = run_suite(argv or None)
-    for exp in report.experiments:
-        print(render_experiment(exp))
-        print()
-    print(report.summary())
-    return 0 if report.passed else 1
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.suite.runner",
+        description="Regenerate the paper's tables and figures and check them.",
+    )
+    parser.add_argument("ids", nargs="*", metavar="exp_id",
+                        help="experiment ids (default: the whole suite)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a machine-readable SuiteReport")
+    parser.add_argument("--engine", action="store_true",
+                        help="execute through repro.engine (cache + fan-out)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes when --engine is given")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="with --engine: bypass the result store")
+    args = parser.parse_args(argv if argv is not None else sys.argv[1:])
+
+    unknown = [exp_id for exp_id in args.ids if exp_id not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"error: unknown experiment id(s): {', '.join(sorted(unknown))}\n"
+            f"valid ids: {', '.join(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    failed_jobs = 0
+    if args.engine:
+        report, failed_jobs = _run_through_engine(args)
+    else:
+        report = run_suite(args.ids or None)
+
+    if args.json:
+        print(json.dumps(suite_report_to_dict(report), indent=1, sort_keys=True))
+    else:
+        for exp in report.experiments:
+            print(render_experiment(exp))
+            print()
+        print(report.summary())
+    return 0 if (report.passed and failed_jobs == 0) else 1
 
 
 if __name__ == "__main__":

@@ -1,0 +1,138 @@
+"""Tests for ``python -m repro.engine`` (run / plan / stats / gc)."""
+
+import json
+
+import pytest
+
+from repro.engine.cli import main
+from repro.suite.experiments import EXPERIMENTS
+
+FAST = ["table1", "table2", "table3"]
+
+
+def _run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestRun:
+    def test_cold_run_executes_and_passes(self, tmp_path, capsys):
+        code, out, _ = _run(capsys, "run", *FAST, "--cache-dir", str(tmp_path))
+        assert code == 0
+        lines = out.splitlines()
+        assert sum(line.startswith("executed ") for line in lines) == len(FAST)
+        assert "3 experiments" in out
+
+    def test_warm_run_is_all_cache_hits(self, tmp_path, capsys):
+        _run(capsys, "run", *FAST, "--cache-dir", str(tmp_path))
+        code, out, _ = _run(capsys, "run", *FAST, "--cache-dir", str(tmp_path))
+        assert code == 0
+        lines = out.splitlines()
+        assert sum(line.startswith("cached ") for line in lines) == len(FAST)
+        assert "3 cache hits" in out
+
+    def test_json_report_shape(self, tmp_path, capsys):
+        _run(capsys, "run", *FAST, "--cache-dir", str(tmp_path))
+        code, out, _ = _run(capsys, "run", *FAST, "--cache-dir", str(tmp_path),
+                            "--json")
+        assert code == 0
+        payload = json.loads(out)
+        cache = payload["engine"]["cache"]
+        assert cache == {"hits": 3, "executed": 0, "failed": 0, "total": 3}
+        assert payload["suite"]["passed"] is True
+        assert [e["exp_id"] for e in payload["suite"]["experiments"]] == FAST
+        assert payload["engine"]["sources"]["table1"] == "cache"
+
+    def test_unknown_id_exits_2_and_lists_valid_ids(self, tmp_path, capsys):
+        code, _, err = _run(capsys, "run", "nonsense", "--cache-dir",
+                            str(tmp_path))
+        assert code == 2
+        assert "nonsense" in err
+        for exp_id in EXPERIMENTS:
+            assert exp_id in err
+
+    def test_failure_exits_nonzero(self, tmp_path, capsys, monkeypatch):
+        def broken():
+            raise RuntimeError("nope")
+
+        monkeypatch.setitem(EXPERIMENTS, "boom", broken)
+        code, out, _ = _run(capsys, "run", "boom", "--cache-dir", str(tmp_path))
+        assert code == 1
+        assert "[error]" in out
+
+
+class TestPlan:
+    def test_plan_never_executes(self, tmp_path, capsys):
+        code, out, _ = _run(capsys, "plan", *FAST, "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert out.count("miss") == len(FAST)
+
+    def test_plan_json_counts(self, tmp_path, capsys):
+        _run(capsys, "run", "table1", "--cache-dir", str(tmp_path))
+        code, out, _ = _run(capsys, "plan", "table1", "table2",
+                            "--cache-dir", str(tmp_path), "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["counts"] == {"hit": 1, "miss": 1, "stale": 0, "total": 2}
+
+
+class TestStatsAndGc:
+    def test_stats_reports_liveness(self, tmp_path, capsys):
+        _run(capsys, "run", *FAST, "--cache-dir", str(tmp_path))
+        code, out, _ = _run(capsys, "stats", "--cache-dir", str(tmp_path),
+                            "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["entries"] == 3
+        assert payload["live"] == 3
+        assert payload["stale"] == 0
+
+    def test_gc_dry_run_then_real(self, tmp_path, capsys):
+        _run(capsys, "run", "table1", "--cache-dir", str(tmp_path))
+        code, out, _ = _run(capsys, "gc", "--cache-dir", str(tmp_path),
+                            "--dry-run")
+        assert code == 0
+        assert "would remove 0" in out
+        code, out, _ = _run(capsys, "gc", "--cache-dir", str(tmp_path))
+        assert "removed 0" in out
+
+
+class TestSuiteRunnerIntegration:
+    """--engine on the classic runner produces identical verdicts."""
+
+    def test_engine_and_serial_runner_agree(self, tmp_path, capsys, monkeypatch):
+        from repro.suite.runner import main as runner_main
+
+        monkeypatch.chdir(tmp_path)  # --engine default store lands here
+        assert runner_main([*FAST, "--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert runner_main([*FAST, "--json", "--engine"]) == 0
+        engine = json.loads(capsys.readouterr().out)
+        # Timings differ run to run; verdicts must not.
+        for report in (serial, engine):
+            for exp in report["experiments"]:
+                exp["elapsed_s"] = None
+        assert serial == engine
+
+    def test_runner_unknown_id(self, capsys):
+        from repro.suite.runner import main as runner_main
+
+        assert runner_main(["nonsense"]) == 2
+        err = capsys.readouterr().err
+        assert "nonsense" in err
+        assert "table7" in err
+
+    @pytest.mark.parametrize("flag", ["--engine", None])
+    def test_runner_json_schema(self, capsys, flag, tmp_path, monkeypatch):
+        from repro.suite.runner import main as runner_main
+
+        monkeypatch.chdir(tmp_path)  # --engine default store lands here
+        argv = ["table2", "--json"] + ([flag] if flag else [])
+        assert runner_main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+        assert payload["passed"] is True
+        exp = payload["experiments"][0]
+        assert exp["exp_id"] == "table2"
+        assert exp["checks"] and all("description" in c for c in exp["checks"])

@@ -1,0 +1,108 @@
+"""Tests for static dependency tracing and content-addressed digests."""
+
+import pytest
+
+from repro.engine.deps import (
+    EXPERIMENTS_MODULE,
+    dependency_closure,
+    experiment_dependencies,
+    experiment_digest,
+    machine_fingerprint,
+    module_path,
+    suite_digests,
+)
+from repro.suite.experiments import EXPERIMENTS
+
+
+class TestModuleResolution:
+    def test_module_and_package(self):
+        assert module_path("repro.units").name == "units.py"
+        assert module_path("repro.kernels").name == "__init__.py"
+
+    def test_non_repro_names(self):
+        assert module_path("numpy") is None
+        assert module_path("os.path") is None
+        assert module_path("repro.no_such_module") is None
+
+
+class TestClosure:
+    def test_seeds_and_their_imports_included(self):
+        closure = dependency_closure(["repro.kernels.rfft"])
+        assert "repro.kernels.rfft" in closure
+        # rfft builds on the shared FFTPACK core and the machine model.
+        assert "repro.kernels.fftpack" in closure
+        assert "repro.machine.processor" in closure
+
+    def test_ancestor_packages_hashed_not_traversed(self):
+        closure = dependency_closure(["repro.kernels.rfft"])
+        # The kernels package __init__ re-exports every kernel; it must be
+        # *in* the closure (it runs on import) without dragging them in.
+        assert "repro.kernels" in closure
+        assert "repro.kernels.radabs" not in closure
+
+    def test_no_traverse_is_hash_only(self):
+        closure = dependency_closure(
+            [EXPERIMENTS_MODULE], no_traverse={EXPERIMENTS_MODULE}
+        )
+        assert EXPERIMENTS_MODULE in closure
+        # experiments imports every kernel; none may leak through.
+        assert not any(n.startswith("repro.kernels.") for n in closure)
+
+
+class TestExperimentDependencies:
+    def test_per_experiment_precision(self):
+        table1 = experiment_dependencies("table1")
+        figure6 = experiment_dependencies("figure6")
+        assert "repro.kernels.hint" in table1
+        assert "repro.kernels.hint" not in figure6
+        assert "repro.kernels.rfft" in figure6
+        assert "repro.kernels.rfft" not in table1
+
+    def test_experiments_module_always_included(self):
+        for exp_id in ("table1", "sec4.6", "figure8"):
+            assert EXPERIMENTS_MODULE in experiment_dependencies(exp_id)
+
+    def test_local_helpers_followed(self):
+        # table5 reaches the machine presets only through the _node helper.
+        assert "repro.machine.presets" in experiment_dependencies("table5")
+
+    def test_function_local_imports_followed(self):
+        # table4 imports the CCM2 resolutions inside the builder body.
+        assert "repro.apps.ccm2.resolutions" in experiment_dependencies("table4")
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            experiment_dependencies("nonsense")
+
+
+class TestDigests:
+    def test_digest_is_stable(self):
+        assert experiment_digest("table1") == experiment_digest("table1")
+
+    def test_digest_covers_experiment_id(self):
+        assert experiment_digest("table1").key != experiment_digest("table2").key
+
+    def test_source_edit_changes_only_importers(self):
+        edit = {"repro.kernels.rfft": b"# hypothetically edited"}
+        assert (
+            experiment_digest("figure6", sources=edit).key
+            != experiment_digest("figure6").key
+        )
+        assert (
+            experiment_digest("table1", sources=edit).key
+            == experiment_digest("table1").key
+        )
+
+    def test_experiments_module_edit_changes_everything(self):
+        edit = {EXPERIMENTS_MODULE: b"# edited"}
+        for exp_id, digest in suite_digests(sources=edit).items():
+            assert digest.key != experiment_digest(exp_id).key
+
+    def test_suite_digests_cover_registry(self):
+        digests = suite_digests()
+        assert set(digests) == set(EXPERIMENTS)
+        assert len({d.key for d in digests.values()}) == len(digests)
+
+    def test_machine_fingerprint_stable(self):
+        assert machine_fingerprint() == machine_fingerprint()
+        assert len(machine_fingerprint()) == 64

@@ -1,0 +1,149 @@
+"""Tests for parallel execution, crash isolation, and the orchestrator."""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.engine.executor import (
+    CACHE,
+    EXECUTED,
+    JobFailure,
+    JobResult,
+    execute_jobs,
+    run_engine,
+)
+from repro.engine.store import ResultStore, canonical_bytes
+from repro.suite.experiments import EXPERIMENTS
+from repro.suite.results import Experiment
+
+_HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+needs_fork = pytest.mark.skipif(
+    not _HAS_FORK, reason="pool tests inject builders via fork inheritance"
+)
+
+FAST_IDS = ["table1", "table2", "table3", "sec4.4"]
+
+
+def _broken_builder():
+    raise RuntimeError("synthetic builder failure")
+
+
+def _sleepy_builder():
+    time.sleep(1.5)
+    return Experiment(exp_id="sleepy", title="never finishes in time")
+
+
+def _dying_builder():
+    os._exit(13)  # simulates a segfaulting / OOM-killed worker
+
+
+class TestExecuteJobs:
+    def test_serial_runs_inline(self):
+        results = execute_jobs(["table2"], jobs=1)
+        assert isinstance(results[0], JobResult)
+        assert results[0].exp_id == "table2"
+        assert results[0].source == EXECUTED
+        assert results[0].experiment.passed
+
+    @needs_fork
+    def test_parallel_matches_serial_byte_for_byte(self):
+        serial = execute_jobs(FAST_IDS, jobs=1)
+        parallel = execute_jobs(FAST_IDS, jobs=4)
+        for s, p in zip(serial, parallel):
+            assert isinstance(s, JobResult) and isinstance(p, JobResult)
+            assert canonical_bytes(s.experiment) == canonical_bytes(p.experiment)
+
+    @needs_fork
+    def test_results_come_back_in_request_order(self):
+        results = execute_jobs(list(reversed(FAST_IDS)), jobs=3)
+        assert [r.exp_id for r in results] == list(reversed(FAST_IDS))
+
+    def test_builder_exception_is_an_error_failure(self, monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "boom", _broken_builder)
+        results = execute_jobs(["table2", "boom"], jobs=1)
+        assert isinstance(results[0], JobResult)
+        failure = results[1]
+        assert isinstance(failure, JobFailure)
+        assert failure.kind == "error"
+        assert "synthetic builder failure" in failure.message
+        assert "RuntimeError" in failure.traceback
+
+    @needs_fork
+    def test_builder_exception_in_worker_does_not_kill_the_run(self, monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "boom", _broken_builder)
+        results = execute_jobs(["boom", "table2"], jobs=2)
+        assert isinstance(results[0], JobFailure)
+        assert results[0].kind == "error"
+        assert isinstance(results[1], JobResult)
+        assert results[1].experiment.passed
+
+    @needs_fork
+    def test_dying_worker_is_a_crash_failure(self, monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "dies", _dying_builder)
+        results = execute_jobs(["dies"], jobs=2)
+        assert isinstance(results[0], JobFailure)
+        assert results[0].kind == "crash"
+
+    @needs_fork
+    def test_timeout_is_a_timeout_failure(self, monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "sleepy", _sleepy_builder)
+        results = execute_jobs(["sleepy", "table2"], jobs=2, timeout_s=0.2)
+        assert isinstance(results[0], JobFailure)
+        assert results[0].kind == "timeout"
+        assert isinstance(results[1], JobResult)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            execute_jobs(["table2"], jobs=0)
+        assert execute_jobs([], jobs=4) == []
+
+
+class TestRunEngine:
+    def test_cold_then_warm(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cold = run_engine(FAST_IDS, store=store)
+        assert [r.source for r in cold.successes] == [EXECUTED] * len(FAST_IDS)
+        warm = run_engine(FAST_IDS, store=store)
+        assert [r.source for r in warm.successes] == [CACHE] * len(FAST_IDS)
+        for c, w in zip(cold.successes, warm.successes):
+            assert canonical_bytes(c.experiment) == canonical_bytes(w.experiment)
+
+    def test_cache_hit_preserves_original_elapsed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cold = run_engine(["table2"], store=store)
+        warm = run_engine(["table2"], store=store)
+        assert warm.successes[0].elapsed_s == cold.successes[0].elapsed_s
+
+    def test_no_cache_neither_reads_nor_writes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_engine(["table2"], store=store, use_cache=False)
+        assert store.entries() == []
+        run_engine(["table2"], store=store)  # populate
+        report = run_engine(["table2"], store=store, use_cache=False)
+        assert report.successes[0].source == EXECUTED
+
+    def test_verify_passes_on_the_real_suite(self, tmp_path):
+        run_engine(["table2", "table7"], store=ResultStore(tmp_path), verify=True)
+        # And again through the cache-hit path.
+        run_engine(["table2", "table7"], store=ResultStore(tmp_path), verify=True)
+
+    def test_failures_are_not_cached(self, tmp_path, monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "boom", _broken_builder)
+        store = ResultStore(tmp_path)
+        report = run_engine(["boom", "table2"], store=store)
+        assert len(report.failures) == 1
+        assert len(report.executed) == 1
+        assert {e.exp_id for e in store.entries()} == {"table2"}
+
+    def test_report_counts_and_summary(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_engine(["table1", "table2"], store=store)
+        report = run_engine(["table1", "table2", "table3"], store=store)
+        assert report.cache_counts() == {
+            "hits": 2, "executed": 1, "failed": 0, "total": 3,
+        }
+        assert "2 cache hits" in report.summary()
+        assert "1 executed" in report.summary()

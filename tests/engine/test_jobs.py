@@ -1,0 +1,69 @@
+"""Tests for the engine -> scheduler-model bridge."""
+
+import pytest
+
+from repro.engine.executor import run_engine
+from repro.engine.jobs import (
+    MIN_DURATION_S,
+    replay_through_nqs,
+    suite_batch_jobs,
+    suite_jobspec,
+)
+from repro.engine.store import ResultStore
+
+FAST = ["table1", "table2", "table3", "sec4.4"]
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    store = ResultStore(tmp_path_factory.mktemp("cache"))
+    return run_engine(FAST, store=store)
+
+
+class TestJobSpec:
+    def test_one_component_per_experiment(self, report):
+        spec = suite_jobspec(report)
+        assert len(spec.components) == len(FAST)
+        assert {c.name for c in spec.components} == {
+            f"suite/{exp_id}" for exp_id in FAST
+        }
+        assert all(c.duration_s >= MIN_DURATION_S for c in spec.components)
+
+    def test_critical_duration_is_the_slowest(self, report):
+        spec = suite_jobspec(report)
+        assert spec.critical_duration_s == max(c.duration_s for c in spec.components)
+
+    def test_time_scale(self, report):
+        base = suite_jobspec(report)
+        scaled = suite_jobspec(report, time_scale=1000.0)
+        assert scaled.critical_duration_s >= base.critical_duration_s
+
+    def test_empty_report_rejected(self, tmp_path):
+        empty = run_engine([], store=ResultStore(tmp_path))
+        with pytest.raises(ValueError):
+            suite_jobspec(empty)
+
+
+class TestNQSReplay:
+    def test_batch_jobs_carry_measured_metadata(self, report):
+        jobs = suite_batch_jobs(report, time_scale=1000.0)
+        assert [j.name for j in jobs] == FAST
+        by_id = {r.exp_id: r for r in report.successes}
+        for job in jobs:
+            assert job.duration_s == pytest.approx(
+                max(by_id[job.name].elapsed_s * 1000.0, MIN_DURATION_S)
+            )
+
+    def test_replay_accounts_for_every_experiment(self, report):
+        replay = replay_through_nqs(report, time_scale=1000.0)
+        assert {rec.job for rec in replay.accounting} == set(FAST)
+        assert replay.makespan_s > 0
+        assert replay.cpu_seconds > 0
+
+    def test_run_limit_serializes_work(self, report):
+        wide = replay_through_nqs(report, time_scale=1000.0, run_limit=8)
+        narrow = replay_through_nqs(report, time_scale=1000.0, run_limit=1)
+        # One job at a time: makespan is the sum of durations.
+        total = sum(j.duration_s for j in narrow.jobs)
+        assert narrow.makespan_s == pytest.approx(total)
+        assert wide.makespan_s <= narrow.makespan_s

@@ -1,0 +1,135 @@
+"""Tests for the content-addressed result store."""
+
+import json
+
+from repro.engine.deps import ExperimentDigest
+from repro.engine.store import ResultStore, canonical_bytes
+from repro.suite.results import Experiment
+
+
+def _digest(exp_id="table_x", key=None):
+    return ExperimentDigest(
+        exp_id=exp_id, key=key or ("a" * 64), modules=("repro.units",)
+    )
+
+
+def _experiment(exp_id="table_x"):
+    exp = Experiment(exp_id=exp_id, title="a test experiment",
+                     headers=["k", "v"], rows=[["speed", 865.9]],
+                     series={"curve": [(1.0, 2.0), (3.0, 4.0)]},
+                     paper_values={"speed": 865.9, 7: "int-keyed"})
+    exp.check("holds", True, detail="why")
+    return exp
+
+
+class TestPutGet:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        digest = _digest()
+        store.put(digest, _experiment(), elapsed_s=0.25)
+        cached = store.get(digest)
+        assert cached is not None
+        assert cached.exp_id == "table_x"
+        assert cached.elapsed_s == 0.25
+        assert canonical_bytes(cached.experiment) == canonical_bytes(_experiment())
+
+    def test_contains(self, tmp_path):
+        store = ResultStore(tmp_path)
+        digest = _digest()
+        assert not store.contains(digest)
+        store.put(digest, _experiment(), 0.0)
+        assert store.contains(digest)
+
+    def test_miss_returns_none(self, tmp_path):
+        assert ResultStore(tmp_path).get(_digest()) is None
+
+    def test_mismatched_ids_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        try:
+            store.put(_digest(exp_id="other"), _experiment(), 0.0)
+        except ValueError:
+            return
+        raise AssertionError("expected ValueError")
+
+    def test_atomic_write_leaves_no_staging(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_digest(), _experiment(), 0.0)
+        assert list(store.tmp_dir.glob("*.tmp")) == []
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        digest = _digest()
+        store.put(digest, _experiment(), 0.0)
+        store.entry_path(digest).write_text("{not json")
+        assert store.get(digest) is None
+
+    def test_wrong_schema_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        digest = _digest()
+        store.put(digest, _experiment(), 0.0)
+        payload = json.loads(store.entry_path(digest).read_text())
+        payload["schema"] = 999
+        store.entry_path(digest).write_text(json.dumps(payload))
+        assert store.get(digest) is None
+
+
+class TestSurvey:
+    def test_entries_and_stats(self, tmp_path):
+        store = ResultStore(tmp_path)
+        d1 = _digest("exp.a", "1" * 64)
+        d2 = _digest("exp.a", "2" * 64)
+        d3 = _digest("exp.b", "3" * 64)
+        for d in (d1, d2, d3):
+            store.put(d, _experiment(d.exp_id), 0.0)
+        entries = store.entries()
+        assert len(entries) == 3
+        # Dots in experiment ids survive the filename encoding.
+        assert {e.exp_id for e in entries} == {"exp.a", "exp.b"}
+        stats = store.stats({"exp.a": d1, "exp.b": d3})
+        assert stats.entries == 3
+        assert stats.by_experiment == {"exp.a": 2, "exp.b": 1}
+        assert (stats.live, stats.stale) == (2, 1)
+        assert stats.total_bytes > 0
+
+    def test_empty_store(self, tmp_path):
+        stats = ResultStore(tmp_path / "nowhere").stats()
+        assert stats.entries == 0
+        assert stats.live is None
+
+
+class TestHygiene:
+    def test_gc_drops_only_unaddressed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        live = _digest("exp.a", "1" * 64)
+        dead = _digest("exp.a", "2" * 64)
+        store.put(live, _experiment("exp.a"), 0.0)
+        store.put(dead, _experiment("exp.a"), 0.0)
+        removed = store.gc({"exp.a": live})
+        assert [e.key for e in removed] == [dead.key]
+        assert store.contains(live)
+        assert not store.contains(dead)
+
+    def test_gc_dry_run_removes_nothing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        dead = _digest("exp.a", "2" * 64)
+        store.put(dead, _experiment("exp.a"), 0.0)
+        removed = store.gc({}, dry_run=True)
+        assert len(removed) == 1
+        assert store.contains(dead)
+
+    def test_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_digest(), _experiment(), 0.0)
+        assert store.clear() == 1
+        assert store.entries() == []
+
+
+class TestCanonicalBytes:
+    def test_round_trip_is_byte_identical(self, tmp_path):
+        """The store's byte-identity contract, including int-keyed
+        paper_values (the table7 shape that once broke it)."""
+        store = ResultStore(tmp_path)
+        digest = _digest()
+        original = _experiment()
+        store.put(digest, original, 0.0)
+        assert canonical_bytes(store.get(digest).experiment) == canonical_bytes(original)

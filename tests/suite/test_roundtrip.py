@@ -1,0 +1,139 @@
+"""Round-trip stability of the suite serialization layer.
+
+The engine's content-addressed store persists results through
+:mod:`repro.suite.archive`; its byte-identity contract requires that
+``experiment_to_dict`` is *idempotent across a round-trip*:
+``to_dict(from_dict(to_dict(e))) == to_dict(e)``, for any experiment the
+suite can produce.  These tests pin that down, property-based where the
+value space is wide.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.suite.archive import (
+    compare_runs,
+    experiment_from_dict,
+    experiment_to_dict,
+    load_run,
+    save_run,
+)
+from repro.suite.experiments import EXPERIMENTS
+from repro.suite.results import Experiment, ShapeCheck
+
+# ------------------------------------------------------------ strategies
+_label = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), min_size=1, max_size=12
+)
+_number = st.one_of(
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+)
+_cell = st.one_of(_number, _label, st.booleans(), st.none())
+_point = st.tuples(
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+)
+
+
+@st.composite
+def experiments_strategy(draw):
+    n_cols = draw(st.integers(min_value=1, max_value=4))
+    exp = Experiment(
+        exp_id=draw(_label),
+        title=draw(_label),
+        headers=draw(st.lists(_label, min_size=n_cols, max_size=n_cols)),
+        rows=draw(
+            st.lists(
+                st.lists(_cell, min_size=n_cols, max_size=n_cols), max_size=4
+            )
+        ),
+        series=draw(
+            st.dictionaries(_label, st.lists(_point, min_size=1, max_size=4),
+                            max_size=3)
+        ),
+        paper_values=draw(
+            st.dictionaries(
+                st.one_of(_label, st.integers(min_value=0, max_value=64)),
+                _cell,
+                max_size=4,
+            )
+        ),
+        notes=draw(_label),
+    )
+    for description, passed, detail in draw(
+        st.lists(st.tuples(_label, st.booleans(), _label), max_size=3)
+    ):
+        exp.check(description, passed, detail)
+    return exp
+
+
+# ----------------------------------------------------------- properties
+@settings(max_examples=50, deadline=None)
+@given(experiments_strategy())
+def test_to_dict_round_trip_is_idempotent(exp):
+    once = experiment_to_dict(exp)
+    again = experiment_to_dict(experiment_from_dict(once))
+    assert once == again
+
+
+@settings(max_examples=50, deadline=None)
+@given(experiments_strategy())
+def test_to_dict_is_json_stable(exp):
+    """Serializing, dumping, and parsing changes nothing — no lossy
+    types (tuples, numpy scalars, int keys) survive to the JSON layer."""
+    payload = experiment_to_dict(exp)
+    assert json.loads(json.dumps(payload)) == payload
+
+
+@settings(max_examples=25, deadline=None)
+@given(experiments_strategy())
+def test_round_trip_preserves_verdicts(exp):
+    back = experiment_from_dict(experiment_to_dict(exp))
+    assert back.exp_id == exp.exp_id
+    assert back.passed == exp.passed
+    assert [str(c) for c in back.checks] == [str(c) for c in exp.checks]
+
+
+# ---------------------------------------------------- real suite results
+def test_every_real_experiment_round_trips():
+    for exp_id in ("table1", "table2", "table3", "table7", "figure6", "sec4.4"):
+        exp = EXPERIMENTS[exp_id]()
+        once = experiment_to_dict(exp)
+        assert experiment_to_dict(experiment_from_dict(once)) == once, exp_id
+
+
+def test_table7_int_keyed_paper_values_round_trip():
+    """Regression: int keys in paper_values must serialize exactly as the
+    JSON layer will render them, or byte-identity breaks on reload."""
+    exp = EXPERIMENTS["table7"]()
+    assert any(isinstance(k, int) for k in exp.paper_values)
+    payload = experiment_to_dict(exp)
+    assert all(isinstance(k, str) for k in payload["paper_values"])
+    assert json.loads(json.dumps(payload)) == payload
+
+
+# ------------------------------------------------------------- archives
+def test_save_load_run_round_trip(tmp_path):
+    run = [EXPERIMENTS["table2"](), EXPERIMENTS["table3"]()]
+    path = save_run(run, tmp_path / "run.json")
+    loaded = load_run(path)
+    assert [experiment_to_dict(e) for e in loaded] == [
+        experiment_to_dict(e) for e in run
+    ]
+
+
+def test_loaded_run_compares_clean_against_itself(tmp_path):
+    run = [EXPERIMENTS["figure6"]()]
+    loaded = load_run(save_run(run, tmp_path / "run.json"))
+    assert compare_runs(run, loaded) == []
+
+
+def test_shape_check_round_trip_exact():
+    check = ShapeCheck("d", False, "why")
+    exp = Experiment(exp_id="x", title="t")
+    exp.checks.append(check)
+    back = experiment_from_dict(experiment_to_dict(exp))
+    assert back.checks == [check]
