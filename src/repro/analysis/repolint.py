@@ -15,6 +15,10 @@ REPO004   no wall-clock or randomness in simulator code paths (the
           determinism invariant of :mod:`repro.events`)
 REPO005   no magic unit constants (1e6/1e9/1e12) where
           :mod:`repro.units` symbols exist
+REPO006   every machine component that consumes trace operations
+          (references VectorOp/ScalarOp) registers perfmon counters via
+          a top-level :func:`repro.perfmon.counters.declare_counters`
+          call — the observability contract of the counter emulation
 ========  ==============================================================
 
 All findings are ERROR severity — the CLI exits non-zero on any, which
@@ -299,12 +303,59 @@ def _check_magic_units(rel: str, tree: ast.Module) -> list[Diagnostic]:
     return found
 
 
+def _check_perfmon_registration(rel: str, tree: ast.Module) -> list[Diagnostic]:
+    """REPO006: op-consuming machine components declare perfmon counters.
+
+    A component that times :class:`VectorOp`/:class:`ScalarOp` work is a
+    source of PROGINF truth — if it never registers counters, profiles
+    silently under-report whatever it models.
+    """
+    op_refs = [
+        node.lineno
+        for node in ast.walk(tree)
+        if (isinstance(node, ast.Name) and node.id in ("VectorOp", "ScalarOp"))
+        or (isinstance(node, ast.Attribute) and node.attr in ("VectorOp", "ScalarOp"))
+    ]
+    if not op_refs:
+        return []
+    for node in tree.body:
+        if not (isinstance(node, ast.Expr) and isinstance(node.value, ast.Call)):
+            continue
+        func = node.value.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+        if name == "declare_counters":
+            return []
+    return [
+        Diagnostic(
+            rule_id="REPO006",
+            severity=Severity.ERROR,
+            location=f"{rel}:{min(op_refs)}",
+            message=(
+                "machine component consumes trace operations but never calls "
+                "repro.perfmon.counters.declare_counters at module level; "
+                "components that time ops must register the counters they "
+                "populate (PROGINF would otherwise under-report)"
+            ),
+        )
+    ]
+
+
 # ---------------------------------------------------------------- driver
 def _is_kernel_module(rel_parts: tuple[str, ...]) -> bool:
     return (
         len(rel_parts) == 4
         and rel_parts[:3] == ("src", "repro", "kernels")
         and rel_parts[3] != "__init__.py"
+    )
+
+
+def _is_machine_component(rel_parts: tuple[str, ...]) -> bool:
+    """Machine component modules REPO006 applies to (not the operation
+    vocabulary itself, which defines the ops rather than timing them)."""
+    return (
+        len(rel_parts) == 4
+        and rel_parts[:3] == ("src", "repro", "machine")
+        and rel_parts[3] not in ("__init__.py", "operations.py")
     )
 
 
@@ -344,6 +395,8 @@ def lint_file(path: Path, root: Path) -> list[Diagnostic]:
     found.extend(_check_intrinsic_names(rel, tree))
     if _is_simulator_path(rel_parts):
         found.extend(_check_determinism(rel, tree))
+    if _is_machine_component(rel_parts):
+        found.extend(_check_perfmon_registration(rel, tree))
     if _in_src(rel_parts) and rel_parts[-1] != "units.py":
         found.extend(_check_magic_units(rel, tree))
 

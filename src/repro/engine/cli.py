@@ -147,13 +147,18 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_gc(args: argparse.Namespace) -> int:
     from repro.engine.deps import suite_digests
+    from repro.units import fmt_bytes
 
     store = _store(args)
     removed = store.gc(suite_digests(), dry_run=args.dry_run)
     verb = "would remove" if args.dry_run else "removed"
     for entry in removed:
-        print(f"{verb} {entry.path}")
-    print(f"gc: {verb} {len(removed)} entr{'y' if len(removed) == 1 else 'ies'}")
+        print(f"{verb} {entry.path} ({fmt_bytes(entry.size_bytes)})")
+    total = fmt_bytes(sum(entry.size_bytes for entry in removed))
+    print(
+        f"gc: {verb} {len(removed)} entr{'y' if len(removed) == 1 else 'ies'}"
+        f" ({total})"
+    )
     return 0
 
 

@@ -23,6 +23,7 @@ the simulator is deterministic, and this asserts it.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 import time
@@ -35,6 +36,7 @@ from dataclasses import dataclass, field
 from repro.engine.deps import ExperimentDigest
 from repro.engine.plan import HIT, ExecutionPlan, plan_suite
 from repro.engine.store import ResultStore, canonical_bytes
+from repro.perfmon.collector import span as perfmon_span
 from repro.suite.results import Experiment
 
 __all__ = [
@@ -61,6 +63,10 @@ class JobResult:
     elapsed_s: float  # wall seconds the (original) execution took
     source: str  # EXECUTED or CACHE
     worker_pid: int = 0
+    #: wall seconds this run spent obtaining the result (queue + execute
+    #: for executed jobs, store read for cache hits); ``elapsed_s`` can
+    #: predate this run when the result came from cache.
+    host_elapsed_s: float | None = None
 
 
 @dataclass(frozen=True)
@@ -140,51 +146,101 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
+def _finish_span(span, outcome: JobResult | JobFailure, queue_s: float | None = None):
+    """Annotate an engine:job span with how the job went (span may be
+    None when no profile is active)."""
+    if span is None:
+        return
+    if isinstance(outcome, JobResult):
+        span.attrs["status"] = "ok"
+        span.attrs["execute_s"] = outcome.elapsed_s
+    else:
+        span.attrs["status"] = outcome.kind
+    if queue_s is not None:
+        span.attrs["queue_s"] = queue_s
+
+
 def execute_jobs(
     exp_ids: Iterable[str],
     jobs: int = 1,
     timeout_s: float | None = None,
+    cache_status: dict[str, str] | None = None,
 ) -> list[JobResult | JobFailure]:
     """Run builders, ``jobs`` at a time; results in request order.
 
     ``jobs=1`` runs inline in this process (no pool, no pickling) —
     the serial reference path the parallel one must byte-match.
     ``timeout_s`` is per job, measured while the engine waits on it.
+    ``cache_status`` (exp_id -> plan status, e.g. ``miss``/``stale``)
+    only annotates the perfmon spans; execution ignores it.
+
+    When a :mod:`repro.perfmon` profile is active, every job gets an
+    ``engine:job:<exp_id>`` host span with cache/status/queue/execute
+    attributes, and each :class:`JobResult` carries ``host_elapsed_s``
+    (submit-to-result wall time as seen by this process).
     """
     ids = list(exp_ids)
     if jobs < 1:
         raise ValueError(f"need at least one job slot, got {jobs}")
     if not ids:
         return []
+    status_of = cache_status or {}
     if jobs == 1:
-        return [_from_payload(_execute_job(exp_id)) for exp_id in ids]
+        results: list[JobResult | JobFailure] = []
+        for exp_id in ids:
+            start = time.perf_counter()
+            with perfmon_span(
+                f"engine:job:{exp_id}",
+                exp_id=exp_id,
+                source=EXECUTED,
+                cache=status_of.get(exp_id, "bypass"),
+            ) as job_span:
+                outcome = _from_payload(_execute_job(exp_id))
+            _finish_span(job_span, outcome, queue_s=0.0)
+            if isinstance(outcome, JobResult):
+                outcome = dataclasses.replace(
+                    outcome, host_elapsed_s=time.perf_counter() - start
+                )
+            results.append(outcome)
+        return results
 
-    results: list[JobResult | JobFailure] = []
+    results = []
     pool = ProcessPoolExecutor(
         max_workers=min(jobs, len(ids)), mp_context=_pool_context()
     )
     try:
+        submitted = time.perf_counter()
         futures = [(exp_id, pool.submit(_execute_job, exp_id)) for exp_id in ids]
         for exp_id, future in futures:
-            try:
-                results.append(_from_payload(future.result(timeout=timeout_s)))
-            except FutureTimeoutError:
-                future.cancel()
-                results.append(
-                    JobFailure(
+            with perfmon_span(
+                f"engine:job:{exp_id}",
+                exp_id=exp_id,
+                source=EXECUTED,
+                cache=status_of.get(exp_id, "bypass"),
+            ) as job_span:
+                try:
+                    outcome = _from_payload(future.result(timeout=timeout_s))
+                except FutureTimeoutError:
+                    future.cancel()
+                    outcome = JobFailure(
                         exp_id=exp_id,
                         kind="timeout",
                         message=f"exceeded {timeout_s:g} s",
                     )
-                )
-            except Exception as exc:  # worker died: BrokenProcessPool etc.
-                results.append(
-                    JobFailure(
+                except Exception as exc:  # worker died: BrokenProcessPool etc.
+                    outcome = JobFailure(
                         exp_id=exp_id,
                         kind="crash",
                         message=f"worker died: {type(exc).__name__}: {exc}",
                     )
-                )
+            host_elapsed = time.perf_counter() - submitted
+            if isinstance(outcome, JobResult):
+                queue_s = max(0.0, host_elapsed - outcome.elapsed_s)
+                _finish_span(job_span, outcome, queue_s=queue_s)
+                outcome = dataclasses.replace(outcome, host_elapsed_s=host_elapsed)
+            else:
+                _finish_span(job_span, outcome)
+            results.append(outcome)
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
     return results
@@ -272,19 +328,34 @@ def run_engine(
 
     by_id: dict[str, JobResult | JobFailure] = {}
     run_ids = []
+    cache_status = {e.exp_id: e.status for e in plan.entries}
     for entry in plan.entries:
-        cached = store.get(entry.digest) if (use_cache and entry.status == HIT) else None
+        if use_cache and entry.status == HIT:
+            read_start = time.perf_counter()
+            with perfmon_span(
+                f"engine:job:{entry.exp_id}",
+                exp_id=entry.exp_id,
+                source=CACHE,
+                cache="hit",
+                status="ok",
+            ):
+                cached = store.get(entry.digest)
+        else:
+            cached = None
         if cached is not None:
             by_id[entry.exp_id] = JobResult(
                 exp_id=cached.exp_id,
                 experiment=cached.experiment,
                 elapsed_s=cached.elapsed_s,
                 source=CACHE,
+                host_elapsed_s=time.perf_counter() - read_start,
             )
         else:
             run_ids.append(entry.exp_id)
 
-    for outcome in execute_jobs(run_ids, jobs=jobs, timeout_s=timeout_s):
+    for outcome in execute_jobs(
+        run_ids, jobs=jobs, timeout_s=timeout_s, cache_status=cache_status
+    ):
         by_id[outcome.exp_id] = outcome
         if use_cache and isinstance(outcome, JobResult):
             store.put(digests[outcome.exp_id], outcome.experiment, outcome.elapsed_s)

@@ -121,6 +121,14 @@ class Process:
 class Simulator:
     """Deterministic event-driven simulator.
 
+    An optional ``tracer`` observes process lifetimes on the *simulated*
+    clock: ``tracer.started(process, now)`` fires at a process's first
+    step and ``tracer.finished(process, now)`` when it returns.  The
+    simulator hands the tracer simulated seconds only — this module must
+    stay free of host-clock reads so schedules remain deterministic
+    (:class:`repro.perfmon.collector.SimSpanTracer` is the intended
+    consumer).
+
     Example
     -------
     >>> sim = Simulator()
@@ -133,8 +141,9 @@ class Simulator:
     (2.5, 'done')
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tracer: Any = None) -> None:
         self.now = 0.0
+        self.tracer = tracer
         self._queue: list[tuple[float, int, Process, Any]] = []
         self._counter = itertools.count()
         self.processes: list[Process] = []
@@ -170,6 +179,8 @@ class Simulator:
             raise SimulationError(f"process {proc.name!r} resumed after finishing")
         if proc.start_time is None:
             proc.start_time = self.now
+            if self.tracer is not None:
+                self.tracer.started(proc, self.now)
         try:
             yielded = proc.gen.send(send_value)
         except StopIteration as stop:
@@ -181,6 +192,8 @@ class Simulator:
         proc.finished = True
         proc.result = result
         proc.finish_time = self.now
+        if self.tracer is not None:
+            self.tracer.finished(proc, self.now)
         for joiner in proc._joiners:
             self._schedule(self.now, joiner, proc.result)
         proc._joiners.clear()

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from repro.events import Simulator
 from repro.machine.iop import IOProcessor
+from repro.perfmon.collector import sim_tracer
 from repro.units import MB
 
 __all__ = ["HippiChannel", "hippi_benchmark", "PACKET_SIZES"]
@@ -83,7 +84,7 @@ def hippi_benchmark(
     ]
 
     # Concurrent transfers: one process per channel, same workload each.
-    sim = Simulator()
+    sim = Simulator(tracer=sim_tracer(prefix="hippi"))
     biggest = max(packet_sizes)
 
     def transfer():

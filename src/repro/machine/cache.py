@@ -13,7 +13,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.perfmon.counters import declare_counters
+
 __all__ = ["CacheModel"]
+
+declare_counters(
+    "cache",
+    (
+        "ref_words",  # words referenced through the cache
+        "hit_words",
+        "miss_words",  # words that triggered a line refill
+        "miss_cycles",  # refill time paid
+    ),
+)
 
 
 @dataclass
@@ -86,3 +98,20 @@ class CacheModel:
         """Average cost of one word reference under the given pattern."""
         rate = self.miss_rate(stride_words, working_set_bytes, indexed)
         return self.hit_cycles_per_word + rate * self.line_fill_cycles()
+
+    def perfmon_counters(
+        self,
+        words: float,
+        stride_words: int = 1,
+        working_set_bytes: float = 0.0,
+        indexed: bool = False,
+    ) -> dict[str, float]:
+        """Counter increments for ``words`` references under one pattern."""
+        rate = self.miss_rate(stride_words, working_set_bytes, indexed)
+        misses = words * rate
+        return {
+            "ref_words": words,
+            "hit_words": words - misses,
+            "miss_words": misses,
+            "miss_cycles": misses * self.line_fill_cycles(),
+        }

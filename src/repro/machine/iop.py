@@ -13,9 +13,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.perfmon.collector import record as perfmon_record
+from repro.perfmon.counters import declare_counters
 from repro.units import GB, MB
 
 __all__ = ["IOProcessor", "DiskArray"]
+
+declare_counters(
+    "iop",
+    (
+        "requests",
+        "transfer_bytes",
+        "channel_seconds",  # channel occupancy, simulated
+    ),
+)
 
 
 @dataclass
@@ -37,7 +48,12 @@ class IOProcessor:
             raise ValueError(f"transfer size cannot be negative, got {nbytes}")
         if requests < 1:
             raise ValueError(f"need at least one request, got {requests}")
-        return requests * self.request_overhead_s + nbytes / self.bandwidth_bytes_per_s
+        seconds = requests * self.request_overhead_s + nbytes / self.bandwidth_bytes_per_s
+        perfmon_record(
+            "iop",
+            {"requests": float(requests), "transfer_bytes": nbytes, "channel_seconds": seconds},
+        )
+        return seconds
 
 
 @dataclass

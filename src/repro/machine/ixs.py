@@ -18,9 +18,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.machine.node import Node
+from repro.perfmon.collector import record as perfmon_record
+from repro.perfmon.counters import declare_counters
 from repro.units import GB
 
 __all__ = ["InternodeCrossbar", "MultiNodeSystem"]
+
+declare_counters(
+    "ixs",
+    (
+        "transfers",
+        "transfer_bytes",
+        "busy_seconds",  # channel occupancy, simulated
+        "barriers",
+        "barrier_seconds",
+    ),
+)
 
 
 @dataclass
@@ -58,7 +71,12 @@ class InternodeCrossbar:
             raise ValueError(f"transfer size cannot be negative, got {nbytes}")
         if nbytes == 0:
             return 0.0
-        return self.latency_s + nbytes / self.channel_bytes_per_s
+        seconds = self.latency_s + nbytes / self.channel_bytes_per_s
+        perfmon_record(
+            "ixs",
+            {"transfers": 1.0, "transfer_bytes": nbytes, "busy_seconds": seconds},
+        )
+        return seconds
 
     def barrier_seconds(self, nodes: int) -> float:
         """Global synchronisation through the IXS communication registers."""
@@ -69,7 +87,9 @@ class InternodeCrossbar:
         # Fan-in/fan-out tree over the global registers.
         import math
 
-        return 2.0 * math.ceil(math.log2(nodes)) * self.sync_register_latency_s
+        seconds = 2.0 * math.ceil(math.log2(nodes)) * self.sync_register_latency_s
+        perfmon_record("ixs", {"barriers": 1.0, "barrier_seconds": seconds})
+        return seconds
 
 
 @dataclass

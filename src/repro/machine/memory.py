@@ -31,8 +31,22 @@ import math
 from dataclasses import dataclass
 
 from repro.machine.operations import VectorOp
+from repro.perfmon.counters import declare_counters
 
 __all__ = ["BankedMemory"]
+
+declare_counters(
+    "memory",
+    (
+        "load_cycles",  # load-path busy cycles (as charged, incl. dilation)
+        "store_cycles",  # store-path busy cycles (as charged, incl. dilation)
+        "transfer_cycles",  # max(load, store) per execution — the charged time
+        "bank_conflict_cycles",  # charged minus conflict-free-ideal time
+        "sequential_words",
+        "indexed_words",  # gathered/scattered data words
+        "index_words",  # index-vector traffic (not counted as data)
+    ),
+)
 
 
 @dataclass
@@ -167,6 +181,38 @@ class BankedMemory:
     def transfer_cycles(self, op: VectorOp) -> float:
         """Memory time for one loop execution; load/store paths overlap."""
         return max(self.load_cycles(op), self.store_cycles(op))
+
+    def conflict_free_cycles(self, op: VectorOp) -> float:
+        """Memory time for one loop execution were every access pattern
+        conflict-free (stride/gather dilations forced to 1, index-vector
+        traffic still paid) — the PROGINF bank-conflict baseline."""
+        width = self.path_words_per_cycle
+        indexed = op.gather_loads_per_element + op.scatter_stores_per_element
+        load = (op.loads_per_element + op.gather_loads_per_element) * op.length / width
+        load += indexed * op.length * self.index_words_per_element / width
+        store = (op.stores_per_element + op.scatter_stores_per_element) * op.length / width
+        return max(load, store)
+
+    def perfmon_counters(self, op: VectorOp, dilation: float = 1.0) -> dict[str, float]:
+        """Counter increments for all ``count`` executions of a loop.
+
+        ``bank_conflict_cycles`` is the charged memory time in excess of
+        the conflict-free ideal — covering stride/gather dilation *and*
+        multi-CPU contention, the two things PROGINF's "bank conflict
+        time" lumped together.
+        """
+        charged = self.transfer_cycles(op) * dilation * op.count
+        ideal = self.conflict_free_cycles(op) * op.count
+        indexed_per_elem = op.gather_loads_per_element + op.scatter_stores_per_element
+        return {
+            "load_cycles": self.load_cycles(op) * dilation * op.count,
+            "store_cycles": self.store_cycles(op) * dilation * op.count,
+            "transfer_cycles": charged,
+            "bank_conflict_cycles": max(0.0, charged - ideal),
+            "sequential_words": op.sequential_words * op.count,
+            "indexed_words": op.indexed_words * op.count,
+            "index_words": indexed_per_elem * op.length * self.index_words_per_element * op.count,
+        }
 
     # -- multi-CPU behaviour -------------------------------------------------
     def contention_factor(self, active_cpus: int, irregular_fraction: float) -> float:

@@ -17,9 +17,26 @@ from repro.machine.memory import BankedMemory
 from repro.machine.operations import ScalarOp, Trace, VectorOp
 from repro.machine.scalar_unit import ScalarUnit
 from repro.machine.vector_unit import VectorUnit
+from repro.perfmon.collector import active as perfmon_active
+from repro.perfmon.collector import record as perfmon_record
+from repro.perfmon.counters import declare_counters
 from repro.units import MEGA
 
 __all__ = ["Processor", "ExecutionReport"]
+
+declare_counters(
+    "processor",
+    (
+        "traces",
+        "ops",
+        "vector_ops",
+        "scalar_ops",
+        "cycles",
+        "vector_cycles",  # cycles spent in vector-loop executions
+        "scalar_cycles",
+        "seconds",  # PROGINF "Real Time": cycles through this clock
+    ),
+)
 
 
 @dataclass
@@ -125,16 +142,60 @@ class Processor:
         """Total cycles for all ``count`` executions of a scalar op."""
         return self.scalar.scalar_op_cycles(op) * op.count
 
+    # -- perfmon instrumentation --------------------------------------------
+    def _record_op(self, op: VectorOp | ScalarOp, cycles: float, dilation: float) -> None:
+        """Populate the active profile's counters for one executed op.
+
+        Each component contributes its own increments; the processor
+        adds the totals PROGINF reads directly (op/cycle/second counts).
+        """
+        if isinstance(op, VectorOp):
+            if self.vector is not None and self.memory is not None:
+                perfmon_record("vector_unit", self.vector.perfmon_counters(op))
+                perfmon_record("memory", self.memory.perfmon_counters(op, dilation))
+            else:
+                scalar, cache = self.scalar.perfmon_vector_counters(op)
+                perfmon_record("scalar_unit", scalar)
+                perfmon_record("cache", cache)
+            kind = "vector_cycles"
+            kind_ops = "vector_ops"
+        else:
+            scalar, cache = self.scalar.perfmon_scalar_counters(op)
+            perfmon_record("scalar_unit", scalar)
+            perfmon_record("cache", cache)
+            kind = "scalar_cycles"
+            kind_ops = "scalar_ops"
+        perfmon_record(
+            "processor",
+            {
+                "ops": 1.0,
+                kind_ops: 1.0,
+                "cycles": cycles,
+                kind: cycles,
+                "seconds": self.clock.seconds(cycles),
+            },
+        )
+
     # -- trace execution ------------------------------------------------------
     def execute(self, trace: Trace, memory_dilation: float = 1.0) -> ExecutionReport:
-        """Run a trace to completion and report time and rates."""
+        """Run a trace to completion and report time and rates.
+
+        When a :mod:`repro.perfmon` profile is active, every component
+        that times an op also populates its counters — this is the
+        "counter emulation" layer of the observability subsystem.
+        """
         breakdown: list[tuple[str, float]] = []
         total_cycles = 0.0
+        profiling = perfmon_active() is not None
+        if profiling:
+            perfmon_record("processor", {"traces": 1.0})
         for op in trace:
             if isinstance(op, VectorOp):
                 cycles = self.vector_op_cycles(op, memory_dilation)
             else:
                 cycles = self.scalar_op_cycles(op)
+            if profiling:
+                self._record_op(op, cycles, memory_dilation)
             breakdown.append((op.name, cycles))
             total_cycles += cycles
         return ExecutionReport(

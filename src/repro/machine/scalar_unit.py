@@ -25,8 +25,21 @@ from typing import Mapping
 
 from repro.machine.cache import CacheModel
 from repro.machine.operations import INTRINSICS, ScalarOp, VectorOp
+from repro.perfmon.counters import declare_counters
 
 __all__ = ["ScalarUnit"]
+
+declare_counters(
+    "scalar_unit",
+    (
+        "ex_cycles",  # cycles spent executing on the scalar unit
+        "instructions",  # PROGINF "Inst. Count" (scalar issue slots)
+        "flops",
+        "flop_equivalents",
+        "memory_words",
+        "intrinsic_calls",  # scalar (libm-style) intrinsic calls
+    ),
+)
 
 
 def _default_scalar_intrinsic_cycles() -> dict[str, float]:
@@ -108,3 +121,58 @@ class ScalarUnit:
         )
         per_element = max(flop_cycles, mem_cycles) + loop_cycles + intrinsic_cycles
         return op.length * per_element
+
+    # -- perfmon instrumentation --------------------------------------------
+    def perfmon_scalar_counters(
+        self, op: ScalarOp
+    ) -> tuple[dict[str, float], dict[str, float]]:
+        """(scalar_unit, cache) counter increments for a ScalarOp."""
+        scalar = {
+            "ex_cycles": self.scalar_op_cycles(op) * op.count,
+            "instructions": op.instructions * op.count,
+            "flops": op.raw_flops,
+            "flop_equivalents": op.flop_equivalents,
+            "memory_words": op.words_moved,
+        }
+        # Scalar references are register/cache-resident by construction.
+        cache = self.cache.perfmon_counters(op.words_moved)
+        return scalar, cache
+
+    def perfmon_vector_counters(
+        self, op: VectorOp
+    ) -> tuple[dict[str, float], dict[str, float]]:
+        """(scalar_unit, cache) increments for a VectorOp run as a
+        scalar loop on a cache machine.
+
+        Instruction accounting mirrors :meth:`vector_op_cycles`: per
+        element, the flops plus the loop-bookkeeping overhead occupy
+        issue slots; memory references go through the cache model with
+        the loop's stride and working set.
+        """
+        elements = op.elements
+        words_per_elem = op.loads_per_element + op.stores_per_element
+        indexed_per_elem = op.gather_loads_per_element + op.scatter_stores_per_element
+        working_set = (
+            (op.loads_per_element * op.load_stride + op.stores_per_element * op.store_stride)
+            * op.length
+            * 8.0
+        )
+        stride = max(op.load_stride, op.store_stride)
+        scalar = {
+            "ex_cycles": self.vector_op_cycles(op) * op.count,
+            "instructions": (op.flops_per_element + self.loop_overhead_instructions) * elements,
+            "flops": op.raw_flops,
+            "flop_equivalents": op.flop_equivalents,
+            "memory_words": op.words_moved,
+            "intrinsic_calls": sum(op.intrinsic_calls_total.values()),
+        }
+        cache = self.cache.perfmon_counters(
+            words_per_elem * elements, stride, working_set
+        )
+        if indexed_per_elem > 0:
+            # Small-table lookups: resident, so pure hits (see above).
+            for name, value in self.cache.perfmon_counters(
+                indexed_per_elem * elements
+            ).items():
+                cache[name] = cache.get(name, 0.0) + value
+        return scalar, cache

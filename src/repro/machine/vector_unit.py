@@ -29,8 +29,22 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.machine.operations import INTRINSICS, VectorOp
+from repro.perfmon.counters import declare_counters
 
 __all__ = ["VectorUnit"]
+
+declare_counters(
+    "vector_unit",
+    (
+        "busy_cycles",  # pipeline-busy arithmetic + intrinsic cycles
+        "startup_cycles",  # startup + strip-mine overhead
+        "vector_instructions",  # strip-mined vector instruction issues
+        "vector_elements",  # PROGINF "V. Element Count"
+        "flops",  # genuine adds/multiplies
+        "flop_equivalents",  # with Cray-HPM intrinsic credits
+        "intrinsic_calls",
+    ),
+)
 
 
 def _default_intrinsic_cycles() -> dict[str, float]:
@@ -115,6 +129,24 @@ class VectorUnit:
         """Startup + strip-mining overhead for one loop execution."""
         strips = max(1, math.ceil(op.length / self.register_length))
         return self.startup_cycles + (strips - 1) * self.stripmine_cycles
+
+    def perfmon_counters(self, op: VectorOp) -> dict[str, float]:
+        """Counter increments for all ``count`` executions of a loop.
+
+        ``vector_instructions`` counts strip-mined issues, so
+        ``vector_elements / vector_instructions`` is the PROGINF
+        average vector length (capped by :attr:`register_length`).
+        """
+        strips = max(1, math.ceil(op.length / self.register_length))
+        return {
+            "busy_cycles": self.arithmetic_cycles(op) * op.count,
+            "startup_cycles": self.overhead_cycles(op) * op.count,
+            "vector_instructions": strips * op.count,
+            "vector_elements": op.elements,
+            "flops": op.raw_flops,
+            "flop_equivalents": op.flop_equivalents,
+            "intrinsic_calls": sum(op.intrinsic_calls_total.values()),
+        }
 
     def intrinsic_rate_per_cycle(self, func: str) -> float:
         """Sustained vector throughput of one intrinsic, results/cycle."""

@@ -12,9 +12,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.perfmon.collector import record as perfmon_record
+from repro.perfmon.counters import declare_counters
 from repro.units import GB
 
 __all__ = ["ExtendedMemoryUnit"]
+
+declare_counters(
+    "xmu",
+    (
+        "transfers",
+        "transfer_bytes",
+        "busy_seconds",  # staging-tier occupancy, simulated
+    ),
+)
 
 
 @dataclass
@@ -39,7 +50,12 @@ class ExtendedMemoryUnit:
             raise ValueError(f"transfer size cannot be negative, got {nbytes}")
         if nbytes == 0:
             return 0.0
-        return self.access_latency_s + nbytes / self.bandwidth_bytes_per_s
+        seconds = self.access_latency_s + nbytes / self.bandwidth_bytes_per_s
+        perfmon_record(
+            "xmu",
+            {"transfers": 1.0, "transfer_bytes": nbytes, "busy_seconds": seconds},
+        )
+        return seconds
 
     def fits(self, nbytes: float) -> bool:
         """Whether a staging area of ``nbytes`` fits in the XMU."""

@@ -1,0 +1,61 @@
+"""``repro.perfmon``: PROGINF/FTRACE-style observability.
+
+The SX-4's users saw the machine through two instruments: **PROGINF**,
+the end-of-run hardware-counter summary (execution time, vector-element
+counts, average vector length, vector-operation ratio, FLOP count,
+memory/bank-conflict time), and **FTRACE**, the per-routine profiler.
+This package reproduces both for the simulated machine, plus modern
+exporters:
+
+``counters`` / ``collector``
+    The emulation core: the component counter registry, the additive
+    :class:`CounterSet`, the active :class:`Profile` context,
+    host-clock :func:`span` tracing and the simulated-clock
+    :class:`SimSpanTracer`.  These are leaf modules — the machine model
+    imports them to record, so they import nothing back.
+``proginf``
+    Derives the PROGINF metrics from a CounterSet and renders the
+    classic report; ``profile_trace``/``profile_kernels`` run traces
+    under a fresh profile for per-kernel sections.
+``ftrace``
+    Aggregates spans into an FTRACE-style per-region table with
+    inclusive/exclusive time.
+``export``
+    Profile save/load plus JSON, Prometheus text and Chrome
+    ``trace_event`` exporters (with schema validation).
+``diff``
+    Counter/metric comparison between two saved profiles, with a
+    regression tolerance — the CI face of the subsystem.
+``cli``
+    ``python -m repro.perfmon report|diff|export``.
+
+Only the leaf modules are imported eagerly (the machine model imports
+this package, so anything heavier would be a cycle); import
+``repro.perfmon.proginf`` and friends explicitly.
+"""
+
+from repro.perfmon.collector import (
+    Profile,
+    SimSpanTracer,
+    Span,
+    active,
+    profile,
+    record,
+    sim_tracer,
+    span,
+)
+from repro.perfmon.counters import COMPONENT_COUNTERS, CounterSet, declare_counters
+
+__all__ = [
+    "COMPONENT_COUNTERS",
+    "CounterSet",
+    "declare_counters",
+    "Profile",
+    "Span",
+    "SimSpanTracer",
+    "active",
+    "profile",
+    "record",
+    "sim_tracer",
+    "span",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.perfmon`` entry point."""
+
+from repro.perfmon.cli import main
+
+__all__ = ["main"]
+
+if __name__ == "__main__":
+    raise SystemExit(main())

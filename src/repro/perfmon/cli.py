@@ -1,0 +1,199 @@
+"""Command-line interface for the observability subsystem.
+
+Usage::
+
+    python -m repro.perfmon report [ids...] [--ftrace] [--save PATH]
+    python -m repro.perfmon export --format {json,prometheus,chrome,ftrace}
+                                   [--profile PATH] [--out PATH] [ids...]
+    python -m repro.perfmon diff OLD.json NEW.json [--tolerance T] [--json]
+
+``report`` profiles the registered kernel traces (default: all 13) on
+the calibrated SX-4 and prints their PROGINF sections.  ``export``
+renders a saved profile document — or profiles live when none is given
+— in any exporter format.  ``diff`` compares two saved documents and
+exits 1 when a counter or PROGINF metric regressed beyond tolerance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.perfmon.collector import Profile, active, profile, span
+from repro.perfmon.diff import diff_profiles, render_diff
+from repro.perfmon.export import (
+    EXPORT_FORMATS,
+    LoadedProfile,
+    export_text,
+    load_profile,
+    save_profile,
+)
+from repro.perfmon.ftrace import render_ftrace
+from repro.perfmon.proginf import (
+    KERNEL_IDS,
+    KernelProfile,
+    ProginfMetrics,
+    profile_trace,
+    proginf_report,
+)
+
+__all__ = ["main", "collect_kernel_profiles"]
+
+
+@contextmanager
+def _ensure_profile(**meta):
+    """The active profile, or a fresh one for the duration of the block."""
+    existing = active()
+    if existing is not None:
+        yield existing
+    else:
+        with profile(**meta) as prof:
+            yield prof
+
+
+def collect_kernel_profiles(
+    trace_ids: tuple[str, ...] | list[str] | None = None,
+) -> tuple[Profile, dict[str, KernelProfile]]:
+    """Profile kernels with per-kernel counters *and* an outer profile.
+
+    The outer profile — the already-active one when called under
+    ``repro.suite --perfmon``, a fresh one otherwise — carries one host
+    span per kernel plus the merged counters; each kernel's own counters
+    stay separate (the nested profile shadows the outer one while its
+    trace executes) so PROGINF sections remain per kernel.
+    """
+    from repro.analysis.traces import TRACE_BUILDERS
+
+    ids = KERNEL_IDS if trace_ids is None else tuple(trace_ids)
+    unknown = [tid for tid in ids if tid not in TRACE_BUILDERS]
+    if unknown:
+        raise KeyError(
+            f"unknown benchmark id(s): {', '.join(sorted(unknown))}; "
+            f"known ids: {', '.join(TRACE_BUILDERS)}"
+        )
+    kernels: dict[str, KernelProfile] = {}
+    with _ensure_profile(role="perfmon", kernels=list(ids)) as outer:
+        for trace_id in ids:
+            description, builder = TRACE_BUILDERS[trace_id]
+            with span(f"kernel:{trace_id}", trace_id=trace_id):
+                _, kernel_prof = profile_trace(builder())
+            kernels[trace_id] = KernelProfile(
+                trace_id=trace_id,
+                description=description,
+                counters=kernel_prof.counters,
+                metrics=ProginfMetrics.from_counters(kernel_prof.counters),
+            )
+            outer.counters.merge(kernel_prof.counters)
+    return outer, kernels
+
+
+def _write_or_print(text: str, out: str | None) -> None:
+    if out:
+        path = Path(out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        print(f"wrote {path}", file=sys.stderr)
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    outer, kernels = collect_kernel_profiles(args.ids or None)
+    print(proginf_report(kernels))
+    if args.ftrace:
+        print()
+        print(render_ftrace(outer))
+    if args.save:
+        path = save_profile(args.save, outer, kernels)
+        print(f"saved profile to {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    if args.profile:
+        loaded = load_profile(args.profile)
+    else:
+        outer, kernels = collect_kernel_profiles(args.ids or None)
+        loaded = LoadedProfile(profile=outer, kernels=kernels)
+    try:
+        text = export_text(loaded, args.format)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    _write_or_print(text, args.out)
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    old, new = load_profile(args.old), load_profile(args.new)
+    entries = diff_profiles(old, new, tolerance=args.tolerance)
+    regressions = [entry for entry in entries if entry.regression]
+    if args.json:
+        payload = {
+            "tolerance": args.tolerance,
+            "regressions": len(regressions),
+            "entries": [
+                {
+                    "kind": e.kind,
+                    "subject": e.subject,
+                    "old": e.old,
+                    "new": e.new,
+                    "delta_pct": e.delta_pct,
+                    "regression": e.regression,
+                }
+                for e in entries
+            ],
+        }
+        print(json.dumps(payload, indent=1, sort_keys=True))
+    else:
+        print(render_diff(entries, args.tolerance))
+    return 1 if regressions else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perfmon",
+        description="PROGINF/FTRACE-style reports from the emulated counters.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser("report", help="profile kernels and print PROGINF")
+    p_report.add_argument("ids", nargs="*", metavar="kernel_id",
+                          help="kernel ids (default: the 13 registered kernels)")
+    p_report.add_argument("--ftrace", action="store_true",
+                          help="also print the per-region FTRACE table")
+    p_report.add_argument("--save", metavar="PATH",
+                          help="write the profile document (JSON) to PATH")
+
+    p_export = sub.add_parser("export", help="render a profile document")
+    p_export.add_argument("ids", nargs="*", metavar="kernel_id",
+                          help="kernel ids when profiling live (no --profile)")
+    p_export.add_argument("--format", required=True, choices=EXPORT_FORMATS,
+                          help="output format")
+    p_export.add_argument("--profile", metavar="PATH",
+                          help="saved profile document (default: profile live)")
+    p_export.add_argument("--out", metavar="PATH",
+                          help="write to PATH instead of stdout")
+
+    p_diff = sub.add_parser("diff", help="compare two saved profile documents")
+    p_diff.add_argument("old", metavar="OLD.json")
+    p_diff.add_argument("new", metavar="NEW.json")
+    p_diff.add_argument("--tolerance", type=float, default=0.05, metavar="T",
+                        help="relative tolerance before a change counts "
+                             "(default: 0.05)")
+    p_diff.add_argument("--json", action="store_true",
+                        help="emit machine-readable diff entries")
+
+    args = parser.parse_args(argv)
+    handlers = {"report": _cmd_report, "export": _cmd_export, "diff": _cmd_diff}
+    try:
+        return handlers[args.command](args)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

@@ -1,0 +1,137 @@
+"""Profile diffing: compare two runs' counters within a tolerance.
+
+``repro.perfmon diff old.json new.json`` is the regression gate: it
+compares every shared counter and every per-kernel PROGINF metric, and
+classifies changes beyond the relative tolerance by *direction* — for
+cost-like counters (cycles, seconds, misses, conflicts) an increase is
+a regression, while for goodness metrics (Mflops, average vector
+length, vector-operation ratio) a decrease is.  Everything else beyond
+tolerance is reported as drift without a verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmon.export import LoadedProfile
+
+__all__ = ["DiffEntry", "diff_profiles", "render_diff"]
+
+#: counter/metric name fragments where *more* means *slower*.
+_COST_FRAGMENTS = ("cycles", "seconds", "time_s", "miss", "conflict", "busy")
+#: PROGINF metrics where *less* means *slower*.
+_GOODNESS_METRICS = frozenset(
+    {"mflops", "raw_mflops", "avg_vector_length", "vector_op_ratio", "cache_hit_words"}
+)
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One counter or metric that changed beyond tolerance."""
+
+    kind: str  # "counter" | "metric" | "presence"
+    subject: str  # "vector_unit.flops" or "rfft.mflops"
+    old: float | None
+    new: float | None
+    regression: bool
+
+    @property
+    def delta_pct(self) -> float | None:
+        if self.old is None or self.new is None:
+            return None
+        if self.old == 0.0:
+            return None
+        return 100.0 * (self.new - self.old) / abs(self.old)
+
+
+def _is_cost(name: str) -> bool:
+    return any(fragment in name for fragment in _COST_FRAGMENTS)
+
+
+def _beyond(old: float, new: float, tolerance: float) -> bool:
+    if old == new:
+        return False
+    scale = max(abs(old), abs(new))
+    if scale == 0.0:
+        return False
+    return abs(new - old) / scale > tolerance
+
+
+def _classify(name: str, old: float, new: float, goodness: bool) -> bool:
+    """Whether the change is a regression (slower/less accurate)."""
+    if goodness:
+        return new < old
+    if _is_cost(name):
+        return new > old
+    return False
+
+
+def _flatten_counters(loaded: LoadedProfile) -> dict[str, float]:
+    return {
+        f"{component}.{counter}": value for component, counter, value in loaded.profile.counters
+    }
+
+
+def _flatten_metrics(loaded: LoadedProfile) -> dict[str, float]:
+    flat: dict[str, float] = {}
+    for kid, kernel in loaded.kernels.items():
+        if kernel.metrics is None:
+            continue
+        for metric, value in kernel.metrics.to_dict().items():
+            flat[f"{kid}.{metric}"] = value
+    return flat
+
+
+def diff_profiles(
+    old: LoadedProfile, new: LoadedProfile, tolerance: float = 0.05
+) -> list[DiffEntry]:
+    """All changes beyond ``tolerance`` (relative), regressions first."""
+    if tolerance < 0:
+        raise ValueError(f"tolerance cannot be negative, got {tolerance}")
+    entries: list[DiffEntry] = []
+    for kind, old_flat, new_flat in (
+        ("counter", _flatten_counters(old), _flatten_counters(new)),
+        ("metric", _flatten_metrics(old), _flatten_metrics(new)),
+    ):
+        for subject in sorted(old_flat.keys() | new_flat.keys()):
+            before, after = old_flat.get(subject), new_flat.get(subject)
+            if before is None or after is None:
+                entries.append(
+                    DiffEntry(kind="presence", subject=subject, old=before, new=after,
+                              regression=False)
+                )
+                continue
+            if not _beyond(before, after, tolerance):
+                continue
+            metric_name = subject.rsplit(".", 1)[-1]
+            goodness = kind == "metric" and metric_name in _GOODNESS_METRICS
+            entries.append(
+                DiffEntry(
+                    kind=kind,
+                    subject=subject,
+                    old=before,
+                    new=after,
+                    regression=_classify(metric_name, before, after, goodness),
+                )
+            )
+    entries.sort(key=lambda e: (not e.regression, e.kind, e.subject))
+    return entries
+
+
+def render_diff(entries: list[DiffEntry], tolerance: float) -> str:
+    """Human-readable diff table."""
+    if not entries:
+        return f"no counter or metric drift beyond {tolerance:.1%} tolerance"
+    lines = [
+        f"{len(entries)} change(s) beyond {tolerance:.1%} tolerance "
+        f"({sum(e.regression for e in entries)} regression(s)):",
+        f"{'':2}{'SUBJECT':<44} {'OLD':>16} {'NEW':>16} {'DELTA':>9}",
+    ]
+    for entry in entries:
+        flag = "✗" if entry.regression else ("±" if entry.kind != "presence" else "?")
+        old = "-" if entry.old is None else f"{entry.old:16.6g}"
+        new = "-" if entry.new is None else f"{entry.new:16.6g}"
+        pct = entry.delta_pct
+        delta = "-" if pct is None else f"{pct:+8.2f}%"
+        lines.append(f"{flag:>2}{entry.subject:<44} {old:>16} {new:>16} {delta:>9}")
+    return "\n".join(lines)

@@ -1,0 +1,295 @@
+"""Exporters: profile JSON, Prometheus text, and Chrome trace_event.
+
+One serialised profile document (``schema_version`` 1) carries the
+counters, spans, metadata, and per-kernel PROGINF sections of a run;
+``save_profile``/``load_profile`` round-trip it through JSON.  From a
+loaded (or live) profile this module renders:
+
+* ``json`` — the document itself, pretty-printed;
+* ``ftrace`` — the per-region text table (:mod:`repro.perfmon.ftrace`);
+* ``prometheus`` — text exposition format, counters as
+  ``repro_perfmon_counter`` and PROGINF metrics as ``repro_proginf``;
+* ``chrome`` — ``trace_event`` JSON loadable in ``chrome://tracing`` /
+  Perfetto, host spans on pid 1 and simulated spans on pid 2 (lanes
+  assigned greedily so overlapping sim processes render side by side).
+
+``validate_chrome_trace`` checks the emitted document against the
+trace_event schema; CI fails the perfmon smoke job on its errors.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.perfmon.collector import HOST_CLOCK, SIM_CLOCK, Profile, Span
+from repro.perfmon.counters import CounterSet
+from repro.perfmon.ftrace import render_ftrace
+from repro.perfmon.proginf import KernelProfile, proginf_report
+from repro.units import US
+
+__all__ = [
+    "PROFILE_SCHEMA_VERSION",
+    "EXPORT_FORMATS",
+    "LoadedProfile",
+    "profile_to_dict",
+    "profile_from_dict",
+    "save_profile",
+    "load_profile",
+    "export_text",
+    "to_prometheus",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+]
+
+PROFILE_SCHEMA_VERSION = 1
+
+#: pid values in the Chrome trace: one "process" per timeline.
+_CHROME_HOST_PID = 1
+_CHROME_SIM_PID = 2
+
+_CHROME_PHASES = frozenset({"B", "E", "X", "i", "C", "M", "b", "e", "n", "s", "t", "f"})
+
+
+@dataclass
+class LoadedProfile:
+    """A deserialised profile document."""
+
+    profile: Profile
+    kernels: dict[str, KernelProfile] = field(default_factory=dict)
+
+
+def profile_to_dict(
+    profile: Profile, kernels: dict[str, KernelProfile] | None = None
+) -> dict[str, Any]:
+    """The schema-versioned profile document."""
+    return {
+        "schema_version": PROFILE_SCHEMA_VERSION,
+        "meta": dict(profile.meta),
+        "counters": profile.counters.to_dict(),
+        "spans": [span.to_dict() for span in profile.spans],
+        "kernels": {kid: kernel.to_dict() for kid, kernel in (kernels or {}).items()},
+    }
+
+
+def profile_from_dict(payload: dict[str, Any]) -> LoadedProfile:
+    """Rebuild a profile document; raises ``ValueError`` on bad shape."""
+    if not isinstance(payload, dict):
+        raise ValueError(f"profile document must be an object, got {type(payload).__name__}")
+    version = payload.get("schema_version")
+    if version != PROFILE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported profile schema_version {version!r} "
+            f"(this build reads {PROFILE_SCHEMA_VERSION})"
+        )
+    profile = Profile(
+        counters=CounterSet.from_dict(payload.get("counters", {})),
+        spans=[Span.from_dict(s) for s in payload.get("spans", [])],
+        meta=dict(payload.get("meta", {})),
+    )
+    kernels = {
+        str(kid): KernelProfile.from_dict(kernel)
+        for kid, kernel in payload.get("kernels", {}).items()
+    }
+    return LoadedProfile(profile=profile, kernels=kernels)
+
+
+def save_profile(
+    path: str | Path, profile: Profile, kernels: dict[str, KernelProfile] | None = None
+) -> Path:
+    """Write the profile document to ``path`` as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(profile_to_dict(profile, kernels), indent=2) + "\n")
+    return path
+
+
+def load_profile(path: str | Path) -> LoadedProfile:
+    """Read a profile document written by :func:`save_profile`."""
+    return profile_from_dict(json.loads(Path(path).read_text()))
+
+
+# -- Prometheus text exposition ---------------------------------------------
+
+
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def to_prometheus(profile: Profile, kernels: dict[str, KernelProfile] | None = None) -> str:
+    """Prometheus text format: counters plus per-kernel PROGINF gauges."""
+    lines = [
+        "# HELP repro_perfmon_counter Emulated SX hardware counter (PROGINF source data).",
+        "# TYPE repro_perfmon_counter gauge",
+    ]
+    for component, counter, value in profile.counters:
+        lines.append(
+            f'repro_perfmon_counter{{component="{_prom_escape(component)}",'
+            f'counter="{_prom_escape(counter)}"}} {value!r}'
+        )
+    if kernels:
+        lines.append("# HELP repro_proginf Derived PROGINF metric for one benchmark kernel.")
+        lines.append("# TYPE repro_proginf gauge")
+        for kid, kernel in kernels.items():
+            if kernel.metrics is None:
+                continue
+            for metric, value in kernel.metrics.to_dict().items():
+                lines.append(
+                    f'repro_proginf{{kernel="{_prom_escape(kid)}",'
+                    f'metric="{_prom_escape(metric)}"}} {value!r}'
+                )
+    return "\n".join(lines) + "\n"
+
+
+# -- Chrome trace_event ------------------------------------------------------
+
+
+def _sim_lanes(spans: list[Span]) -> list[int]:
+    """Greedy lane assignment so overlapping sim spans get distinct tids."""
+    order = sorted(range(len(spans)), key=lambda i: (spans[i].start_s, spans[i].end_s or 0.0))
+    lane_free_at: list[float] = []
+    lanes = [0] * len(spans)
+    for index in order:
+        span = spans[index]
+        for lane, free_at in enumerate(lane_free_at):
+            if free_at <= span.start_s:
+                lanes[index] = lane
+                lane_free_at[lane] = span.end_s or span.start_s
+                break
+        else:
+            lanes[index] = len(lane_free_at)
+            lane_free_at.append(span.end_s or span.start_s)
+    return lanes
+
+
+def _span_attrs_args(span: Span) -> dict[str, Any]:
+    return {key: value for key, value in span.attrs.items()}
+
+
+def to_chrome_trace(profile: Profile) -> dict[str, Any]:
+    """The Chrome ``trace_event`` document for a profile's spans.
+
+    Timestamps are microseconds (the format's unit); ``ph: "X"``
+    complete events carry durations.  Host spans share one thread (their
+    nesting is reconstructed by the viewer from containment); simulated
+    spans are spread across lanes because concurrent processes genuinely
+    overlap on the simulated timeline.
+    """
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _CHROME_HOST_PID,
+            "tid": 0,
+            "ts": 0,
+            "args": {"name": "host (wall clock)"},
+        },
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _CHROME_SIM_PID,
+            "tid": 0,
+            "ts": 0,
+            "args": {"name": "simulated SX-4 timeline"},
+        },
+    ]
+    for span in profile.finished_spans(HOST_CLOCK):
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "pid": _CHROME_HOST_PID,
+                "tid": 1,
+                "ts": span.start_s / US,
+                "dur": (span.duration_s or 0.0) / US,
+                "cat": HOST_CLOCK,
+                "args": _span_attrs_args(span),
+            }
+        )
+    sim_spans = profile.finished_spans(SIM_CLOCK)
+    lanes = _sim_lanes(sim_spans)
+    for span, lane in zip(sim_spans, lanes):
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "pid": _CHROME_SIM_PID,
+                "tid": lane + 1,
+                "ts": span.start_s / US,
+                "dur": (span.duration_s or 0.0) / US,
+                "cat": SIM_CLOCK,
+                "args": _span_attrs_args(span),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(payload: Any) -> list[str]:
+    """Errors that would make ``chrome://tracing`` reject the document.
+
+    Empty list means the document conforms to the trace_event schema
+    (object form: ``traceEvents`` array of event objects with ``name``,
+    ``ph``, ``pid``, ``tid``, ``ts``, and ``dur`` on complete events).
+    """
+    errors: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"top level must be an object, got {type(payload).__name__}"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["'traceEvents' must be an array"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: event must be an object")
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: 'name' must be a non-empty string")
+        ph = event.get("ph")
+        if ph not in _CHROME_PHASES:
+            errors.append(f"{where}: unknown phase {ph!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                errors.append(f"{where}: '{key}' must be an integer")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            errors.append(f"{where}: 'ts' must be a non-negative number")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
+                errors.append(f"{where}: complete events need a non-negative 'dur'")
+        if "args" in event and not isinstance(event["args"], dict):
+            errors.append(f"{where}: 'args' must be an object")
+    return errors
+
+
+# -- format dispatch for the CLI --------------------------------------------
+
+
+def export_text(loaded: LoadedProfile, fmt: str) -> str:
+    """Render a loaded profile in one of :data:`EXPORT_FORMATS`."""
+    if fmt == "json":
+        return json.dumps(profile_to_dict(loaded.profile, loaded.kernels), indent=2) + "\n"
+    if fmt == "prometheus":
+        return to_prometheus(loaded.profile, loaded.kernels)
+    if fmt == "chrome":
+        document = to_chrome_trace(loaded.profile)
+        errors = validate_chrome_trace(document)
+        if errors:
+            detail = "; ".join(errors[:5])
+            raise ValueError(f"generated chrome trace failed validation: {detail}")
+        return json.dumps(document, indent=2) + "\n"
+    if fmt == "ftrace":
+        parts = [render_ftrace(loaded.profile, HOST_CLOCK)]
+        if loaded.profile.finished_spans(SIM_CLOCK):
+            parts.append(render_ftrace(loaded.profile, SIM_CLOCK))
+        if loaded.kernels:
+            parts.append(proginf_report(loaded.kernels))
+        return "\n\n".join(parts) + "\n"
+    known = ", ".join(sorted(EXPORT_FORMATS))
+    raise ValueError(f"unknown export format {fmt!r}; known formats: {known}")
+
+
+EXPORT_FORMATS = ("json", "prometheus", "chrome", "ftrace")

@@ -1,0 +1,107 @@
+"""FTRACE: per-region profile tables from recorded spans.
+
+NEC's FTRACE instrumented every routine entry/exit and printed a table
+of call counts with exclusive/inclusive times.  Here the "routines" are
+the spans recorded by :func:`repro.perfmon.collector.span` (host clock)
+and :class:`~repro.perfmon.collector.SimSpanTracer` (simulated clock);
+this module folds them into the same table.
+
+Exclusive time is inclusive time minus the inclusive time of *direct*
+children (known from the span parent links); sim spans carry no parent
+links, so their exclusive time equals their inclusive time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmon.collector import HOST_CLOCK, Profile, Span
+
+__all__ = ["RegionStat", "aggregate_spans", "render_ftrace"]
+
+
+@dataclass
+class RegionStat:
+    """Aggregated timing for every span sharing one name."""
+
+    name: str
+    calls: int
+    inclusive_s: float
+    exclusive_s: float
+    min_s: float
+    max_s: float
+
+    @property
+    def mean_s(self) -> float:
+        return self.inclusive_s / self.calls if self.calls else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "inclusive_s": self.inclusive_s,
+            "exclusive_s": self.exclusive_s,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+        }
+
+
+def _exclusive_durations(spans: list[Span]) -> list[float]:
+    """Per-span exclusive seconds, subtracting direct children only."""
+    exclusive = [span.duration_s for span in spans]
+    for span in spans:
+        if span.parent is not None and 0 <= span.parent < len(exclusive):
+            exclusive[span.parent] -= span.duration_s
+    return exclusive
+
+
+def aggregate_spans(profile: Profile, clock: str = HOST_CLOCK) -> list[RegionStat]:
+    """Fold one clock's finished spans into per-name region stats.
+
+    Sorted by exclusive time, largest first — the FTRACE ordering.
+    """
+    spans = profile.finished_spans(clock)
+    exclusive = _exclusive_durations(spans)
+    stats: dict[str, RegionStat] = {}
+    for span, excl in zip(spans, exclusive):
+        dur = span.duration_s
+        stat = stats.get(span.name)
+        if stat is None:
+            stats[span.name] = RegionStat(
+                name=span.name, calls=1, inclusive_s=dur, exclusive_s=excl, min_s=dur, max_s=dur
+            )
+        else:
+            stat.calls += 1
+            stat.inclusive_s += dur
+            stat.exclusive_s += excl
+            stat.min_s = min(stat.min_s, dur)
+            stat.max_s = max(stat.max_s, dur)
+    return sorted(stats.values(), key=lambda s: (-s.exclusive_s, s.name))
+
+
+def render_ftrace(profile: Profile, clock: str = HOST_CLOCK) -> str:
+    """The FTRACE table for one clock's spans."""
+    stats = aggregate_spans(profile, clock)
+    title = f"*----------------------*  FTRACE ({clock} clock)  *----------------------*"
+    header = (
+        f"{'PROG.UNIT':<32} {'FREQUENCY':>9} {'EXCLUSIVE':>12} {'(%)':>6} "
+        f"{'INCLUSIVE':>12} {'AVER.TIME':>12}"
+    )
+    if not stats:
+        return f"{title}\n{header}\n  (no {clock}-clock spans recorded)"
+    total_exclusive = sum(s.exclusive_s for s in stats) or 1.0
+    lines = [title, header]
+    for stat in stats:
+        pct = 100.0 * stat.exclusive_s / total_exclusive
+        lines.append(
+            f"{stat.name:<32} {stat.calls:>9} {stat.exclusive_s:>12.6f} {pct:>6.1f} "
+            f"{stat.inclusive_s:>12.6f} {stat.mean_s:>12.6f}"
+        )
+    total_calls = sum(s.calls for s in stats)
+    total_inclusive = sum(s.inclusive_s for s in stats)
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'total':<32} {total_calls:>9} {sum(s.exclusive_s for s in stats):>12.6f} "
+        f"{100.0:>6.1f} {total_inclusive:>12.6f}"
+    )
+    return "\n".join(lines)

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.events import Acquire, Release, Resource, Simulator
 from repro.machine.node import Node
+from repro.perfmon.collector import sim_tracer
 from repro.machine.presets import sx4_node
 from repro.scheduler.jobs import JobSpec, ccm2_component, prodload_job
 
@@ -53,7 +54,7 @@ def _run_concurrent_sequences(
 ) -> tuple[float, list[tuple[str, float, float]]]:
     """Simulate sequences of jobs; each sequence runs its jobs serially,
     sequences run concurrently, components contend for the CPU pool."""
-    sim = Simulator()
+    sim = Simulator(tracer=sim_tracer(prefix="prodload"))
     cpus = Resource(cpu_count, "cpus")
     records: list[tuple[str, float, float]] = []
 

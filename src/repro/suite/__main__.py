@@ -1,0 +1,8 @@
+"""``python -m repro.suite`` entry point (same CLI as repro.suite.runner)."""
+
+from repro.suite.runner import main
+
+__all__ = ["main"]
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,11 +1,21 @@
 """Suite runner: execute every experiment and summarise the verdicts.
 
-``python -m repro.suite.runner [exp_id ...]`` prints each experiment's
+``python -m repro.suite [exp_id ...]`` prints each experiment's
 regenerated table/figure, its shape-check verdicts, and a final summary —
 the command-line face of the reproduction.  ``--json`` emits the same
 report machine-readably (for CI); ``--engine`` routes execution through
 :mod:`repro.engine` — parallel fan-out (``--jobs N``) and the
 content-addressed result cache (disable with ``--no-cache``).
+
+``--perfmon`` activates the observability subsystem for the run: the
+machine components populate their emulated SX hardware counters, every
+experiment gets a host span, and afterwards the 13 kernel traces are
+profiled individually so the run ends with their PROGINF sections (and,
+with ``--perfmon-out``, a saved profile document for
+``python -m repro.perfmon export``/``diff``).  Counter capture is
+in-process: combine ``--perfmon`` with ``--jobs`` > 1 and the workers'
+counters stay in the workers (spans and the kernel PROGINF sections are
+still collected here).
 """
 
 from __future__ import annotations
@@ -17,6 +27,8 @@ import time
 from dataclasses import dataclass, field
 
 from repro.analysis.traces import experiment_summaries
+from repro.perfmon.collector import profile as perfmon_profile
+from repro.perfmon.collector import span as perfmon_span
 from repro.suite.experiments import EXPERIMENTS
 from repro.suite.figures import render_ascii_chart
 from repro.suite.results import Experiment
@@ -33,6 +45,10 @@ class SuiteReport:
     experiments: list[Experiment] = field(default_factory=list)
     #: wall seconds to build each experiment, keyed by exp_id.
     timings: dict[str, float] = field(default_factory=dict)
+    #: host wall seconds *this* run spent per experiment — differs from
+    #: ``timings`` under the engine, where a cache hit replays an old
+    #: build time but costs only a store read here.
+    host_timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -64,8 +80,11 @@ def run_suite(exp_ids: list[str] | None = None) -> SuiteReport:
                 f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
             )
         start = time.perf_counter()
-        report.experiments.append(EXPERIMENTS[exp_id]())
-        report.timings[exp_id] = time.perf_counter() - start
+        with perfmon_span(f"experiment:{exp_id}", exp_id=exp_id):
+            report.experiments.append(EXPERIMENTS[exp_id]())
+        elapsed = time.perf_counter() - start
+        report.timings[exp_id] = elapsed
+        report.host_timings[exp_id] = elapsed
     return report
 
 
@@ -91,10 +110,16 @@ def render_experiment(exp: Experiment, diagnostics: bool = True) -> str:
 
 
 def suite_report_to_dict(report: SuiteReport) -> dict:
-    """Machine-readable SuiteReport: ids, verdicts, timings (for CI)."""
+    """Machine-readable SuiteReport: ids, verdicts, timings (for CI).
+
+    ``schema`` stays at 1 for existing consumers; ``schema_version``
+    carries the actual document revision (2 added ``schema_version``
+    itself and per-experiment ``host_elapsed_s``).
+    """
     good, total = report.check_counts
     return {
         "schema": 1,
+        "schema_version": 2,
         "passed": report.passed,
         "checks": {"passed": good, "total": total},
         "experiments": [
@@ -103,6 +128,7 @@ def suite_report_to_dict(report: SuiteReport) -> dict:
                 "title": exp.title,
                 "passed": exp.passed,
                 "elapsed_s": report.timings.get(exp.exp_id),
+                "host_elapsed_s": report.host_timings.get(exp.exp_id),
                 "checks": [
                     {
                         "description": c.description,
@@ -127,6 +153,11 @@ def _run_through_engine(args: argparse.Namespace) -> tuple[SuiteReport, int]:
     report = SuiteReport(
         experiments=engine_report.experiments,
         timings={r.exp_id: r.elapsed_s for r in engine_report.successes},
+        host_timings={
+            r.exp_id: r.host_elapsed_s
+            for r in engine_report.successes
+            if r.host_elapsed_s is not None
+        },
     )
     for failure in engine_report.failures:
         print(failure.summary_line(), file=sys.stderr)
@@ -137,7 +168,7 @@ def _run_through_engine(args: argparse.Namespace) -> tuple[SuiteReport, int]:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="python -m repro.suite.runner",
+        prog="python -m repro.suite",
         description="Regenerate the paper's tables and figures and check them.",
     )
     parser.add_argument("ids", nargs="*", metavar="exp_id",
@@ -150,7 +181,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="worker processes when --engine is given")
     parser.add_argument("--no-cache", action="store_true",
                         help="with --engine: bypass the result store")
+    parser.add_argument("--perfmon", action="store_true",
+                        help="profile the run: emulated hardware counters, "
+                             "spans, and per-kernel PROGINF sections")
+    parser.add_argument("--perfmon-out", metavar="PATH",
+                        help="write the perfmon profile document (JSON) to "
+                             "PATH (implies --perfmon)")
     args = parser.parse_args(argv if argv is not None else sys.argv[1:])
+    if args.perfmon_out:
+        args.perfmon = True
 
     unknown = [exp_id for exp_id in args.ids if exp_id not in EXPERIMENTS]
     if unknown:
@@ -161,19 +200,47 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
 
-    failed_jobs = 0
-    if args.engine:
-        report, failed_jobs = _run_through_engine(args)
+    def execute() -> tuple[SuiteReport, int]:
+        if args.engine:
+            return _run_through_engine(args)
+        return run_suite(args.ids or None), 0
+
+    perfmon_payload = None
+    perfmon_text = None
+    if args.perfmon:
+        from repro.perfmon.cli import collect_kernel_profiles
+        from repro.perfmon.export import profile_to_dict, save_profile
+        from repro.perfmon.ftrace import render_ftrace
+        from repro.perfmon.proginf import proginf_report
+
+        with perfmon_profile(role="suite", ids=list(args.ids)) as prof:
+            with perfmon_span("suite:run"):
+                report, failed_jobs = execute()
+            # Profile each of the 13 kernel traces separately so the run
+            # ends with per-kernel PROGINF sections.
+            with perfmon_span("suite:kernels"):
+                _, kernels = collect_kernel_profiles()
+        perfmon_payload = profile_to_dict(prof, kernels)
+        perfmon_text = proginf_report(kernels) + "\n\n" + render_ftrace(prof)
+        if args.perfmon_out:
+            path = save_profile(args.perfmon_out, prof, kernels)
+            print(f"perfmon: saved profile to {path}", file=sys.stderr)
     else:
-        report = run_suite(args.ids or None)
+        report, failed_jobs = execute()
 
     if args.json:
-        print(json.dumps(suite_report_to_dict(report), indent=1, sort_keys=True))
+        payload = suite_report_to_dict(report)
+        if perfmon_payload is not None:
+            payload["perfmon"] = perfmon_payload
+        print(json.dumps(payload, indent=1, sort_keys=True))
     else:
         for exp in report.experiments:
             print(render_experiment(exp))
             print()
         print(report.summary())
+        if perfmon_text is not None:
+            print()
+            print(perfmon_text)
     return 0 if (report.passed and failed_jobs == 0) else 1
 
 

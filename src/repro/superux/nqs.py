@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.events import Acquire, Release, Resource, Simulator
+from repro.perfmon.collector import sim_tracer
 
 __all__ = ["BatchJob", "NQSQueue", "QueueComplex", "AccountingRecord"]
 
@@ -149,7 +150,7 @@ class QueueComplex:
         """
         if not self.submitted:
             raise ValueError("nothing submitted")
-        sim = Simulator()
+        sim = Simulator(tracer=sim_tracer(prefix="nqs"))
         cpus = Resource(self.node_cpus, "cpus")
         slots = {q.name: Resource(q.run_limit, f"runlimit:{q.name}") for q in self.queues}
         ordered = sorted(

@@ -206,6 +206,94 @@ class TestMagicUnits:
         assert lint_file(path, tmp_path) == []
 
 
+class TestPerfmonRegistration:
+    CONSUMER = """
+    from repro.machine.operations import VectorOp
+
+
+    def time_op(op: VectorOp) -> float:
+        return op.length * 1e-9  # repolint: skip
+    """
+
+    def test_component_without_declaration_is_flagged(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/machine/widget.py", self.CONSUMER)
+        found = lint_file(path, tmp_path)
+        assert rule_ids(found) == ["REPO006"]
+        assert "declare_counters" in found[0].message
+        assert "PROGINF" in found[0].message
+
+    DECLARES = """
+    from repro.perfmon.counters import declare_counters
+
+    declare_counters("widget", ("ops",))
+    """
+
+    DECLARES_VIA_ATTRIBUTE = """
+    from repro.perfmon import counters
+
+    counters.declare_counters("widget", ("ops",))
+    """
+
+    def test_component_with_declaration_is_clean(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/machine/widget.py",
+            self.CONSUMER + self.DECLARES,
+        )
+        assert lint_file(path, tmp_path) == []
+
+    def test_attribute_call_form_counts(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/machine/widget.py",
+            self.CONSUMER + self.DECLARES_VIA_ATTRIBUTE,
+        )
+        assert lint_file(path, tmp_path) == []
+
+    def test_scalar_op_reference_also_triggers(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/machine/scalarish.py",
+            "def cost(op):\n    return operations.ScalarOp is type(op)\n",
+        )
+        assert rule_ids(lint_file(path, tmp_path)) == ["REPO006"]
+
+    def test_outside_machine_package_is_out_of_scope(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/analysis/widget.py", self.CONSUMER)
+        assert "REPO006" not in rule_ids(lint_file(path, tmp_path))
+
+    def test_operations_module_itself_is_exempt(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/machine/operations.py",
+            "class VectorOp:\n    pass\n",
+        )
+        assert "REPO006" not in rule_ids(lint_file(path, tmp_path))
+
+    def test_module_exempt_pragma(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/machine/widget.py",
+            """
+            # repolint: exempt=REPO006 -- pass-through, counters live elsewhere
+            from repro.machine.operations import VectorOp
+
+
+            def time_op(op: VectorOp) -> float:
+                return 0.0
+            """,
+        )
+        assert lint_file(path, tmp_path) == []
+
+    def test_component_not_touching_ops_is_clean(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/machine/inert.py",
+            "def helper(x):\n    return x + 1\n",
+        )
+        assert lint_file(path, tmp_path) == []
+
+
 def test_syntax_error_is_repo000(tmp_path):
     path = write_module(tmp_path, "src/repro/suite/broken.py", "def oops(:\n")
     found = lint_file(path, tmp_path)

@@ -113,6 +113,7 @@ class TestSuiteRunnerIntegration:
         for report in (serial, engine):
             for exp in report["experiments"]:
                 exp["elapsed_s"] = None
+                exp["host_elapsed_s"] = None
         assert serial == engine
 
     def test_runner_unknown_id(self, capsys):

@@ -1,0 +1,157 @@
+"""Tests for ``python -m repro.perfmon`` (report / export / diff)."""
+
+import json
+
+import pytest
+
+from repro.perfmon.cli import collect_kernel_profiles, main
+from repro.perfmon.export import load_profile, profile_to_dict
+from repro.perfmon.proginf import KERNEL_IDS
+
+
+def _run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestReport:
+    def test_report_prints_proginf_per_kernel(self, capsys):
+        code, out, _ = _run(capsys, "report", "copy", "stream")
+        assert code == 0
+        assert out.count("Program Information") == 2
+
+    def test_report_defaults_to_all_13_kernels(self, capsys):
+        code, out, _ = _run(capsys, "report")
+        assert code == 0
+        assert out.count("Program Information") == len(KERNEL_IDS) == 13
+
+    def test_report_ftrace_flag(self, capsys):
+        code, out, _ = _run(capsys, "report", "copy", "--ftrace")
+        assert code == 0
+        assert "FTRACE" in out
+        assert "kernel:copy" in out
+
+    def test_report_save_writes_document(self, tmp_path, capsys):
+        path = tmp_path / "prof.json"
+        code, _, err = _run(capsys, "report", "copy", "--save", str(path))
+        assert code == 0
+        assert path.is_file()
+        loaded = load_profile(path)
+        assert "copy" in loaded.kernels
+
+    def test_unknown_kernel_id_exits_2(self, capsys):
+        code, _, err = _run(capsys, "report", "nonsense")
+        assert code == 2
+        assert "nonsense" in err
+
+
+class TestExport:
+    def test_export_live_chrome_validates(self, capsys):
+        code, out, _ = _run(capsys, "export", "copy", "--format", "chrome")
+        assert code == 0
+        document = json.loads(out)
+        assert isinstance(document["traceEvents"], list)
+
+    def test_export_saved_profile(self, tmp_path, capsys):
+        path = tmp_path / "prof.json"
+        _run(capsys, "report", "copy", "--save", str(path))
+        code, out, _ = _run(capsys, "export", "--format", "prometheus",
+                            "--profile", str(path))
+        assert code == 0
+        assert "repro_proginf" in out
+
+    def test_export_out_writes_file(self, tmp_path, capsys):
+        target = tmp_path / "out" / "trace.json"
+        code, _, err = _run(capsys, "export", "copy", "--format", "chrome",
+                            "--out", str(target))
+        assert code == 0
+        assert target.is_file()
+        assert "trace.json" in err
+
+    def test_export_corrupt_profile_exits_1(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema_version": 999}))
+        code, _, err = _run(capsys, "export", "--format", "json",
+                            "--profile", str(bad))
+        assert code == 1
+        assert "schema_version" in err
+
+
+class TestDiff:
+    def _saved(self, tmp_path, name, mutate=None):
+        outer, kernels = collect_kernel_profiles(["copy"])
+        payload = profile_to_dict(outer, kernels)
+        if mutate:
+            mutate(payload)
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_identical_profiles_exit_0(self, tmp_path, capsys):
+        a = self._saved(tmp_path, "a.json")
+        b = self._saved(tmp_path, "b.json")
+        code, out, _ = _run(capsys, "diff", str(a), str(b))
+        assert code == 0
+        assert "no counter or metric drift" in out
+
+    def test_regression_exits_1(self, tmp_path, capsys):
+        a = self._saved(tmp_path, "a.json")
+
+        def slower(payload):
+            # avg VL is nonzero for copy (a vector kernel); mflops is not.
+            metrics = payload["kernels"]["copy"]["metrics"]
+            metrics["avg_vector_length"] *= 0.5
+
+        b = self._saved(tmp_path, "b.json", mutate=slower)
+        code, out, _ = _run(capsys, "diff", str(a), str(b))
+        assert code == 1
+        assert "copy.avg_vector_length" in out
+
+    def test_tolerance_suppresses_small_drift(self, tmp_path, capsys):
+        a = self._saved(tmp_path, "a.json")
+
+        def slightly(payload):
+            metrics = payload["kernels"]["copy"]["metrics"]
+            metrics["avg_vector_length"] *= 0.99
+
+        b = self._saved(tmp_path, "b.json", mutate=slightly)
+        code, *_ = _run(capsys, "diff", str(a), str(b), "--tolerance", "0.05")
+        assert code == 0
+        code, *_ = _run(capsys, "diff", str(a), str(b), "--tolerance", "0.001")
+        assert code == 1
+
+    def test_json_output(self, tmp_path, capsys):
+        a = self._saved(tmp_path, "a.json")
+        b = self._saved(tmp_path, "b.json")
+        code, out, _ = _run(capsys, "diff", str(a), str(b), "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["regressions"] == 0
+        assert payload["entries"] == []
+
+    def test_missing_file_exits_1(self, tmp_path, capsys):
+        code, _, err = _run(capsys, "diff", str(tmp_path / "no.json"),
+                            str(tmp_path / "nope.json"))
+        assert code == 1
+        assert "error" in err
+
+
+class TestCollect:
+    def test_outer_profile_merges_kernel_counters(self):
+        outer, kernels = collect_kernel_profiles(["copy", "stream"])
+        merged = sum(
+            k.counters.get("processor", "cycles") for k in kernels.values()
+        )
+        assert outer.counters.get("processor", "cycles") == pytest.approx(merged)
+        assert {s.name for s in outer.finished_spans()} == {
+            "kernel:copy", "kernel:stream"
+        }
+
+    def test_reuses_active_profile(self):
+        from repro.perfmon.collector import profile
+
+        with profile(role="outer-test") as prof:
+            outer, _ = collect_kernel_profiles(["copy"])
+        assert outer is prof
+        assert any(s.name == "kernel:copy" for s in prof.spans)

@@ -1,0 +1,77 @@
+"""Tests for the counter registry and CounterSet."""
+
+import pytest
+
+from repro.perfmon.counters import COMPONENT_COUNTERS, CounterSet, declare_counters
+
+
+class TestRegistry:
+    def test_machine_components_registered_on_import(self):
+        import repro.machine.presets  # noqa: F401  (imports every component)
+
+        for component in ("processor", "vector_unit", "scalar_unit", "memory",
+                          "cache", "ixs", "iop", "xmu"):
+            assert component in COMPONENT_COUNTERS, component
+            assert COMPONENT_COUNTERS[component], component
+
+    def test_declaration_is_idempotent_and_additive(self):
+        declare_counters("testcomp", ("alpha", "beta"))
+        declare_counters("testcomp", ("beta", "gamma"))
+        assert COMPONENT_COUNTERS["testcomp"] == ("alpha", "beta", "gamma")
+
+    def test_bad_names_rejected(self):
+        with pytest.raises(ValueError):
+            declare_counters("", ("x",))
+        with pytest.raises(ValueError):
+            declare_counters("comp-with-dash", ("x",))
+        with pytest.raises(ValueError):
+            declare_counters("okcomp", ())
+        with pytest.raises(ValueError):
+            declare_counters("okcomp", ("not a name",))
+
+
+class TestCounterSet:
+    def test_add_accumulates(self):
+        counters = CounterSet()
+        counters.add("processor", "cycles", 10.0)
+        counters.add("processor", "cycles", 5.0)
+        assert counters.get("processor", "cycles") == 15.0
+
+    def test_unknown_component_and_counter_fail_loudly(self):
+        counters = CounterSet()
+        with pytest.raises(KeyError, match="declare_counters"):
+            counters.add("no_such_component", "cycles")
+        with pytest.raises(KeyError, match="not declared"):
+            counters.add("processor", "no_such_counter")
+
+    def test_merge_sums_per_counter(self):
+        a, b = CounterSet(), CounterSet()
+        a.add("processor", "cycles", 3.0)
+        b.add("processor", "cycles", 4.0)
+        b.add("processor", "ops", 1.0)
+        a.merge(b)
+        assert a.get("processor", "cycles") == 7.0
+        assert a.get("processor", "ops") == 1.0
+
+    def test_iteration_and_len(self):
+        counters = CounterSet()
+        counters.add("processor", "cycles", 1.0)
+        counters.add("processor", "ops", 2.0)
+        triples = list(counters)
+        assert ("processor", "cycles", 1.0) in triples
+        assert len(counters) == 2
+        assert bool(counters)
+        assert not CounterSet()
+
+    def test_round_trip_preserves_values(self):
+        counters = CounterSet()
+        counters.add("processor", "cycles", 12.5)
+        rebuilt = CounterSet.from_dict(counters.to_dict())
+        assert rebuilt.get("processor", "cycles") == 12.5
+
+    def test_from_dict_keeps_unknown_counters(self):
+        # Forward compatibility: a profile written by a newer build must
+        # still load (and diff) even if this build never declared the
+        # counter.
+        rebuilt = CounterSet.from_dict({"future_component": {"novel": 1.0}})
+        assert rebuilt.get("future_component", "novel") == 1.0

@@ -1,0 +1,169 @@
+"""Tests for profile serialization and the exporter formats."""
+
+import json
+
+import pytest
+
+from repro.perfmon.collector import SIM_CLOCK, Span, profile, span
+from repro.perfmon.export import (
+    PROFILE_SCHEMA_VERSION,
+    LoadedProfile,
+    export_text,
+    load_profile,
+    profile_from_dict,
+    profile_to_dict,
+    save_profile,
+    to_chrome_trace,
+    to_prometheus,
+    validate_chrome_trace,
+)
+from repro.perfmon.proginf import profile_kernels
+from repro.units import US
+
+
+def _sample_profile():
+    with profile(role="test") as prof:
+        prof.counters.add("processor", "cycles", 100.0)
+        with span("outer"):
+            with span("inner"):
+                pass
+        prof.spans.append(
+            Span(name="sim:a", clock=SIM_CLOCK, start_s=0.0, end_s=2.0)
+        )
+        prof.spans.append(
+            Span(name="sim:b", clock=SIM_CLOCK, start_s=1.0, end_s=3.0)
+        )
+    return prof
+
+
+class TestProfileDocument:
+    def test_round_trip(self, tmp_path):
+        prof = _sample_profile()
+        kernels = profile_kernels(["copy"])
+        path = save_profile(tmp_path / "prof.json", prof, kernels)
+        loaded = load_profile(path)
+        assert loaded.profile.counters.get("processor", "cycles") == 100.0
+        assert [s.name for s in loaded.profile.spans] == [
+            "outer", "inner", "sim:a", "sim:b"
+        ]
+        assert loaded.profile.meta["role"] == "test"
+        assert loaded.kernels["copy"].metrics.mflops == pytest.approx(
+            kernels["copy"].metrics.mflops
+        )
+
+    def test_document_is_schema_versioned(self):
+        payload = profile_to_dict(_sample_profile())
+        assert payload["schema_version"] == PROFILE_SCHEMA_VERSION
+
+    def test_unsupported_schema_rejected(self):
+        payload = profile_to_dict(_sample_profile())
+        payload["schema_version"] = 999
+        with pytest.raises(ValueError, match="schema_version"):
+            profile_from_dict(payload)
+        with pytest.raises(ValueError):
+            profile_from_dict([])
+
+
+class TestChromeTrace:
+    def test_emitted_trace_validates(self):
+        document = to_chrome_trace(_sample_profile())
+        assert validate_chrome_trace(document) == []
+
+    def test_span_times_are_microseconds(self):
+        document = to_chrome_trace(_sample_profile())
+        sim_events = [e for e in document["traceEvents"]
+                      if e.get("cat") == SIM_CLOCK and e["name"] == "sim:a"]
+        [event] = sim_events
+        assert event["ts"] == pytest.approx(0.0)
+        assert event["dur"] == pytest.approx(2.0 / US)  # 2 s in µs
+
+    def test_overlapping_sim_spans_get_distinct_lanes(self):
+        document = to_chrome_trace(_sample_profile())
+        tids = {e["name"]: e["tid"] for e in document["traceEvents"]
+                if e.get("cat") == SIM_CLOCK}
+        assert tids["sim:a"] != tids["sim:b"]
+
+    def test_open_spans_are_skipped(self):
+        prof = _sample_profile()
+        prof.spans.append(Span(name="never-closed", start_s=0.0))
+        document = to_chrome_trace(prof)
+        assert all(e["name"] != "never-closed" for e in document["traceEvents"])
+
+    def test_json_serializable(self):
+        json.dumps(to_chrome_trace(_sample_profile()))
+
+
+class TestChromeValidation:
+    """The validator must reject malformed documents — CI gates on it."""
+
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([1, 2]) != []
+        assert validate_chrome_trace(None) != []
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({"foo": []}) != []
+
+    def test_rejects_bad_events(self):
+        base = {"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": 0.0, "dur": 1.0}
+        for corruption in (
+            {"name": ""},
+            {"ph": "ZZ"},
+            {"pid": "one"},
+            {"tid": None},
+            {"ts": -5.0},
+            {"ts": "0"},
+            {"dur": None},
+            {"dur": -1.0},
+            {"args": "not-a-dict"},
+        ):
+            event = {**base, **corruption}
+            errors = validate_chrome_trace({"traceEvents": [event]})
+            assert errors != [], corruption
+
+    def test_accepts_metadata_events_without_dur(self):
+        event = {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+                 "ts": 0, "args": {"name": "host"}}
+        assert validate_chrome_trace({"traceEvents": [event]}) == []
+
+
+class TestPrometheus:
+    def test_counters_and_metrics_exposed(self):
+        prof = _sample_profile()
+        kernels = profile_kernels(["copy"])
+        text = to_prometheus(prof, kernels)
+        assert "# TYPE repro_perfmon_counter gauge" in text
+        assert 'repro_perfmon_counter{component="processor",counter="cycles"} 100.0' in text
+        assert '# TYPE repro_proginf gauge' in text
+        assert 'repro_proginf{kernel="copy",metric="mflops"}' in text
+
+    def test_label_values_escaped(self):
+        prof = _sample_profile()
+        text = to_prometheus(prof)
+        assert '\\"' not in text  # nothing to escape in clean names
+        from repro.perfmon.export import _prom_escape
+
+        assert _prom_escape('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+
+class TestExportText:
+    def test_every_format_renders(self):
+        loaded = LoadedProfile(profile=_sample_profile(),
+                               kernels=profile_kernels(["copy"]))
+        for fmt in ("json", "prometheus", "chrome", "ftrace"):
+            text = export_text(loaded, fmt)
+            assert text.strip(), fmt
+
+    def test_json_format_round_trips(self):
+        loaded = LoadedProfile(profile=_sample_profile())
+        payload = json.loads(export_text(loaded, "json"))
+        assert payload["schema_version"] == PROFILE_SCHEMA_VERSION
+
+    def test_ftrace_format_has_both_clocks(self):
+        loaded = LoadedProfile(profile=_sample_profile())
+        text = export_text(loaded, "ftrace")
+        assert "FTRACE (host clock)" in text
+        assert "FTRACE (sim clock)" in text
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown export format"):
+            export_text(LoadedProfile(profile=_sample_profile()), "yaml")

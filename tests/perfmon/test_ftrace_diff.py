@@ -1,0 +1,144 @@
+"""Tests for FTRACE aggregation and profile diffing."""
+
+import pytest
+
+from repro.perfmon.collector import HOST_CLOCK, SIM_CLOCK, Profile, Span
+from repro.perfmon.diff import DiffEntry, diff_profiles, render_diff
+from repro.perfmon.export import profile_from_dict, profile_to_dict
+from repro.perfmon.ftrace import aggregate_spans, render_ftrace
+from repro.perfmon.proginf import profile_kernels
+
+
+def _profile_with_spans(spans):
+    prof = Profile()
+    prof.spans.extend(spans)
+    return prof
+
+
+class TestFtraceAggregation:
+    def test_exclusive_subtracts_direct_children(self):
+        prof = _profile_with_spans([
+            Span(name="outer", start_s=0.0, end_s=10.0),
+            Span(name="inner", start_s=1.0, end_s=4.0, parent=0),
+            Span(name="inner", start_s=5.0, end_s=9.0, parent=0),
+        ])
+        stats = {s.name: s for s in aggregate_spans(prof)}
+        assert stats["outer"].inclusive_s == pytest.approx(10.0)
+        assert stats["outer"].exclusive_s == pytest.approx(3.0)  # 10 - 3 - 4
+        assert stats["inner"].calls == 2
+        assert stats["inner"].exclusive_s == pytest.approx(7.0)
+        assert stats["inner"].min_s == pytest.approx(3.0)
+        assert stats["inner"].max_s == pytest.approx(4.0)
+
+    def test_sorted_by_exclusive_descending(self):
+        prof = _profile_with_spans([
+            Span(name="small", start_s=0.0, end_s=1.0),
+            Span(name="big", start_s=0.0, end_s=5.0),
+        ])
+        assert [s.name for s in aggregate_spans(prof)] == ["big", "small"]
+
+    def test_sim_spans_aggregate_separately(self):
+        prof = _profile_with_spans([
+            Span(name="host-work", start_s=0.0, end_s=1.0),
+            Span(name="sim-work", clock=SIM_CLOCK, start_s=0.0, end_s=100.0),
+        ])
+        assert [s.name for s in aggregate_spans(prof, HOST_CLOCK)] == ["host-work"]
+        sim = aggregate_spans(prof, SIM_CLOCK)
+        assert [s.name for s in sim] == ["sim-work"]
+        assert sim[0].inclusive_s == pytest.approx(100.0)
+
+    def test_render_has_table_header_and_totals(self):
+        prof = _profile_with_spans([Span(name="region", start_s=0.0, end_s=2.0)])
+        text = render_ftrace(prof)
+        assert "FTRACE" in text
+        assert "FREQUENCY" in text
+        assert "region" in text
+        assert "total" in text
+
+    def test_render_empty(self):
+        assert "no host-clock spans" in render_ftrace(Profile())
+
+
+def _loaded(counter_overrides=None, metric_overrides=None):
+    kernels = profile_kernels(["copy"])
+    prof = Profile()
+    prof.counters.merge(kernels["copy"].counters)
+    payload = profile_to_dict(prof, kernels)
+    for subject, value in (counter_overrides or {}).items():
+        component, counter = subject.split(".")
+        payload["counters"][component][counter] = value
+    for subject, value in (metric_overrides or {}).items():
+        kid, metric = subject.split(".")
+        payload["kernels"][kid]["metrics"][metric] = value
+    return profile_from_dict(payload)
+
+
+class TestDiff:
+    def test_identical_profiles_have_no_drift(self):
+        assert diff_profiles(_loaded(), _loaded(), tolerance=0.0) == []
+
+    def test_within_tolerance_ignored(self):
+        old = _loaded()
+        new = _loaded(counter_overrides={
+            "processor.cycles": old.profile.counters.get("processor", "cycles") * 1.01
+        })
+        assert diff_profiles(old, new, tolerance=0.05) == []
+        assert diff_profiles(old, new, tolerance=0.001) != []
+
+    def test_cost_counter_increase_is_regression(self):
+        old = _loaded()
+        worse = old.profile.counters.get("processor", "cycles") * 2.0
+        entries = diff_profiles(
+            old, _loaded(counter_overrides={"processor.cycles": worse})
+        )
+        cycles = [e for e in entries if e.subject == "processor.cycles"]
+        assert cycles and cycles[0].regression
+
+    def test_cost_counter_decrease_is_not_regression(self):
+        old = _loaded()
+        better = old.profile.counters.get("processor", "cycles") * 0.5
+        entries = diff_profiles(
+            old, _loaded(counter_overrides={"processor.cycles": better})
+        )
+        cycles = [e for e in entries if e.subject == "processor.cycles"]
+        assert cycles and not cycles[0].regression
+
+    def test_mflops_drop_is_regression_and_gain_is_not(self):
+        # copy is a pure memory kernel (zero flops), so pin an explicit
+        # baseline instead of scaling the computed value.
+        old = _loaded(metric_overrides={"copy.mflops": 100.0})
+        slower = diff_profiles(
+            old, _loaded(metric_overrides={"copy.mflops": 50.0})
+        )
+        faster = diff_profiles(
+            old, _loaded(metric_overrides={"copy.mflops": 200.0})
+        )
+        assert any(e.subject == "copy.mflops" and e.regression for e in slower)
+        assert not any(e.regression for e in faster)
+
+    def test_missing_counter_reported_as_presence(self):
+        old = _loaded()
+        payload = profile_to_dict(old.profile, old.kernels)
+        del payload["counters"]["processor"]["cycles"]
+        entries = diff_profiles(old, profile_from_dict(payload))
+        presence = [e for e in entries if e.kind == "presence"]
+        assert any(e.subject == "processor.cycles" for e in presence)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            diff_profiles(_loaded(), _loaded(), tolerance=-0.1)
+
+    def test_render_diff(self):
+        entries = [DiffEntry(kind="counter", subject="processor.cycles",
+                             old=1.0, new=2.0, regression=True)]
+        text = render_diff(entries, 0.05)
+        assert "processor.cycles" in text
+        assert "regression" in text
+        assert "no counter or metric drift" in render_diff([], 0.05)
+
+    def test_delta_pct(self):
+        entry = DiffEntry(kind="counter", subject="x.y", old=2.0, new=3.0,
+                          regression=False)
+        assert entry.delta_pct == pytest.approx(50.0)
+        assert DiffEntry(kind="presence", subject="x.y", old=None, new=1.0,
+                         regression=False).delta_pct is None

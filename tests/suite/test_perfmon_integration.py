@@ -1,0 +1,91 @@
+"""End-to-end tests: suite runner ``--perfmon`` and engine job spans."""
+
+import json
+
+import pytest
+
+from repro.engine.executor import execute_jobs, run_engine
+from repro.engine.store import ResultStore
+from repro.perfmon.collector import profile
+from repro.perfmon.export import load_profile
+from repro.perfmon.proginf import KERNEL_IDS
+from repro.suite.runner import main as runner_main
+
+
+class TestSuitePerfmonFlag:
+    def test_json_payload_schema_and_host_timing(self, capsys):
+        assert runner_main(["table2", "--json", "--perfmon"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1  # unchanged for existing consumers
+        assert payload["schema_version"] == 2
+        [exp] = payload["experiments"]
+        assert exp["exp_id"] == "table2"
+        assert isinstance(exp["host_elapsed_s"], float)
+        assert exp["host_elapsed_s"] >= 0.0
+
+    def test_json_embeds_perfmon_profile(self, capsys):
+        assert runner_main(["table2", "--json", "--perfmon"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        perfmon = payload["perfmon"]
+        assert set(perfmon["kernels"]) == set(KERNEL_IDS)
+        span_names = {s["name"] for s in perfmon["spans"]}
+        assert {"suite:run", "suite:kernels", "experiment:table2"} <= span_names
+        assert "vector_unit" in perfmon["counters"]
+
+    def test_without_perfmon_no_payload(self, capsys):
+        assert runner_main(["table2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "perfmon" not in payload
+        [exp] = payload["experiments"]
+        assert exp["host_elapsed_s"] is not None  # host timing is always on
+
+    def test_text_mode_appends_proginf_and_ftrace(self, capsys):
+        assert runner_main(["table2", "--perfmon"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Program Information") == len(KERNEL_IDS)
+        assert "FTRACE" in out
+        assert "experiment:table2" in out
+
+    def test_perfmon_out_writes_loadable_profile(self, tmp_path, capsys):
+        target = tmp_path / "suite-profile.json"
+        assert runner_main(["table2", "--json", "--perfmon-out", str(target)]) == 0
+        captured = capsys.readouterr()
+        assert "saved profile" in captured.err
+        loaded = load_profile(target)
+        assert set(loaded.kernels) == set(KERNEL_IDS)
+        assert loaded.profile.meta["role"] == "suite"
+
+
+class TestEngineJobSpans:
+    def test_serial_execution_records_job_spans(self):
+        with profile() as prof:
+            results = execute_jobs(["table2"], jobs=1,
+                                   cache_status={"table2": "miss"})
+        [result] = results
+        assert result.host_elapsed_s is not None
+        assert result.host_elapsed_s >= result.elapsed_s
+        [recorded] = prof.finished_spans()
+        assert recorded.name == "engine:job:table2"
+        assert recorded.attrs["cache"] == "miss"
+        assert recorded.attrs["status"] == "ok"
+        assert recorded.attrs["execute_s"] == pytest.approx(result.elapsed_s)
+
+    def test_cache_hit_span_from_run_engine(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        run_engine(["table2"], store=store)  # warm the cache
+        with profile() as prof:
+            report = run_engine(["table2"], store=store)
+        [result] = report.results
+        assert result.source == "cache"
+        assert result.host_elapsed_s is not None
+        spans = {s.name: s for s in prof.finished_spans()}
+        hit = spans["engine:job:table2"]
+        assert hit.attrs["cache"] == "hit"
+        assert hit.attrs["source"] == "cache"
+
+    def test_no_profile_no_spans_no_crash(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        report = run_engine(["table2"], store=store)
+        [result] = report.results
+        assert result.experiment.passed
+        assert result.host_elapsed_s is not None

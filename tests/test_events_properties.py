@@ -1,0 +1,217 @@
+"""Property-based tests for the discrete-event engine's ordering laws.
+
+Two invariants the PRODLOAD/NQS schedules (and the sim-clock spans
+perfmon records over them) lean on:
+
+* **FIFO fairness** — :class:`repro.events.Resource` grants waiters in
+  arrival order with no barging: a later, smaller request never
+  overtakes an earlier one that is still waiting.
+* **Deterministic zero-delay ordering** — events scheduled for the same
+  simulated instant fire in schedule order, so whole runs are
+  reproducible step-for-step.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import Acquire, Release, Resource, Simulator
+
+
+def _holder(res, amount, hold):
+    yield Acquire(res, amount)
+    yield hold
+    yield Release(res, amount)
+
+
+class TestResourceFifoFairness:
+    def test_waiters_granted_in_arrival_order(self):
+        sim = Simulator()
+        res = Resource(1, "cpu")
+        grants = []
+
+        def contender(tag):
+            yield Acquire(res, 1)
+            grants.append((tag, sim.now))
+            yield 1.0
+            yield Release(res, 1)
+
+        for tag in ("a", "b", "c", "d"):
+            sim.spawn(contender(tag), name=tag)
+        sim.run()
+        assert [tag for tag, _ in grants] == ["a", "b", "c", "d"]
+        assert [t for _, t in grants] == pytest.approx([0.0, 1.0, 2.0, 3.0])
+
+    def test_small_request_cannot_barge_past_large_one(self):
+        """capacity 2 with 1 unit held: a queued request for 2 blocks a
+        later request for 1, even though that 1 unit would fit."""
+        sim = Simulator()
+        res = Resource(2, "mem")
+        order = []
+
+        def big():
+            yield 0.1  # arrives while holder has 1 of 2 units
+            yield Acquire(res, 2)
+            order.append("big")
+            yield Release(res, 2)
+
+        def small():
+            yield 0.2  # 1 unit is free, but big is ahead in the queue
+            yield Acquire(res, 1)
+            order.append("small")
+            yield Release(res, 1)
+
+        def holder():
+            yield Acquire(res, 1)
+            yield 1.0
+            yield Release(res, 1)
+
+        sim.spawn(holder())
+        sim.spawn(big())
+        sim.spawn(small())
+        sim.run()
+        assert order == ["big", "small"]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        amounts=st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=8),
+        capacity=st.integers(min_value=4, max_value=6),
+    )
+    def test_grant_order_is_arrival_order(self, amounts, capacity):
+        """Whatever the request sizes, completions of identical-length
+        holds respect the arrival order of their acquires."""
+        sim = Simulator()
+        res = Resource(capacity, "pool")
+        grant_order = []
+
+        def contender(idx, amount):
+            yield idx * 0.001  # strictly staggered arrivals
+            yield Acquire(res, amount)
+            grant_order.append(idx)
+            yield 1.0
+            yield Release(res, amount)
+
+        for idx, amount in enumerate(amounts):
+            sim.spawn(contender(idx, amount))
+        sim.run()
+        assert grant_order == sorted(grant_order)
+        assert res.available == res.capacity  # everything released
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        holds=st.lists(
+            st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_unit_resource_serializes_in_fifo_order(self, holds):
+        """With capacity 1, start times are the running sum of the
+        earlier holds — exact FIFO serialization."""
+        sim = Simulator()
+        res = Resource(1, "cpu")
+        starts = {}
+
+        def job(idx, hold):
+            yield Acquire(res, 1)
+            starts[idx] = sim.now
+            if hold:
+                yield hold
+            yield Release(res, 1)
+
+        for idx, hold in enumerate(holds):
+            sim.spawn(job(idx, hold))
+        sim.run()
+        expected = 0.0
+        for idx, hold in enumerate(holds):
+            assert starts[idx] == pytest.approx(expected)
+            expected += hold
+
+
+class TestZeroDelayDeterminism:
+    def test_same_instant_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        log = []
+
+        def worker(tag):
+            yield 0.0
+            log.append(tag)
+
+        for tag in range(10):
+            sim.spawn(worker(tag))
+        sim.run()
+        assert log == list(range(10))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        delays=st.lists(
+            st.sampled_from([0.0, 0.5, 1.0]), min_size=1, max_size=8
+        )
+    )
+    def test_equal_timestamps_resolve_by_spawn_order(self, delays):
+        sim = Simulator()
+        log = []
+
+        def worker(idx, delay):
+            yield delay
+            log.append((delay, idx))
+
+        for idx, delay in enumerate(delays):
+            sim.spawn(worker(idx, delay))
+        sim.run()
+        assert log == sorted(log)  # by (delay, spawn index)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        script=st.lists(
+            st.tuples(
+                st.sampled_from([0.0, 0.25, 1.0]),  # spawn delay
+                st.integers(min_value=1, max_value=2),  # acquire amount
+                st.sampled_from([0.0, 0.5]),  # hold time
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_runs_are_identical_step_for_step(self, script):
+        """The same script replayed twice produces the same event log,
+        including zero-delay ties and resource handoffs."""
+
+        def execute():
+            sim = Simulator()
+            res = Resource(2, "pool")
+            log = []
+
+            def job(idx, delay, amount, hold):
+                yield delay
+                yield Acquire(res, amount)
+                log.append(("got", idx, sim.now))
+                if hold:
+                    yield hold
+                yield Release(res, amount)
+                log.append(("rel", idx, sim.now))
+
+            for idx, (delay, amount, hold) in enumerate(script):
+                sim.spawn(job(idx, delay, amount, hold))
+            sim.run()
+            return log, sim.now
+
+        assert execute() == execute()
+
+    def test_traced_and_untraced_runs_agree_on_schedule(self):
+        """Attaching a perfmon tracer must not perturb event order."""
+        from repro.perfmon.collector import profile, sim_tracer
+
+        def execute(tracer):
+            sim = Simulator(tracer=tracer)
+            res = Resource(1, "cpu")
+            for idx in range(5):
+                sim.spawn(_holder(res, 1, 0.5), name=f"j{idx}")
+            sim.run()
+            finish = [(p.name, p.start_time, p.finish_time) for p in sim.processes]
+            return finish, sim.now
+
+        bare = execute(None)
+        with profile():
+            traced = execute(sim_tracer())
+        assert bare == traced
