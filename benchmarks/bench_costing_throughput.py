@@ -1,0 +1,202 @@
+"""Costing-engine throughput: compiled (columnar) vs legacy (per-op).
+
+The workload is the one the repo actually repeats: cost every registered
+trace — the 13 NCAR kernels plus the three applications — on the
+calibrated SX-4, the way every table regeneration and parameter sweep
+does.  The compiled engine lowers each trace to structure-of-arrays
+columns once and memoises the machine-dependent per-op cost vectors, so
+steady-state re-costing collapses to a handful of NumPy expressions; the
+legacy engine walks every op in Python.  This benchmark measures both in
+steady state (caches warm — the sweep regime), asserts the engines agree
+*exactly* first, and records the result in ``BENCH_engine.json``.
+
+Standalone (writes the JSON report, exit 1 on parity drift or a missed
+``--min-speedup``)::
+
+    python benchmarks/bench_costing_throughput.py --min-speedup 10
+
+Under pytest the parity gate runs as an ordinary test::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_costing_throughput.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.traces import TRACE_BUILDERS, build_registered_trace
+from repro.machine.operations import Trace
+from repro.machine.presets import sx4_processor, table1_machines
+from repro.machine.processor import Processor
+
+__all__ = [
+    "build_suite",
+    "parity_machines",
+    "check_parity",
+    "measure_engine",
+    "run_benchmark",
+    "main",
+]
+
+#: Exactly-compared ExecutionReport quantities (name -> getter).
+PARITY_FIELDS = (
+    ("cycles", lambda r: r.cycles),
+    ("seconds", lambda r: r.seconds),
+    ("mflops", lambda r: r.mflops),
+    ("bandwidth_bytes_per_s", lambda r: r.bandwidth_bytes_per_s),
+)
+
+
+def build_suite() -> list[tuple[str, Trace]]:
+    """Every registered trace, in registry (paper) order."""
+    return [(trace_id, build_registered_trace(trace_id)) for trace_id in TRACE_BUILDERS]
+
+
+def parity_machines() -> list[Processor]:
+    """The machines parity is asserted on: Table 1 plus both SX-4 clocks."""
+    machines = list(table1_machines().values())
+    machines.append(sx4_processor())  # 9.2 ns benchmark clock
+    machines.append(sx4_processor(period_ns=8.0))
+    return machines
+
+
+def check_parity(
+    suite: list[tuple[str, Trace]],
+    machines: list[Processor],
+    dilations: tuple[float, ...] = (1.0, 1.37),
+) -> list[str]:
+    """Exact compiled-vs-legacy comparison; returns mismatch descriptions."""
+    mismatches: list[str] = []
+    for processor in machines:
+        for trace_id, trace in suite:
+            for dilation in dilations:
+                legacy = processor.execute(trace, dilation, engine="legacy")
+                compiled = processor.execute(trace, dilation, engine="compiled")
+                for field, get in PARITY_FIELDS:
+                    lhs, rhs = get(legacy), get(compiled)
+                    if lhs != rhs:
+                        mismatches.append(
+                            f"{processor.name} / {trace_id} / dilation {dilation}: "
+                            f"{field} legacy={lhs!r} compiled={rhs!r}"
+                        )
+    return mismatches
+
+
+def _cost_suite(processor: Processor, suite: list[tuple[str, Trace]], engine: str) -> float:
+    total = 0.0
+    for _, trace in suite:
+        total += processor.execute(trace, engine=engine).seconds
+    return total
+
+
+def measure_engine(
+    processor: Processor,
+    suite: list[tuple[str, Trace]],
+    engine: str,
+    rounds: int = 5,
+    repeats: int = 20,
+) -> float:
+    """Best-of-``rounds`` seconds for one steady-state full-suite costing.
+
+    One untimed pass first: for the compiled engine it populates the
+    per-trace columns and the machine-cached cost vectors, which is the
+    regime every sweep after the first point runs in.
+    """
+    _cost_suite(processor, suite, engine)
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            _cost_suite(processor, suite, engine)
+        best = min(best, (time.perf_counter() - start) / repeats)
+    return best
+
+
+def run_benchmark(rounds: int = 5, repeats: int = 20) -> dict:
+    """Parity gate + timing; returns the BENCH_engine.json payload."""
+    suite = build_suite()
+    mismatches = check_parity(suite, parity_machines())
+    processor = sx4_processor()
+
+    # Cold compiled pass on fresh traces: compile + first costing, the
+    # price a one-shot run pays before the caches exist.
+    cold_suite = build_suite()
+    start = time.perf_counter()
+    _cost_suite(processor, cold_suite, "compiled")
+    compiled_cold_s = time.perf_counter() - start
+
+    legacy_s = measure_engine(processor, suite, "legacy", rounds, repeats)
+    compiled_s = measure_engine(processor, suite, "compiled", rounds, repeats)
+    return {
+        "schema_version": 1,
+        "benchmark": "costing_throughput",
+        "machine": processor.name,
+        "workload": "cost all registered traces once (steady state, caches warm)",
+        "traces": len(suite),
+        "ops": sum(len(trace) for _, trace in suite),
+        "rounds": rounds,
+        "repeats": repeats,
+        "legacy_s_per_suite": legacy_s,
+        "compiled_s_per_suite": compiled_s,
+        "compiled_cold_s": compiled_cold_s,
+        "speedup": legacy_s / compiled_s if compiled_s > 0 else float("inf"),
+        "parity": {
+            "fields": [field for field, _ in PARITY_FIELDS],
+            "machines_checked": len(parity_machines()),
+            "traces_checked": len(suite),
+            "exact": not mismatches,
+            "mismatches": mismatches,
+        },
+    }
+
+
+def test_engines_agree_exactly():
+    """Pytest face of the parity gate: zero drift on every machine/trace."""
+    assert check_parity(build_suite(), parity_machines()) == []
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark compiled vs legacy trace costing; write BENCH_engine.json."
+    )
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="timing rounds per engine (best is kept)")
+    parser.add_argument("--repeats", type=int, default=20,
+                        help="suite costings per round")
+    parser.add_argument("--out", default=str(Path(__file__).resolve().parent.parent
+                                             / "BENCH_engine.json"),
+                        help="report path (default: repo-root BENCH_engine.json)")
+    parser.add_argument("--min-speedup", type=float, default=None, metavar="X",
+                        help="fail unless compiled is at least X times faster")
+    args = parser.parse_args(argv if argv is not None else sys.argv[1:])
+
+    payload = run_benchmark(rounds=args.rounds, repeats=args.repeats)
+    Path(args.out).write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+
+    parity = payload["parity"]
+    print(f"traces: {payload['traces']} ({payload['ops']} ops) on {payload['machine']}")
+    print(f"legacy:   {payload['legacy_s_per_suite'] * 1e3:8.3f} ms / suite")
+    print(f"compiled: {payload['compiled_s_per_suite'] * 1e3:8.3f} ms / suite "
+          f"(cold first pass {payload['compiled_cold_s'] * 1e3:.3f} ms)")
+    print(f"speedup:  {payload['speedup']:.1f}x")
+    print(f"parity:   {'exact' if parity['exact'] else 'DRIFT'} over "
+          f"{parity['machines_checked']} machines x {parity['traces_checked']} traces")
+    print(f"report:   {args.out}")
+
+    if not parity["exact"]:
+        for line in parity["mismatches"][:20]:
+            print(f"  parity drift: {line}", file=sys.stderr)
+        return 1
+    if args.min_speedup is not None and payload["speedup"] < args.min_speedup:
+        print(f"error: speedup {payload['speedup']:.1f}x below required "
+              f"{args.min_speedup:g}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,11 @@ REPO006   every machine component that consumes trace operations
           (references VectorOp/ScalarOp) registers perfmon counters via
           a top-level :func:`repro.perfmon.counters.declare_counters`
           call — the observability contract of the counter emulation
+REPO007   every batched (columnar) method ``<name>_batch`` has a per-op
+          sibling method ``<name>`` on the same class — the exact-parity
+          contract of :mod:`repro.machine.compiled`: the parity suite
+          can only verify batched code that has a reference to verify
+          against
 ========  ==============================================================
 
 All findings are ERROR severity — the CLI exits non-zero on any, which
@@ -340,6 +345,47 @@ def _check_perfmon_registration(rel: str, tree: ast.Module) -> list[Diagnostic]:
     ]
 
 
+def _check_batch_siblings(rel: str, tree: ast.Module) -> list[Diagnostic]:
+    """REPO007: batched methods shadow a per-op method on the same class.
+
+    The compiled engine's correctness story is *parity with the per-op
+    reference*: every ``<name>_batch`` method must sit next to the
+    ``<name>`` method it vectorises, otherwise there is nothing for the
+    parity suite to compare it against.
+    """
+    found = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        methods = {
+            item.name: item
+            for item in node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for name, method in methods.items():
+            # Private helpers are internal plumbing, not part of the
+            # per-op/batched costing API the parity suite pins down.
+            if not name.endswith("_batch") or name.startswith("_"):
+                continue
+            sibling = name[: -len("_batch")]
+            if sibling in methods:
+                continue
+            found.append(
+                Diagnostic(
+                    rule_id="REPO007",
+                    severity=Severity.ERROR,
+                    location=f"{rel}:{method.lineno}",
+                    message=(
+                        f"batched method {node.name}.{name} has no per-op "
+                        f"sibling {sibling!r}; every columnar method needs "
+                        f"the per-op reference the parity suite verifies "
+                        f"it against"
+                    ),
+                )
+            )
+    return found
+
+
 # ---------------------------------------------------------------- driver
 def _is_kernel_module(rel_parts: tuple[str, ...]) -> bool:
     return (
@@ -351,11 +397,12 @@ def _is_kernel_module(rel_parts: tuple[str, ...]) -> bool:
 
 def _is_machine_component(rel_parts: tuple[str, ...]) -> bool:
     """Machine component modules REPO006 applies to (not the operation
-    vocabulary itself, which defines the ops rather than timing them)."""
+    vocabulary or its columnar lowering, which define and transport the
+    ops rather than timing them — timing stays in the components)."""
     return (
         len(rel_parts) == 4
         and rel_parts[:3] == ("src", "repro", "machine")
-        and rel_parts[3] not in ("__init__.py", "operations.py")
+        and rel_parts[3] not in ("__init__.py", "operations.py", "compiled.py")
     )
 
 
@@ -399,6 +446,8 @@ def lint_file(path: Path, root: Path) -> list[Diagnostic]:
         found.extend(_check_perfmon_registration(rel, tree))
     if _in_src(rel_parts) and rel_parts[-1] != "units.py":
         found.extend(_check_magic_units(rel, tree))
+    if _in_src(rel_parts):
+        found.extend(_check_batch_siblings(rel, tree))
 
     def kept(diag: Diagnostic) -> bool:
         if diag.rule_id in exempt:

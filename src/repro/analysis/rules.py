@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.machine.compiled import compile_trace, fsum
 from repro.machine.operations import INTRINSIC_FLOP_EQUIV, ScalarOp, Trace, VectorOp
 from repro.machine.processor import Processor
 
@@ -185,15 +186,10 @@ def rule_vec004_scalar_dominated(trace: Trace, processor: Processor) -> list[Dia
     so any trace whose scalar bookkeeping exceeds ~30% of modelled time is
     style-broken.  Impact is the Amdahl bound 1/(1-f) currently forfeited.
     """
-    scalar_cycles = 0.0
-    total_cycles = 0.0
-    for op in trace:
-        if isinstance(op, ScalarOp):
-            cycles = processor.scalar_op_cycles(op)
-            scalar_cycles += cycles
-        else:
-            cycles = processor.vector_op_cycles(op)
-        total_cycles += cycles
+    compiled = compile_trace(trace)
+    scalar_cycles = fsum(processor.scalar_op_cycles_batch(compiled))
+    vector_cycles = fsum(processor.vector_op_cycles_batch(compiled))
+    total_cycles = scalar_cycles + vector_cycles
     if total_cycles <= 0:
         return []
     fraction = scalar_cycles / total_cycles

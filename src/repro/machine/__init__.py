@@ -26,6 +26,12 @@ Calibrated machine instances live in :mod:`~repro.machine.presets`.
 """
 
 from repro.machine.clock import Clock
+from repro.machine.compiled import (
+    CompiledTrace,
+    compile_trace,
+    get_default_engine,
+    set_default_engine,
+)
 from repro.machine.operations import (
     INTRINSIC_FLOP_EQUIV,
     INTRINSICS,
@@ -55,6 +61,10 @@ __all__ = [
     "INTRINSIC_FLOP_EQUIV",
     "Processor",
     "ExecutionReport",
+    "CompiledTrace",
+    "compile_trace",
+    "get_default_engine",
+    "set_default_engine",
     "Node",
     "ParallelReport",
     "BankedMemory",

@@ -1,0 +1,354 @@
+"""Columnar trace compilation: structure-of-arrays lowering of a Trace.
+
+``Processor.execute`` walking a :class:`~repro.machine.operations.Trace`
+one descriptor at a time is re-run thousands of times per sweep (the
+vector-length/resolution scans of Figures 5-8, the Table 6 ensembles,
+the node model's memory-dilation sweep), so regenerating the paper's
+tables is bounded by interpreter overhead, not by the machine model.
+This module removes that bound: :func:`compile_trace` lowers a trace
+once into a cached :class:`CompiledTrace` — float64 columns for every
+descriptor field plus an ``n_vector_ops x 6`` intrinsic-call matrix —
+and the machine components gain ``*_cycles_batch`` methods that cost
+every op of a trace in a handful of NumPy expressions.
+
+The contract with the per-op ("legacy") path is **exact parity**:
+
+* every column expression reproduces the corresponding scalar property
+  arithmetic operation-for-operation (same IEEE-754 double ops, same
+  association, same accumulation order over the sorted intrinsic
+  names), so per-op cycle counts are bit-identical;
+* aggregates on both paths go through :func:`math.fsum`, whose result
+  is the correctly-rounded exact sum and therefore independent of
+  summation order — so totals are bit-identical too.
+
+The repo linter's REPO007 rule keeps the pairing closed under
+extension: any new ``*_cycles_batch`` method must sit next to the
+matching per-op ``*_cycles`` method, which is what the parity suite
+(tests/machine/test_compiled*.py) exercises.
+
+Caching is two-level.  A trace caches its own ``CompiledTrace``
+(invalidated by ``append``/``extend``); a ``CompiledTrace`` caches
+machine-dependent cost columns per component set via
+:meth:`CompiledTrace.machine_cache`, which is what lets the node model
+re-cost one compiled trace across all CPU counts (only the dilation
+changes) without recomputing the stride/bank arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.machine.operations import (
+    INTRINSIC_FLOP_EQUIV,
+    INTRINSICS,
+    ScalarOp,
+    Trace,
+    VectorOp,
+)
+
+__all__ = [
+    "SORTED_INTRINSICS",
+    "ENGINES",
+    "DEFAULT_ENGINE",
+    "VectorColumns",
+    "ScalarColumns",
+    "CompiledTrace",
+    "compile_trace",
+    "fsum",
+    "get_default_engine",
+    "set_default_engine",
+    "resolve_engine",
+]
+
+#: Intrinsic column order of the compiled intrinsic matrix.  Sorted by
+#: name because ``VectorOp.intrinsic_calls`` is stored name-sorted: the
+#: batched accumulation then visits intrinsics in exactly the order the
+#: per-op loop does (absent intrinsics contribute an exact 0.0), which
+#: is one of the two pillars of the bit-parity guarantee.
+SORTED_INTRINSICS: tuple[str, ...] = tuple(sorted(INTRINSICS))
+
+#: The selectable costing engines.
+ENGINES = ("compiled", "legacy")
+
+#: Process-wide default engine for ``Processor.execute(engine=None)``.
+DEFAULT_ENGINE = "compiled"
+
+_default_engine = DEFAULT_ENGINE
+
+
+def get_default_engine() -> str:
+    """The engine ``Processor.execute`` uses when none is requested."""
+    return _default_engine
+
+
+def set_default_engine(engine: str) -> str:
+    """Set the process-wide default costing engine; returns the old one.
+
+    ``python -m repro.suite --costing legacy`` routes through this so a
+    whole suite run can be re-costed on the reference path.
+    """
+    global _default_engine
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    previous = _default_engine
+    _default_engine = engine
+    return previous
+
+
+def resolve_engine(engine: str | None) -> str:
+    """Validate an explicit engine choice or fall back to the default."""
+    if engine is None:
+        return _default_engine
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    return engine
+
+
+def fsum(values) -> float:
+    """Exactly-rounded sum of a NumPy array or iterable of floats.
+
+    ``math.fsum`` tracks exact partial sums, so its result does not
+    depend on operand order — the property that makes the batched
+    aggregate reductions bit-identical to the per-op path's.
+    """
+    if isinstance(values, np.ndarray):
+        return math.fsum(values.tolist())
+    return math.fsum(values)
+
+
+@dataclass(frozen=True)
+class VectorColumns:
+    """The vector ops of one trace, one float64 column per field.
+
+    ``index`` maps each row back to its position in the original trace
+    (for scattering per-op cycles into trace order); ``intrinsics`` is
+    an ``n x len(INTRINSICS)`` calls-per-element matrix with columns in
+    :data:`SORTED_INTRINSICS` order.  The derived columns reproduce the
+    corresponding :class:`VectorOp` property arithmetic exactly.
+    """
+
+    index: np.ndarray
+    length: np.ndarray  # float64 copy of the int lengths
+    count: np.ndarray
+    flops: np.ndarray  # flops_per_element
+    loads: np.ndarray  # loads_per_element
+    stores: np.ndarray  # stores_per_element
+    load_stride: np.ndarray  # int64
+    store_stride: np.ndarray  # int64
+    gather: np.ndarray  # gather_loads_per_element
+    scatter: np.ndarray  # scatter_stores_per_element
+    intrinsics: np.ndarray  # (n, len(INTRINSICS)) calls per element
+
+    # derived, precomputed at compile time (machine-independent)
+    elements: np.ndarray = field(repr=False, default=None)
+    raw_flops: np.ndarray = field(repr=False, default=None)
+    flop_equivalents: np.ndarray = field(repr=False, default=None)
+    sequential_words: np.ndarray = field(repr=False, default=None)
+    indexed_words: np.ndarray = field(repr=False, default=None)
+    words_moved: np.ndarray = field(repr=False, default=None)
+    intrinsic_calls_total: np.ndarray = field(repr=False, default=None)
+
+    @property
+    def n(self) -> int:
+        return int(self.index.shape[0])
+
+    @classmethod
+    def from_ops(cls, positions: list[int], ops: list[VectorOp]) -> "VectorColumns":
+        n = len(ops)
+        length = np.array([op.length for op in ops], dtype=np.float64)
+        count = np.array([op.count for op in ops], dtype=np.float64)
+        flops = np.array([op.flops_per_element for op in ops], dtype=np.float64)
+        loads = np.array([op.loads_per_element for op in ops], dtype=np.float64)
+        stores = np.array([op.stores_per_element for op in ops], dtype=np.float64)
+        gather = np.array([op.gather_loads_per_element for op in ops], dtype=np.float64)
+        scatter = np.array([op.scatter_stores_per_element for op in ops], dtype=np.float64)
+        intrinsics = np.zeros((n, len(SORTED_INTRINSICS)), dtype=np.float64)
+        column_of = {name: i for i, name in enumerate(SORTED_INTRINSICS)}
+        for row, op in enumerate(ops):
+            for name, per in op.intrinsic_calls:
+                intrinsics[row, column_of[name]] = per
+
+        # Derived columns: each expression mirrors the VectorOp property
+        # arithmetic (same association), so every entry is bit-identical
+        # to the per-op value.
+        elements = length * count
+        raw = flops * elements
+        equiv = raw.copy()
+        for i, name in enumerate(SORTED_INTRINSICS):
+            equiv = equiv + (INTRINSIC_FLOP_EQUIV[name] * intrinsics[:, i]) * elements
+        sequential = (loads + stores) * length
+        indexed = (gather + scatter) * length
+        words = (sequential + indexed) * count
+        calls_total = np.zeros(n, dtype=np.float64)
+        for i in range(len(SORTED_INTRINSICS)):
+            calls_total = calls_total + intrinsics[:, i] * elements
+        return cls(
+            index=np.array(positions, dtype=np.intp),
+            length=length,
+            count=count,
+            flops=flops,
+            loads=loads,
+            stores=stores,
+            load_stride=np.array([op.load_stride for op in ops], dtype=np.int64),
+            store_stride=np.array([op.store_stride for op in ops], dtype=np.int64),
+            gather=gather,
+            scatter=scatter,
+            intrinsics=intrinsics,
+            elements=elements,
+            raw_flops=raw,
+            flop_equivalents=equiv,
+            sequential_words=sequential,
+            indexed_words=indexed,
+            words_moved=words,
+            intrinsic_calls_total=calls_total,
+        )
+
+
+@dataclass(frozen=True)
+class ScalarColumns:
+    """The scalar ops of one trace, one float64 column per field."""
+
+    index: np.ndarray
+    instructions: np.ndarray
+    flops: np.ndarray
+    memory_words: np.ndarray
+    count: np.ndarray
+
+    # derived
+    raw_flops: np.ndarray = field(repr=False, default=None)
+    words_moved: np.ndarray = field(repr=False, default=None)
+
+    @property
+    def n(self) -> int:
+        return int(self.index.shape[0])
+
+    @classmethod
+    def from_ops(cls, positions: list[int], ops: list[ScalarOp]) -> "ScalarColumns":
+        instructions = np.array([op.instructions for op in ops], dtype=np.float64)
+        flops = np.array([op.flops for op in ops], dtype=np.float64)
+        memory_words = np.array([op.memory_words for op in ops], dtype=np.float64)
+        count = np.array([op.count for op in ops], dtype=np.float64)
+        return cls(
+            index=np.array(positions, dtype=np.intp),
+            instructions=instructions,
+            flops=flops,
+            memory_words=memory_words,
+            count=count,
+            raw_flops=flops * count,
+            words_moved=memory_words * count,
+        )
+
+
+@dataclass
+class CompiledTrace:
+    """A trace lowered to structure-of-arrays columns.
+
+    Machine-independent: the same compiled trace costs on any
+    processor.  Machine-*dependent* cost columns (arithmetic cycles,
+    stride factors, memory path cycles) are memoised per component set
+    in :meth:`machine_cache`, keyed by component identity, so sweeps
+    that re-execute one trace — possibly under varying
+    ``memory_dilation`` — recompute only the dilation-dependent max.
+    """
+
+    names: tuple[str, ...]
+    vector: VectorColumns
+    scalar: ScalarColumns
+    _machine_caches: dict[tuple[int, ...], dict[str, Any]] = field(
+        default_factory=dict, repr=False
+    )
+    #: strong refs pinning cached components so their ids stay unique.
+    _pins: list[tuple] = field(default_factory=list, repr=False)
+    #: machine-independent aggregate totals, computed once per trace.
+    _totals: dict[str, float] = field(default_factory=dict, repr=False)
+
+    @property
+    def n_ops(self) -> int:
+        return len(self.names)
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "CompiledTrace":
+        v_pos: list[int] = []
+        v_ops: list[VectorOp] = []
+        s_pos: list[int] = []
+        s_ops: list[ScalarOp] = []
+        for i, op in enumerate(trace.ops):
+            if isinstance(op, VectorOp):
+                v_pos.append(i)
+                v_ops.append(op)
+            else:
+                s_pos.append(i)
+                s_ops.append(op)
+        return cls(
+            names=tuple(op.name for op in trace.ops),
+            vector=VectorColumns.from_ops(v_pos, v_ops),
+            scalar=ScalarColumns.from_ops(s_pos, s_ops),
+        )
+
+    def machine_cache(self, *components) -> dict[str, Any]:
+        """Per-component-set memo dict for machine-dependent columns.
+
+        Keyed by ``id`` of each component; the components themselves are
+        pinned so a key can never be recycled while this compiled trace
+        is alive.  Calibrated machine instances are treated as
+        immutable — mutating a component's parameters after it has been
+        used to cost a compiled trace is unsupported (build a fresh
+        processor instead, as :mod:`repro.machine.presets` does).
+        """
+        key = tuple(id(c) for c in components)
+        cache = self._machine_caches.get(key)
+        if cache is None:
+            cache = {}
+            self._machine_caches[key] = cache
+            self._pins.append(components)
+        return cache
+
+    def scatter_cycles(
+        self, vector_cycles: np.ndarray, scalar_cycles: np.ndarray
+    ) -> np.ndarray:
+        """Per-op cycles in original trace order."""
+        out = np.zeros(self.n_ops, dtype=np.float64)
+        out[self.vector.index] = vector_cycles
+        out[self.scalar.index] = scalar_cycles
+        return out
+
+    # -- aggregate accounting (exact: fsum of per-op columns) -------------
+    def _total(self, key: str, vector_column: np.ndarray, scalar_column: np.ndarray) -> float:
+        total = self._totals.get(key)
+        if total is None:
+            total = self._totals[key] = math.fsum(
+                vector_column.tolist() + scalar_column.tolist()
+            )
+        return total
+
+    def raw_flops_total(self) -> float:
+        return self._total("raw_flops", self.vector.raw_flops, self.scalar.raw_flops)
+
+    def flop_equivalents_total(self) -> float:
+        # ScalarOp.flop_equivalents == ScalarOp.raw_flops by definition.
+        return self._total(
+            "flop_equivalents", self.vector.flop_equivalents, self.scalar.raw_flops
+        )
+
+    def words_moved_total(self) -> float:
+        return self._total("words_moved", self.vector.words_moved, self.scalar.words_moved)
+
+
+def compile_trace(trace: Trace) -> CompiledTrace:
+    """Lower a trace to columns, caching the result on the trace.
+
+    The cache is invalidated by ``Trace.append``/``extend`` (and, as a
+    belt-and-braces guard, whenever the op count has changed behind the
+    trace's back).  ``scaled``/``+``/``*`` build fresh traces and
+    therefore compile fresh.
+    """
+    cache = trace._cache
+    compiled = cache.get("compiled")
+    if compiled is None or compiled.n_ops != len(trace.ops):
+        compiled = CompiledTrace.from_trace(trace)
+        cache["compiled"] = compiled
+    return compiled

@@ -130,27 +130,38 @@ class Node:
             raise ValueError(
                 f"{cpus}+{other_active_cpus} active CPUs exceed node size {self.cpu_count}"
             )
-        combined = Trace(
-            ops=[op for trace in cpu_traces for op in trace.ops],
-            name=trace_name or cpu_traces[0].name,
-        )
-        irregular = combined.irregular_fraction
+        # Aggregate accounting comes from the per-trace caches (replicated
+        # runs hand the same trace object to every CPU, so the whole scan
+        # below is computed once per trace, not once per CPU count) — no
+        # combined Trace is materialised.
+        words = math.fsum(trace.words_moved for trace in cpu_traces)
+        if words == 0:
+            irregular = 0.0
+        else:
+            irregular = (
+                math.fsum(trace.irregular_words for trace in cpu_traces) / words
+            )
         assert self.processor.memory is not None  # enforced in __post_init__
         dilation = self.processor.memory.contention_factor(
             cpus + other_active_cpus, irregular
         )
+        # Each execute reuses the trace's compiled columns and the
+        # machine-cached cost vectors; only the dilation-dependent scale
+        # is recomputed per CPU count.
         per_cpu = [self.processor.time(trace, memory_dilation=dilation) for trace in cpu_traces]
         parallel_seconds = max(per_cpu)
         serial_seconds = self.processor.time(serial) if serial is not None else 0.0
         sync = self.sync_seconds(cpus, regions)
         total = parallel_seconds + serial_seconds + sync
-        raw = combined.raw_flops + (serial.raw_flops if serial is not None else 0.0)
-        equiv = combined.flop_equivalents + (
+        raw = math.fsum(trace.raw_flops for trace in cpu_traces) + (
+            serial.raw_flops if serial is not None else 0.0
+        )
+        equiv = math.fsum(trace.flop_equivalents for trace in cpu_traces) + (
             serial.flop_equivalents if serial is not None else 0.0
         )
         return ParallelReport(
             machine=self.name,
-            trace_name=combined.name,
+            trace_name=trace_name or cpu_traces[0].name,
             cpus=cpus,
             seconds=total,
             serial_seconds=serial_seconds,

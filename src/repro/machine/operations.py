@@ -24,8 +24,10 @@ only genuine adds/multiplies.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Iterator, Mapping
+from functools import cached_property
+from typing import Callable, Iterable, Iterator, Mapping
 
 __all__ = [
     "INTRINSICS",
@@ -131,7 +133,11 @@ class VectorOp:
         )
 
     # -- accounting -------------------------------------------------------
-    @property
+    # Accounting is cached (the ops are frozen, so the values can never
+    # change): sweeps touch the same descriptors thousands of times, and
+    # the compiled engine's derived columns replicate these expressions
+    # term-for-term, so per-op values agree bitwise between engines.
+    @cached_property
     def elements(self) -> float:
         """Total elements processed over all executions."""
         return self.length * self.count
@@ -140,30 +146,44 @@ class VectorOp:
     def intrinsic_calls_total(self) -> dict[str, float]:
         return {name: per * self.elements for name, per in self.intrinsic_calls}
 
-    @property
+    @cached_property
     def raw_flops(self) -> float:
         return self.flops_per_element * self.elements
 
-    @property
+    @cached_property
     def flop_equivalents(self) -> float:
         total = self.raw_flops
         for name, per in self.intrinsic_calls:
             total += INTRINSIC_FLOP_EQUIV[name] * per * self.elements
         return total
 
-    @property
+    @cached_property
     def sequential_words(self) -> float:
         """Strided (non-indexed) words per execution of the loop."""
         return (self.loads_per_element + self.stores_per_element) * self.length
 
-    @property
+    @cached_property
     def indexed_words(self) -> float:
         return (self.gather_loads_per_element + self.scatter_stores_per_element) * self.length
 
-    @property
+    @cached_property
     def words_moved(self) -> float:
         """Total data words moved over all executions (excluding indices)."""
         return (self.sequential_words + self.indexed_words) * self.count
+
+    @cached_property
+    def irregular_words(self) -> float:
+        """Data words that are indexed *or* strided above 2, all executions.
+
+        The traffic class that degrades under multi-CPU bank contention
+        (see :meth:`Trace.irregular_fraction`).
+        """
+        irregular = self.indexed_words * self.count
+        if self.load_stride > 2:
+            irregular += self.loads_per_element * self.length * self.count
+        if self.store_stride > 2:
+            irregular += self.stores_per_element * self.length * self.count
+        return irregular
 
     def scaled(self, factor: float) -> "VectorOp":
         """The same loop executed ``factor`` times as often."""
@@ -199,7 +219,7 @@ class ScalarOp:
         if self.flops > self.instructions:
             raise ValueError("flops are a subset of instructions")
 
-    @property
+    @cached_property
     def raw_flops(self) -> float:
         return self.flops * self.count
 
@@ -207,7 +227,7 @@ class ScalarOp:
     def flop_equivalents(self) -> float:
         return self.raw_flops
 
-    @property
+    @cached_property
     def words_moved(self) -> float:
         return self.memory_words * self.count
 
@@ -236,6 +256,22 @@ class Trace:
         for op in self.ops:
             if not isinstance(op, (VectorOp, ScalarOp)):
                 raise TypeError(f"trace entries must be VectorOp/ScalarOp, got {type(op)!r}")
+        # Memo for aggregate accounting and the compiled (columnar) form.
+        # ``append``/``extend`` invalidate it; mutating ``ops`` directly
+        # behind the trace's back is unsupported.
+        self._cache: dict[str, object] = {}
+
+    def _cached(self, key: str, compute: Callable[[], object]) -> object:
+        try:
+            return self._cache[key]
+        except KeyError:
+            value = self._cache[key] = compute()
+            return value
+
+    def __getstate__(self) -> dict[str, object]:
+        state = self.__dict__.copy()
+        state["_cache"] = {}  # compiled columns are cheap to rebuild
+        return state
 
     def __iter__(self) -> Iterator[Op]:
         return iter(self.ops)
@@ -247,6 +283,7 @@ class Trace:
         if not isinstance(op, (VectorOp, ScalarOp)):
             raise TypeError(f"trace entries must be VectorOp/ScalarOp, got {type(op)!r}")
         self.ops.append(op)
+        self._cache.clear()
 
     def extend(self, ops: Iterable[Op]) -> None:
         for op in ops:
@@ -265,17 +302,28 @@ class Trace:
         return Trace(ops=[op.scaled(factor) for op in self.ops], name=self.name)
 
     # -- aggregate accounting ---------------------------------------------
+    # Aggregates are computed once per trace (invalidated on append) with
+    # ``math.fsum``, whose exactly-rounded result is independent of
+    # summation order — so the compiled engine's column reductions return
+    # bit-identical totals.
     @property
     def raw_flops(self) -> float:
-        return sum(op.raw_flops for op in self.ops)
+        return self._cached(
+            "raw_flops", lambda: math.fsum(op.raw_flops for op in self.ops)
+        )
 
     @property
     def flop_equivalents(self) -> float:
-        return sum(op.flop_equivalents for op in self.ops)
+        return self._cached(
+            "flop_equivalents",
+            lambda: math.fsum(op.flop_equivalents for op in self.ops),
+        )
 
     @property
     def words_moved(self) -> float:
-        return sum(op.words_moved for op in self.ops)
+        return self._cached(
+            "words_moved", lambda: math.fsum(op.words_moved for op in self.ops)
+        )
 
     @property
     def bytes_moved(self) -> float:
@@ -291,15 +339,36 @@ class Trace:
         return totals
 
     @property
+    def indexed_words_total(self) -> float:
+        """Data words moved via gather/scatter over the whole trace."""
+        return self._cached(
+            "indexed_words_total",
+            lambda: math.fsum(
+                op.indexed_words * op.count
+                for op in self.ops
+                if isinstance(op, VectorOp)
+            ),
+        )
+
+    @property
     def gather_fraction(self) -> float:
         """Fraction of data words moved via gather/scatter (list vectors)."""
         total = self.words_moved
         if total == 0:
             return 0.0
-        indexed = sum(
-            op.indexed_words * op.count for op in self.ops if isinstance(op, VectorOp)
+        return self.indexed_words_total / total
+
+    @property
+    def irregular_words(self) -> float:
+        """Data words that are indexed *or* strided above 2."""
+        return self._cached(
+            "irregular_words",
+            lambda: math.fsum(
+                op.irregular_words
+                for op in self.ops
+                if isinstance(op, VectorOp)
+            ),
         )
-        return indexed / total
 
     @property
     def irregular_fraction(self) -> float:
@@ -313,13 +382,4 @@ class Trace:
         total = self.words_moved
         if total == 0:
             return 0.0
-        irregular = 0.0
-        for op in self.ops:
-            if not isinstance(op, VectorOp):
-                continue
-            irregular += op.indexed_words * op.count
-            if op.load_stride > 2:
-                irregular += op.loads_per_element * op.length * op.count
-            if op.store_stride > 2:
-                irregular += op.stores_per_element * op.length * op.count
-        return irregular / total
+        return self.irregular_words / total

@@ -6,13 +6,31 @@ machines, a vector unit and a banked-memory port.  ``execute`` walks a
 :class:`ExecutionReport` carrying wall time, Mflops (both raw and
 Cray-equivalent), and sustained memory bandwidth — the three quantities
 the paper's tables and figures report.
+
+Two costing engines produce that report:
+
+* ``"compiled"`` (the default) lowers the trace to structure-of-arrays
+  columns (:mod:`repro.machine.compiled`) and costs every op with the
+  components' ``*_cycles_batch`` methods — a handful of NumPy
+  expressions regardless of trace length;
+* ``"legacy"`` walks the trace one descriptor at a time through the
+  per-op methods — the reference the batched path is verified against.
+
+Both engines compute bit-identical per-op cycle counts (the batched
+expressions replicate the per-op arithmetic exactly) and both reduce
+totals with :func:`math.fsum`, so the resulting reports are equal, not
+merely close.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.machine.clock import Clock
+from repro.machine.compiled import CompiledTrace, compile_trace, fsum, resolve_engine
 from repro.machine.memory import BankedMemory
 from repro.machine.operations import ScalarOp, Trace, VectorOp
 from repro.machine.scalar_unit import ScalarUnit
@@ -38,10 +56,21 @@ declare_counters(
     ),
 )
 
+_EMPTY_CYCLES = np.zeros(0, dtype=np.float64)
+
 
 @dataclass
 class ExecutionReport:
-    """Outcome of running a trace on one processor."""
+    """Outcome of running a trace on one processor.
+
+    ``op_names``/``op_cycles`` carry the per-op cycle columns in trace
+    order (``op_names`` is shared with the compiled trace, ``op_cycles``
+    is the engine's cycle vector), so :meth:`dominant_op` is an argmax
+    over a column rather than a walk over Python tuples.  The
+    ``breakdown`` list of ``(name, cycles)`` pairs is only materialised
+    when ``execute(..., breakdown=True)`` asked for it — sweeps that
+    never read it skip the per-op list allocation entirely.
+    """
 
     machine: str
     trace_name: str
@@ -50,8 +79,21 @@ class ExecutionReport:
     raw_flops: float
     flop_equivalents: float
     words_moved: float
-    #: per-op (name, cycles) breakdown, in trace order.
-    breakdown: list[tuple[str, float]] = field(default_factory=list)
+    engine: str = field(default="legacy", compare=False)
+    op_names: tuple[str, ...] = field(default=(), repr=False, compare=False)
+    #: per-op cycles in trace order (ndarray or tuple), parallel to op_names.
+    op_cycles: object = field(default=(), repr=False, compare=False)
+    has_breakdown: bool = field(default=False, repr=False, compare=False)
+
+    @property
+    def breakdown(self) -> list[tuple[str, float]]:
+        """Per-op (name, cycles) pairs; empty unless requested at execute."""
+        if not self.has_breakdown:
+            return []
+        return [
+            (name, float(cycles))
+            for name, cycles in zip(self.op_names, self.op_cycles)
+        ]
 
     @property
     def mflops(self) -> float:
@@ -79,10 +121,18 @@ class ExecutionReport:
         return self.bytes_moved / self.seconds
 
     def dominant_op(self) -> str:
-        """Name of the op that consumed the most cycles (for reports)."""
-        if not self.breakdown:
+        """Name of the op that consumed the most cycles (for reports).
+
+        Works from the cycle column regardless of whether the
+        ``breakdown`` list was requested.
+        """
+        n = len(self.op_names)
+        if n == 0:
             return "<empty>"
-        return max(self.breakdown, key=lambda item: item[1])[0]
+        cycles = self.op_cycles
+        if isinstance(cycles, np.ndarray):
+            return self.op_names[int(np.argmax(cycles))]
+        return self.op_names[max(range(n), key=cycles.__getitem__)]
 
 
 @dataclass
@@ -142,6 +192,46 @@ class Processor:
         """Total cycles for all ``count`` executions of a scalar op."""
         return self.scalar.scalar_op_cycles(op) * op.count
 
+    # -- batched (columnar) timing ------------------------------------------
+    def vector_op_cycles_batch(
+        self, compiled: CompiledTrace, memory_dilation: float = 1.0
+    ) -> np.ndarray:
+        """Per-op totals of :meth:`vector_op_cycles` over the vector columns.
+
+        The dilation-independent columns (arithmetic, startup overhead,
+        undilated memory time) are memoised on the compiled trace per
+        component set, so a dilation sweep recomputes only one scale and
+        one elementwise max per point.
+        """
+        if memory_dilation < 1.0:
+            raise ValueError(f"memory dilation cannot shrink time, got {memory_dilation}")
+        v = compiled.vector
+        if self.vector is not None and self.memory is not None:
+            cache = compiled.machine_cache(self.vector, self.memory)
+            arithmetic = cache.get("arithmetic")
+            if arithmetic is None:
+                arithmetic = cache["arithmetic"] = self.vector.arithmetic_cycles_batch(v)
+                cache["overhead"] = self.vector.overhead_cycles_batch(v)
+                cache["transfer"] = self.memory.transfer_cycles_batch(v)
+            memory = cache["transfer"] * memory_dilation
+            per_execution = cache["overhead"] + np.maximum(arithmetic, memory)
+        else:
+            cache = compiled.machine_cache(self.scalar)
+            per_execution = cache.get("scalar_vector")
+            if per_execution is None:
+                per_execution = cache["scalar_vector"] = self.scalar.vector_op_cycles_batch(v)
+            per_execution = per_execution * memory_dilation
+        return per_execution * v.count
+
+    def scalar_op_cycles_batch(self, compiled: CompiledTrace) -> np.ndarray:
+        """Per-op totals of :meth:`scalar_op_cycles` over the scalar columns."""
+        s = compiled.scalar
+        cache = compiled.machine_cache(self.scalar)
+        per_execution = cache.get("scalar_op")
+        if per_execution is None:
+            per_execution = cache["scalar_op"] = self.scalar.scalar_op_cycles_batch(s)
+        return per_execution * s.count
+
     # -- perfmon instrumentation --------------------------------------------
     def _record_op(self, op: VectorOp | ScalarOp, cycles: float, dilation: float) -> None:
         """Populate the active profile's counters for one executed op.
@@ -176,16 +266,128 @@ class Processor:
             },
         )
 
+    def _record_trace_batch(
+        self,
+        compiled: CompiledTrace,
+        op_cycles: np.ndarray,
+        vector_cycles: np.ndarray,
+        scalar_cycles: np.ndarray,
+        dilation: float,
+    ) -> None:
+        """Populate the active profile's counters from column reductions.
+
+        Produces the same totals as calling :meth:`_record_op` for every
+        op (modulo exactly-rounded vs sequential accumulation), with one
+        record per component instead of one per op.
+        """
+        v, s = compiled.vector, compiled.scalar
+        if v.n:
+            if self.vector is not None and self.memory is not None:
+                perfmon_record("vector_unit", self.vector.perfmon_counters_batch(v))
+                perfmon_record("memory", self.memory.perfmon_counters_batch(v, dilation))
+            else:
+                scalar, cache = self.scalar.perfmon_vector_counters_batch(v)
+                perfmon_record("scalar_unit", scalar)
+                perfmon_record("cache", cache)
+        if s.n:
+            scalar, cache = self.scalar.perfmon_scalar_counters_batch(s)
+            perfmon_record("scalar_unit", scalar)
+            perfmon_record("cache", cache)
+        # Record only the op kinds that occurred, matching the key set the
+        # per-op path produces (profile diffs compare dict shapes too).
+        increments = {
+            "ops": float(compiled.n_ops),
+            "cycles": fsum(op_cycles),
+            "seconds": fsum(op_cycles * self.clock.period_s),
+        }
+        if v.n:
+            increments["vector_ops"] = float(v.n)
+            increments["vector_cycles"] = fsum(vector_cycles)
+        if s.n:
+            increments["scalar_ops"] = float(s.n)
+            increments["scalar_cycles"] = fsum(scalar_cycles)
+        perfmon_record("processor", increments)
+
     # -- trace execution ------------------------------------------------------
-    def execute(self, trace: Trace, memory_dilation: float = 1.0) -> ExecutionReport:
+    def execute(
+        self,
+        trace: Trace,
+        memory_dilation: float = 1.0,
+        *,
+        engine: str | None = None,
+        breakdown: bool = False,
+    ) -> ExecutionReport:
         """Run a trace to completion and report time and rates.
+
+        ``engine`` selects the costing path: ``"compiled"`` (columnar,
+        the process default) or ``"legacy"`` (per-op reference); both
+        return equal reports.  ``breakdown=True`` additionally
+        materialises the per-op ``(name, cycles)`` list.
 
         When a :mod:`repro.perfmon` profile is active, every component
         that times an op also populates its counters — this is the
         "counter emulation" layer of the observability subsystem.
         """
-        breakdown: list[tuple[str, float]] = []
-        total_cycles = 0.0
+        engine = resolve_engine(engine)
+        if engine == "compiled":
+            return self._execute_compiled(trace, memory_dilation, breakdown)
+        return self._execute_legacy(trace, memory_dilation, breakdown)
+
+    def _execute_compiled(
+        self, trace: Trace, memory_dilation: float, breakdown: bool
+    ) -> ExecutionReport:
+        compiled = compile_trace(trace)
+        v, s = compiled.vector, compiled.scalar
+        # The fully-combined cost columns are themselves memoised per
+        # (components, dilation), so re-costing the same trace on the
+        # same machine — the sweep and table-regeneration steady state —
+        # is a dictionary lookup plus report construction.  Invalid
+        # dilations raise before anything is cached, so validation still
+        # fires on every call.  The cached arrays are shared with the
+        # returned report; treat ``ExecutionReport.op_cycles`` as
+        # read-only.
+        cache = compiled.machine_cache(self.vector, self.memory, self.scalar)
+        key = f"cost@{float(memory_dilation)!r}"
+        entry = cache.get(key)
+        if entry is None:
+            vector_cycles = (
+                self.vector_op_cycles_batch(compiled, memory_dilation)
+                if v.n
+                else _EMPTY_CYCLES
+            )
+            scalar_cycles = (
+                self.scalar_op_cycles_batch(compiled) if s.n else _EMPTY_CYCLES
+            )
+            op_cycles = compiled.scatter_cycles(vector_cycles, scalar_cycles)
+            entry = cache[key] = (
+                vector_cycles, scalar_cycles, op_cycles, fsum(op_cycles)
+            )
+        vector_cycles, scalar_cycles, op_cycles, total_cycles = entry
+        if perfmon_active() is not None:
+            perfmon_record("processor", {"traces": 1.0})
+            if compiled.n_ops:
+                self._record_trace_batch(
+                    compiled, op_cycles, vector_cycles, scalar_cycles, memory_dilation
+                )
+        return ExecutionReport(
+            machine=self.name,
+            trace_name=trace.name,
+            cycles=total_cycles,
+            seconds=self.clock.seconds(total_cycles),
+            raw_flops=compiled.raw_flops_total(),
+            flop_equivalents=compiled.flop_equivalents_total(),
+            words_moved=compiled.words_moved_total(),
+            engine="compiled",
+            op_names=compiled.names,
+            op_cycles=op_cycles,
+            has_breakdown=breakdown,
+        )
+
+    def _execute_legacy(
+        self, trace: Trace, memory_dilation: float, breakdown: bool
+    ) -> ExecutionReport:
+        op_names: list[str] = []
+        op_cycles: list[float] = []
         profiling = perfmon_active() is not None
         if profiling:
             perfmon_record("processor", {"traces": 1.0})
@@ -196,8 +398,9 @@ class Processor:
                 cycles = self.scalar_op_cycles(op)
             if profiling:
                 self._record_op(op, cycles, memory_dilation)
-            breakdown.append((op.name, cycles))
-            total_cycles += cycles
+            op_names.append(op.name)
+            op_cycles.append(cycles)
+        total_cycles = math.fsum(op_cycles)
         return ExecutionReport(
             machine=self.name,
             trace_name=trace.name,
@@ -206,7 +409,10 @@ class Processor:
             raw_flops=trace.raw_flops,
             flop_equivalents=trace.flop_equivalents,
             words_moved=trace.words_moved,
-            breakdown=breakdown,
+            engine="legacy",
+            op_names=tuple(op_names),
+            op_cycles=tuple(op_cycles),
+            has_breakdown=breakdown,
         )
 
     def time(self, trace: Trace, memory_dilation: float = 1.0) -> float:

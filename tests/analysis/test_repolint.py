@@ -294,6 +294,76 @@ class TestPerfmonRegistration:
         assert lint_file(path, tmp_path) == []
 
 
+class TestBatchSiblingContract:
+    """REPO007: every ``<name>_batch`` method needs a per-op ``<name>``."""
+
+    ORPHAN = """
+    class Widget:
+        def transfer_cycles_batch(self, columns):
+            return columns
+    """
+
+    PAIRED = """
+    class Widget:
+        def transfer_cycles(self, op):
+            return 0.0
+
+        def transfer_cycles_batch(self, columns):
+            return columns
+    """
+
+    def test_orphan_batched_method_flagged(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/machine/widget.py", self.ORPHAN)
+        found = [d for d in lint_file(path, tmp_path) if d.rule_id == "REPO007"]
+        assert len(found) == 1
+        assert "transfer_cycles_batch" in found[0].message
+        assert "'transfer_cycles'" in found[0].message
+
+    def test_paired_batched_method_is_clean(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/machine/widget.py", self.PAIRED)
+        assert "REPO007" not in rule_ids(lint_file(path, tmp_path))
+
+    def test_sibling_must_be_on_the_same_class(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/machine/widget.py",
+            """
+            class Reference:
+                def transfer_cycles(self, op):
+                    return 0.0
+
+            class Widget:
+                def transfer_cycles_batch(self, columns):
+                    return columns
+            """,
+        )
+        assert "REPO007" in rule_ids(lint_file(path, tmp_path))
+
+    def test_private_batched_helpers_exempt(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/machine/widget.py",
+            """
+            class Widget:
+                def _combine_batch(self, columns):
+                    return columns
+            """,
+        )
+        assert "REPO007" not in rule_ids(lint_file(path, tmp_path))
+
+    def test_applies_across_src_not_just_machine(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/analysis/widget.py", self.ORPHAN)
+        assert "REPO007" in rule_ids(lint_file(path, tmp_path))
+
+    def test_module_level_functions_out_of_scope(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/analysis/widget.py",
+            "def helper_batch(columns):\n    return columns\n",
+        )
+        assert "REPO007" not in rule_ids(lint_file(path, tmp_path))
+
+
 def test_syntax_error_is_repo000(tmp_path):
     path = write_module(tmp_path, "src/repro/suite/broken.py", "def oops(:\n")
     found = lint_file(path, tmp_path)

@@ -1,0 +1,216 @@
+"""Compiled (columnar) costing engine: exact parity and cache behavior."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.traces import TRACE_BUILDERS, build_registered_trace
+from repro.machine.compiled import (
+    ENGINES,
+    SORTED_INTRINSICS,
+    CompiledTrace,
+    compile_trace,
+    fsum,
+    get_default_engine,
+    resolve_engine,
+    set_default_engine,
+)
+from repro.machine.operations import INTRINSICS, ScalarOp, Trace, VectorOp
+from repro.machine.presets import sx4_processor, table1_machines
+from repro.perfmon.collector import profile
+
+ALL_MACHINES = [*table1_machines().values(), sx4_processor(), sx4_processor(period_ns=8.0)]
+
+REPORT_FIELDS = ("cycles", "seconds", "raw_flops", "flop_equivalents", "words_moved")
+
+
+def mixed_trace():
+    return Trace(
+        [
+            VectorOp("axpy", length=500, count=3, flops_per_element=2.0,
+                     loads_per_element=2.0, stores_per_element=1.0),
+            ScalarOp("diag", instructions=1000, flops=50, memory_words=20, count=2),
+            VectorOp("gath", length=64, count=5, gather_loads_per_element=1.0,
+                     stores_per_element=1.0, load_stride=7,
+                     intrinsic_calls=(("exp", 1.0), ("sqrt", 0.5))),
+        ],
+        name="mixed",
+    )
+
+
+def assert_reports_equal(legacy, compiled):
+    for field in REPORT_FIELDS:
+        assert getattr(legacy, field) == getattr(compiled, field), field
+    assert legacy.mflops == compiled.mflops
+    assert legacy.bandwidth_bytes_per_s == compiled.bandwidth_bytes_per_s
+    assert legacy.op_names == tuple(compiled.op_names)
+    assert list(legacy.op_cycles) == list(compiled.op_cycles)
+
+
+class TestExactParity:
+    @pytest.mark.parametrize("trace_id", sorted(TRACE_BUILDERS))
+    def test_registered_traces_all_machines(self, trace_id):
+        trace = build_registered_trace(trace_id)
+        for proc in ALL_MACHINES:
+            legacy = proc.execute(trace, engine="legacy")
+            compiled = proc.execute(trace, engine="compiled")
+            assert_reports_equal(legacy, compiled)
+
+    @pytest.mark.parametrize("dilation", [1.0, 1.37, 2.5])
+    def test_memory_dilation_parity(self, dilation):
+        proc = sx4_processor()
+        trace = mixed_trace()
+        legacy = proc.execute(trace, dilation, engine="legacy")
+        compiled = proc.execute(trace, dilation, engine="compiled")
+        assert_reports_equal(legacy, compiled)
+
+    def test_cache_machine_parity(self):
+        # A cache machine (no vector unit) routes vector ops through the
+        # scalar unit's model; the batched path must match there too.
+        proc = next(m for m in ALL_MACHINES if m.vector is None)
+        legacy = proc.execute(mixed_trace(), engine="legacy")
+        compiled = proc.execute(mixed_trace(), engine="compiled")
+        assert_reports_equal(legacy, compiled)
+
+    def test_dominant_op_agrees(self):
+        proc = sx4_processor()
+        trace = mixed_trace()
+        assert (proc.execute(trace, engine="legacy").dominant_op()
+                == proc.execute(trace, engine="compiled").dominant_op())
+
+    def test_empty_trace(self):
+        proc = sx4_processor()
+        report = proc.execute(Trace([]), engine="compiled")
+        assert report.cycles == 0.0
+        assert report.seconds == 0.0
+        assert report.dominant_op() == "<empty>"
+
+    def test_dilation_validated_even_when_cached(self):
+        proc = sx4_processor()
+        trace = mixed_trace()
+        proc.execute(trace, 1.0, engine="compiled")  # populate caches
+        with pytest.raises(ValueError):
+            proc.execute(trace, 0.5, engine="compiled")
+
+    def test_perfmon_counters_match_legacy_shape_and_totals(self):
+        proc = sx4_processor()
+        trace = build_registered_trace("radabs")
+        with profile() as legacy_prof:
+            proc.execute(trace, engine="legacy")
+        with profile() as compiled_prof:
+            proc.execute(trace, engine="compiled")
+        legacy_counters = legacy_prof.counters.to_dict()
+        compiled_counters = compiled_prof.counters.to_dict()
+        assert legacy_counters.keys() == compiled_counters.keys()
+        for component, counters in legacy_counters.items():
+            assert counters.keys() == compiled_counters[component].keys()
+            for name, value in counters.items():
+                got = compiled_counters[component][name]
+                assert got == pytest.approx(value, rel=1e-12, abs=1e-12), (
+                    f"{component}.{name}"
+                )
+
+
+class TestCompileCaching:
+    def test_compile_is_cached_on_the_trace(self):
+        trace = mixed_trace()
+        assert compile_trace(trace) is compile_trace(trace)
+
+    def test_append_invalidates(self):
+        trace = mixed_trace()
+        first = compile_trace(trace)
+        trace.append(ScalarOp("extra", instructions=10))
+        second = compile_trace(trace)
+        assert second is not first
+        assert second.n_ops == first.n_ops + 1
+
+    def test_cost_columns_memoised_per_machine_and_dilation(self):
+        proc = sx4_processor()
+        trace = mixed_trace()
+        a = proc.execute(trace, 1.37, engine="compiled")
+        b = proc.execute(trace, 1.37, engine="compiled")
+        assert a.op_cycles is b.op_cycles  # steady state: shared cached column
+        c = proc.execute(trace, 1.0, engine="compiled")
+        assert c.op_cycles is not a.op_cycles
+
+    def test_distinct_machines_do_not_share_costs(self):
+        trace = mixed_trace()
+        reports = [proc.execute(trace, engine="compiled") for proc in ALL_MACHINES]
+        assert len({report.cycles for report in reports}) > 1
+
+    def test_pickled_trace_drops_compile_cache(self):
+        import pickle
+
+        trace = mixed_trace()
+        compile_trace(trace)
+        clone = pickle.loads(pickle.dumps(trace))
+        assert clone._cache == {}
+        assert sx4_processor().execute(clone).cycles == pytest.approx(
+            sx4_processor().execute(trace).cycles
+        )
+
+
+class TestColumns:
+    def test_column_layout(self):
+        compiled = compile_trace(mixed_trace())
+        assert isinstance(compiled, CompiledTrace)
+        assert compiled.n_ops == 3
+        assert compiled.vector.n == 2
+        assert compiled.scalar.n == 1
+        assert compiled.vector.intrinsics.shape == (2, len(INTRINSICS))
+        assert SORTED_INTRINSICS == tuple(sorted(INTRINSICS))
+        # gath: exp at 1.0/elem, sqrt at 0.5/elem, in the sorted columns.
+        row = compiled.vector.intrinsics[1]
+        assert row[SORTED_INTRINSICS.index("exp")] == 1.0
+        assert row[SORTED_INTRINSICS.index("sqrt")] == 0.5
+        assert row.sum() == 1.5
+
+    def test_aggregate_totals_match_trace(self):
+        trace = mixed_trace()
+        compiled = compile_trace(trace)
+        assert compiled.raw_flops_total() == trace.raw_flops
+        assert compiled.flop_equivalents_total() == trace.flop_equivalents
+        assert compiled.words_moved_total() == trace.words_moved
+
+    def test_scatter_restores_trace_order(self):
+        compiled = compile_trace(mixed_trace())
+        out = compiled.scatter_cycles(
+            np.array([1.0, 3.0]), np.array([2.0])
+        )
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+
+class TestEngineSelection:
+    def test_engines_tuple(self):
+        assert ENGINES == ("compiled", "legacy")
+
+    def test_default_roundtrip(self):
+        original = get_default_engine()
+        try:
+            assert set_default_engine("legacy") == original
+            assert get_default_engine() == "legacy"
+            assert resolve_engine(None) == "legacy"
+            report = sx4_processor().execute(mixed_trace())
+            assert report.engine == "legacy"
+        finally:
+            set_default_engine(original)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            set_default_engine("bogus")
+        with pytest.raises(ValueError):
+            resolve_engine("bogus")
+        with pytest.raises(ValueError):
+            sx4_processor().execute(mixed_trace(), engine="bogus")
+
+    def test_report_records_engine(self):
+        proc = sx4_processor()
+        assert proc.execute(mixed_trace(), engine="compiled").engine == "compiled"
+        assert proc.execute(mixed_trace(), engine="legacy").engine == "legacy"
+
+
+def test_fsum_matches_math_fsum():
+    values = [0.1, 0.2, 0.3, 1e16, -1e16, 0.1]
+    import math
+
+    assert fsum(np.array(values)) == math.fsum(values)
+    assert fsum(values) == math.fsum(values)

@@ -1,0 +1,131 @@
+"""Property-based parity tests: compiled vs legacy costing on random traces.
+
+The compiled engine's contract is bit-parity with the per-op reference,
+so these properties assert *equality* on the ExecutionReport (per-op
+cycles included) for arbitrary generated traces, and ulp-scale agreement
+on perfmon counter totals (the one place the two paths accumulate in a
+different order: fsum versus sequential addition).
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.operations import INTRINSICS, ScalarOp, Trace, VectorOp
+from repro.machine.presets import sx4_processor, table1_machines
+from repro.perfmon.collector import profile
+
+SX4 = sx4_processor()
+#: A Table 1 machine without a vector unit: vector ops cost through the
+#: scalar/cache model, the other half of the batched code.
+CACHE_MACHINE = next(m for m in table1_machines().values() if m.vector is None)
+
+rates = st.floats(min_value=0.0, max_value=8.0, allow_nan=False)
+
+intrinsic_mixes = st.dictionaries(
+    st.sampled_from(sorted(INTRINSICS)),
+    st.floats(min_value=0.0, max_value=4.0, allow_nan=False),
+    max_size=3,
+).map(lambda mix: tuple(sorted(mix.items())))
+
+vector_ops = st.builds(
+    VectorOp,
+    name=st.sampled_from(["a", "b", "c"]),
+    length=st.integers(min_value=1, max_value=200_000),
+    count=st.integers(min_value=0, max_value=5_000),
+    flops_per_element=rates,
+    loads_per_element=rates,
+    stores_per_element=rates,
+    gather_loads_per_element=rates,
+    scatter_stores_per_element=rates,
+    load_stride=st.integers(min_value=1, max_value=2048),
+    store_stride=st.integers(min_value=1, max_value=2048),
+    intrinsic_calls=intrinsic_mixes,
+)
+
+
+@st.composite
+def scalar_ops(draw):
+    instructions = draw(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    flops = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False)) * instructions
+    return ScalarOp(
+        name=draw(st.sampled_from(["s", "t"])),
+        instructions=instructions,
+        flops=flops,
+        memory_words=draw(st.floats(min_value=0.0, max_value=1e5, allow_nan=False)),
+        count=draw(st.integers(min_value=0, max_value=100)),
+    )
+
+
+traces = st.lists(vector_ops | scalar_ops(), max_size=8).map(
+    lambda ops: Trace(ops, name="rand")
+)
+
+dilations = st.floats(min_value=1.0, max_value=4.0, allow_nan=False)
+
+
+def ulps_apart(a: float, b: float) -> float:
+    if a == b:
+        return 0.0
+    return abs(a - b) / math.ulp(max(abs(a), abs(b)))
+
+
+def assert_report_parity(processor, trace, dilation=1.0):
+    legacy = processor.execute(trace, dilation, engine="legacy")
+    compiled = processor.execute(trace, dilation, engine="compiled")
+    assert list(legacy.op_cycles) == list(compiled.op_cycles)
+    assert legacy.cycles == compiled.cycles
+    assert legacy.seconds == compiled.seconds
+    assert legacy.raw_flops == compiled.raw_flops
+    assert legacy.flop_equivalents == compiled.flop_equivalents
+    assert legacy.words_moved == compiled.words_moved
+    assert legacy.mflops == compiled.mflops
+    assert legacy.bandwidth_bytes_per_s == compiled.bandwidth_bytes_per_s
+
+
+@given(trace=traces)
+def test_vector_machine_report_parity(trace):
+    assert_report_parity(SX4, trace)
+
+
+@given(trace=traces)
+def test_cache_machine_report_parity(trace):
+    assert_report_parity(CACHE_MACHINE, trace)
+
+
+@given(trace=traces, dilation=dilations)
+@settings(max_examples=50)
+def test_dilated_report_parity(trace, dilation):
+    assert_report_parity(SX4, trace, dilation)
+
+
+@given(trace=traces)
+@settings(max_examples=50)
+def test_perfmon_counter_totals_parity(trace):
+    """Counter key sets match exactly; totals agree to ulp scale."""
+    with profile() as legacy_prof:
+        SX4.execute(trace, engine="legacy")
+    with profile() as compiled_prof:
+        SX4.execute(trace, engine="compiled")
+    legacy = legacy_prof.counters.to_dict()
+    compiled = compiled_prof.counters.to_dict()
+    assert legacy.keys() == compiled.keys()
+    for component, counters in legacy.items():
+        assert counters.keys() == compiled[component].keys(), component
+        for name, value in counters.items():
+            got = compiled[component][name]
+            # fsum vs sequential accumulation: allow a sliver of drift
+            # proportional to the number of contributing ops.
+            assert ulps_apart(value, got) <= 64.0 * max(1, len(trace)), (
+                f"{component}.{name}: legacy={value!r} compiled={got!r}"
+            )
+
+
+@given(trace=traces)
+@settings(max_examples=25)
+def test_compiled_matches_trace_aggregates(trace):
+    report = SX4.execute(trace, engine="compiled")
+    assert report.raw_flops == trace.raw_flops
+    assert report.flop_equivalents == trace.flop_equivalents
+    assert report.words_moved == trace.words_moved
