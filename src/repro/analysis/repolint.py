@@ -24,6 +24,10 @@ REPO007   every batched (columnar) method ``<name>_batch`` has a per-op
           contract of :mod:`repro.machine.compiled`: the parity suite
           can only verify batched code that has a reference to verify
           against
+REPO008   every ``fault_point`` call site names its site with a string
+          literal drawn from :data:`repro.faults.inject.FAULT_SITES` —
+          the registry that also declares the ``fault.<site>`` perfmon
+          counter, so every injectable site is observable in profiles
 ========  ==============================================================
 
 All findings are ERROR severity — the CLI exits non-zero on any, which
@@ -41,6 +45,7 @@ import re
 from pathlib import Path
 
 from repro.analysis.diagnostics import Diagnostic, DiagnosticReport, Severity
+from repro.faults.inject import FAULT_SITES
 from repro.machine.operations import INTRINSICS
 
 __all__ = ["lint_repo", "lint_file", "repo_root"]
@@ -386,6 +391,55 @@ def _check_batch_siblings(rel: str, tree: ast.Module) -> list[Diagnostic]:
     return found
 
 
+def _check_fault_sites(rel: str, tree: ast.Module) -> list[Diagnostic]:
+    """REPO008: fault_point call sites name a registered site, literally.
+
+    :data:`repro.faults.inject.FAULT_SITES` is both the site registry
+    and (via the module-level ``declare_counters``) the ``fault.*``
+    counter registry — a call site whose first argument is a literal
+    member of it is guaranteed an observable counter.  A non-literal
+    site defeats that static guarantee, so it is rejected outright.
+    """
+    found = []
+
+    def flag(lineno: int, message: str) -> None:
+        found.append(
+            Diagnostic(
+                rule_id="REPO008",
+                severity=Severity.ERROR,
+                location=f"{rel}:{lineno}",
+                message=message,
+            )
+        )
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+        if name != "fault_point":
+            continue
+        site = node.args[0] if node.args else None
+        if site is None:
+            for kw in node.keywords:
+                if kw.arg == "site":
+                    site = kw.value
+        if not (isinstance(site, ast.Constant) and isinstance(site.value, str)):
+            flag(
+                node.lineno,
+                "fault_point site must be a string literal so the hook "
+                "site and its fault.* counter are statically checkable",
+            )
+        elif site.value not in FAULT_SITES:
+            flag(
+                node.lineno,
+                f"fault_point site {site.value!r} is not registered in "
+                f"repro.faults.inject.FAULT_SITES {FAULT_SITES}; register "
+                f"it there (which also declares its fault.* counter)",
+            )
+    return found
+
+
 # ---------------------------------------------------------------- driver
 def _is_kernel_module(rel_parts: tuple[str, ...]) -> bool:
     return (
@@ -448,6 +502,7 @@ def lint_file(path: Path, root: Path) -> list[Diagnostic]:
         found.extend(_check_magic_units(rel, tree))
     if _in_src(rel_parts):
         found.extend(_check_batch_siblings(rel, tree))
+        found.extend(_check_fault_sites(rel, tree))
 
     def kept(diag: Diagnostic) -> bool:
         if diag.rule_id in exempt:

@@ -10,9 +10,17 @@ Usage::
 
 All commands accept ``--cache-dir`` (default ``.repro-cache``).
 ``run`` exits 0 only when every experiment produced a result and every
-shape check passed; ``plan``/``stats``/``gc`` are bookkeeping and exit
-0 unless the request itself is invalid (e.g. an unknown experiment id,
-exit 2, listing the valid ids).
+shape check passed; its non-zero exits distinguish the failure kind::
+
+    1   all jobs ran, but a shape check failed
+    2   the request itself is invalid (unknown experiment id)
+    3   at least one job errored (builder raised)
+    4   at least one worker crashed
+    5   at least one job timed out
+
+Mixed failures report the highest applicable code.  ``plan``/
+``stats``/``gc`` are bookkeeping and exit 0 unless the request is
+invalid (exit 2, listing the valid ids).
 """
 
 from __future__ import annotations
@@ -26,7 +34,16 @@ from repro.engine.plan import plan_suite
 from repro.engine.store import ResultStore
 from repro.suite.experiments import EXPERIMENTS
 
-__all__ = ["main", "engine_report_to_dict", "validate_experiment_ids"]
+__all__ = [
+    "main",
+    "engine_report_to_dict",
+    "validate_experiment_ids",
+    "FAILURE_EXIT_CODES",
+]
+
+#: ``engine run`` exit code per failure kind (a shape-check failure
+#: alone is 1; usage errors are 2; mixed kinds take the max).
+FAILURE_EXIT_CODES = {"error": 3, "crash": 4, "timeout": 5}
 
 
 def validate_experiment_ids(exp_ids: list[str]) -> str | None:
@@ -64,6 +81,13 @@ def engine_report_to_dict(report: EngineReport) -> dict:
                 }
                 for f in report.failures
             ],
+            "resilience": {
+                "retry_rounds": report.retry_rounds,
+                "serial_fallback": report.serial_fallback,
+                "attempts": {
+                    exp_id: n for exp_id, n in sorted(report.attempts.items()) if n > 1
+                },
+            },
         },
         "suite": suite_report_to_dict(suite),
     }
@@ -103,7 +127,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 print(f"{tag} {result.experiment.summary_line()}")
         print(report.summary())
     checks_ok = all(exp.passed for exp in report.experiments)
-    return 0 if (not report.failures and checks_ok) else 1
+    if report.failures:
+        return max(FAILURE_EXIT_CODES.get(f.kind, 3) for f in report.failures)
+    return 0 if checks_ok else 1
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
@@ -136,6 +162,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             "by_experiment": stats.by_experiment,
             "live": stats.live,
             "stale": stats.stale,
+            "corrupt": stats.corrupt,
+            "quarantined": stats.quarantined,
         }
         print(json.dumps(payload, indent=1, sort_keys=True))
     else:
@@ -152,12 +180,16 @@ def _cmd_gc(args: argparse.Namespace) -> int:
     store = _store(args)
     removed = store.gc(suite_digests(), dry_run=args.dry_run)
     verb = "would remove" if args.dry_run else "removed"
+    q_verb = "would quarantine" if args.dry_run else "quarantined"
     for entry in removed:
-        print(f"{verb} {entry.path} ({fmt_bytes(entry.size_bytes)})")
+        action = q_verb if entry.corrupt else verb
+        print(f"{action} {entry.path} ({fmt_bytes(entry.size_bytes)})")
     total = fmt_bytes(sum(entry.size_bytes for entry in removed))
+    corrupt = sum(entry.corrupt for entry in removed)
+    tail = f", {corrupt} corrupt -> quarantine" if corrupt else ""
     print(
         f"gc: {verb} {len(removed)} entr{'y' if len(removed) == 1 else 'ies'}"
-        f" ({total})"
+        f" ({total}){tail}"
     )
     return 0
 

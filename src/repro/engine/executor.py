@@ -1,4 +1,4 @@
-"""Parallel experiment execution with crash isolation.
+"""Parallel experiment execution with crash isolation and retry.
 
 ``execute_jobs`` fans experiment builders out over a
 ``ProcessPoolExecutor`` (forked workers where the platform has them, so
@@ -9,16 +9,26 @@ isolation contract:
   :class:`JobFailure` (kind ``error``) carrying the traceback;
 * a worker process that **dies** (segfault, ``os._exit``, OOM-kill)
   surfaces as kind ``crash``;
-* a job that exceeds its **timeout** surfaces as kind ``timeout``;
+* a job that exceeds its **timeout** surfaces as kind ``timeout``,
+  naming the job and the measured elapsed time;
 * in every case the remaining jobs keep running and results come back
   in the order the ids were requested — never completion order.
 
 ``run_engine`` is the orchestrator the CLI and the suite runner call:
 plan against the store, execute only stale/missing experiments,
-persist what ran, and splice cache hits back in.  With ``verify=True``
-every result (executed or cached) is re-derived serially in-process
-and byte-compared against :func:`repro.engine.store.canonical_bytes` —
-the simulator is deterministic, and this asserts it.
+persist what ran, and splice cache hits back in.  Given a
+:class:`~repro.faults.retry.RetryPolicy` it re-runs transient failures
+in backoff-spaced rounds, degrading from the process pool to serial
+in-process execution when the pool keeps dying — the host-side
+analogue of NQS requeueing (Section 2.6.3).  A
+:class:`~repro.faults.inject.FaultInjector` threads seeded faults
+through both the submission path and the store writes; all injection
+decisions are made in the parent, so runs are reproducible.
+
+With ``verify=True`` every result (executed or cached) is re-derived
+serially in-process and byte-compared against
+:func:`repro.engine.store.canonical_bytes` — the simulator is
+deterministic, and this asserts it.
 """
 
 from __future__ import annotations
@@ -36,7 +46,9 @@ from dataclasses import dataclass, field
 from repro.engine.deps import ExperimentDigest
 from repro.engine.plan import HIT, ExecutionPlan, plan_suite
 from repro.engine.store import ResultStore, canonical_bytes
+from repro.perfmon.collector import record as perfmon_record
 from repro.perfmon.collector import span as perfmon_span
+from repro.perfmon.counters import declare_counters
 from repro.suite.results import Experiment
 
 __all__ = [
@@ -52,6 +64,8 @@ __all__ = [
 
 EXECUTED = "executed"
 CACHE = "cache"
+
+declare_counters("fault", ("retries", "backoff_s", "serial_fallbacks"))
 
 
 @dataclass(frozen=True)
@@ -90,17 +104,65 @@ class DeterminismError(AssertionError):
     """Serial, parallel, and cached bytes disagreed — should be impossible."""
 
 
-def _execute_job(exp_id: str) -> dict:
+def _apply_worker_fault(exp_id: str, fault: dict, start: float) -> dict | None:
+    """Act on an injected fault directive inside the worker.
+
+    Returns a failure payload, or None when the job should proceed
+    (``slow`` faults stall, then run normally).  A ``crash`` really
+    kills the process only when the directive says we are a pool
+    worker; in the parent (serial mode) it is simulated as data —
+    taking down the whole engine is not part of the model.
+    """
+    kind = fault["kind"]
+    if kind == "slow":
+        time.sleep(fault.get("delay_s", 0.0))
+        return None
+    if kind == "error":
+        message = "InjectedFault: builder error (fault injection)"
+        return {"ok": False, "exp_id": exp_id, "kind": "error",
+                "message": message, "traceback": message}
+    if kind == "crash":
+        if fault.get("in_worker"):
+            os._exit(70)
+        return {
+            "ok": False,
+            "exp_id": exp_id,
+            "kind": "crash",
+            "message": "worker died: injected crash (simulated in-process)",
+            "traceback": "",
+        }
+    if kind == "timeout":
+        time.sleep(fault.get("delay_s", 0.0))
+        elapsed = time.perf_counter() - start
+        return {
+            "ok": False,
+            "exp_id": exp_id,
+            "kind": "timeout",
+            "message": (
+                f"job {exp_id} exceeded its injected time limit "
+                f"after {elapsed:.2f} s"
+            ),
+            "traceback": "",
+        }
+    raise ValueError(f"unknown fault kind {kind!r}")
+
+
+def _execute_job(exp_id: str, fault: dict | None = None) -> dict:
     """Worker entry: build one experiment, serialized for the pipe.
 
     Returns a plain dict (picklable regardless of what the builder
     touched); builder exceptions are caught here so they come back as
-    data, not as a poisoned future.
+    data, not as a poisoned future.  ``fault`` is an injected-fault
+    directive decided by the parent (see :mod:`repro.faults.inject`).
     """
     from repro.suite.archive import experiment_to_dict
     from repro.suite.experiments import EXPERIMENTS
 
     start = time.perf_counter()
+    if fault is not None:
+        payload = _apply_worker_fault(exp_id, fault, start)
+        if payload is not None:
+            return payload
     try:
         experiment = EXPERIMENTS[exp_id]()
         return {
@@ -114,6 +176,7 @@ def _execute_job(exp_id: str) -> dict:
         return {
             "ok": False,
             "exp_id": exp_id,
+            "kind": "error",
             "message": f"{type(exc).__name__}: {exc}",
             "traceback": traceback.format_exc(),
         }
@@ -132,9 +195,9 @@ def _from_payload(payload: dict) -> JobResult | JobFailure:
         )
     return JobFailure(
         exp_id=payload["exp_id"],
-        kind="error",
+        kind=payload.get("kind", "error"),
         message=payload["message"],
-        traceback=payload["traceback"],
+        traceback=payload.get("traceback", ""),
     )
 
 
@@ -160,11 +223,22 @@ def _finish_span(span, outcome: JobResult | JobFailure, queue_s: float | None = 
         span.attrs["queue_s"] = queue_s
 
 
+def _poll_fault(injector, exp_id: str, in_worker: bool) -> dict | None:
+    """The parent-side injection decision for one job submission."""
+    if injector is None:
+        return None
+    from repro.faults.inject import fault_point
+
+    action = fault_point("executor_job", injector, exp_id)
+    return None if action is None else action.directive(in_worker)
+
+
 def execute_jobs(
     exp_ids: Iterable[str],
     jobs: int = 1,
     timeout_s: float | None = None,
     cache_status: dict[str, str] | None = None,
+    injector=None,
 ) -> list[JobResult | JobFailure]:
     """Run builders, ``jobs`` at a time; results in request order.
 
@@ -173,6 +247,9 @@ def execute_jobs(
     ``timeout_s`` is per job, measured while the engine waits on it.
     ``cache_status`` (exp_id -> plan status, e.g. ``miss``/``stale``)
     only annotates the perfmon spans; execution ignores it.
+    ``injector`` (a :class:`~repro.faults.inject.FaultInjector`)
+    threads planned faults into submissions; decisions happen here in
+    the parent, in request order, so runs replay identically.
 
     When a :mod:`repro.perfmon` profile is active, every job gets an
     ``engine:job:<exp_id>`` host span with cache/status/queue/execute
@@ -189,13 +266,14 @@ def execute_jobs(
         results: list[JobResult | JobFailure] = []
         for exp_id in ids:
             start = time.perf_counter()
+            fault = _poll_fault(injector, exp_id, in_worker=False)
             with perfmon_span(
                 f"engine:job:{exp_id}",
                 exp_id=exp_id,
                 source=EXECUTED,
                 cache=status_of.get(exp_id, "bypass"),
             ) as job_span:
-                outcome = _from_payload(_execute_job(exp_id))
+                outcome = _from_payload(_execute_job(exp_id, fault))
             _finish_span(job_span, outcome, queue_s=0.0)
             if isinstance(outcome, JobResult):
                 outcome = dataclasses.replace(
@@ -210,7 +288,17 @@ def execute_jobs(
     )
     try:
         submitted = time.perf_counter()
-        futures = [(exp_id, pool.submit(_execute_job, exp_id)) for exp_id in ids]
+        futures = [
+            (
+                exp_id,
+                pool.submit(
+                    _execute_job,
+                    exp_id,
+                    _poll_fault(injector, exp_id, in_worker=True),
+                ),
+            )
+            for exp_id in ids
+        ]
         for exp_id, future in futures:
             with perfmon_span(
                 f"engine:job:{exp_id}",
@@ -222,10 +310,14 @@ def execute_jobs(
                     outcome = _from_payload(future.result(timeout=timeout_s))
                 except FutureTimeoutError:
                     future.cancel()
+                    elapsed = time.perf_counter() - submitted
                     outcome = JobFailure(
                         exp_id=exp_id,
                         kind="timeout",
-                        message=f"exceeded {timeout_s:g} s",
+                        message=(
+                            f"job {exp_id} exceeded the {timeout_s:g} s limit "
+                            f"after {elapsed:.2f} s"
+                        ),
                     )
                 except Exception as exc:  # worker died: BrokenProcessPool etc.
                     outcome = JobFailure(
@@ -254,6 +346,10 @@ class EngineReport:
     results: list[JobResult | JobFailure] = field(default_factory=list)
     jobs: int = 1
     wall_s: float = 0.0
+    #: executions per exp_id (only ids that ran; 1 = first try sufficed).
+    attempts: dict[str, int] = field(default_factory=dict)
+    retry_rounds: int = 0
+    serial_fallback: bool = False
 
     @property
     def successes(self) -> list[JobResult]:
@@ -275,6 +371,10 @@ class EngineReport:
     def experiments(self) -> list[Experiment]:
         return [r.experiment for r in self.successes]
 
+    @property
+    def retried(self) -> list[str]:
+        return [exp_id for exp_id, n in self.attempts.items() if n > 1]
+
     def cache_counts(self) -> dict[str, int]:
         return {
             "hits": len(self.cache_hits),
@@ -286,10 +386,16 @@ class EngineReport:
     def summary(self) -> str:
         c = self.cache_counts()
         plan = self.plan.counts()
+        retries = (
+            f", {len(self.retried)} retried"
+            f"{' (serial fallback)' if self.serial_fallback else ''}"
+            if self.retried
+            else ""
+        )
         return (
             f"engine: {c['total']} experiments — {c['hits']} cache hits, "
             f"{c['executed']} executed ({plan['stale']} stale, "
-            f"{plan['miss']} new), {c['failed']} failed "
+            f"{plan['miss']} new), {c['failed']} failed{retries} "
             f"[jobs={self.jobs}, {self.wall_s:.2f}s]"
         )
 
@@ -317,9 +423,21 @@ def run_engine(
     store: ResultStore | None = None,
     timeout_s: float | None = None,
     verify: bool = False,
+    retry=None,
+    injector=None,
 ) -> EngineReport:
-    """Plan, execute what's stale, persist, splice cache hits back in."""
+    """Plan, execute what's stale, persist, splice cache hits back in.
+
+    ``retry`` (a :class:`~repro.faults.retry.RetryPolicy`) re-runs
+    transient failures in backoff-spaced rounds until they succeed or
+    the attempt budget runs out; repeated crash rounds degrade the
+    pool to serial execution.  ``injector`` threads a seeded fault
+    plan through submissions and store writes; with neither set the
+    behavior is exactly the pre-resilience engine.
+    """
     store = store if store is not None else ResultStore()
+    if injector is not None:
+        store.fault_injector = injector
     start = time.perf_counter()
     plan = plan_suite(store, exp_ids)
     digests: dict[str, ExperimentDigest] = {
@@ -353,18 +471,63 @@ def run_engine(
         else:
             run_ids.append(entry.exp_id)
 
-    for outcome in execute_jobs(
-        run_ids, jobs=jobs, timeout_s=timeout_s, cache_status=cache_status
-    ):
-        by_id[outcome.exp_id] = outcome
-        if use_cache and isinstance(outcome, JobResult):
-            store.put(digests[outcome.exp_id], outcome.experiment, outcome.elapsed_s)
+    attempts: dict[str, int] = {exp_id: 0 for exp_id in run_ids}
+
+    def run_round(ids: list[str], round_jobs: int) -> list[JobResult | JobFailure]:
+        outcomes = execute_jobs(
+            ids, jobs=round_jobs, timeout_s=timeout_s,
+            cache_status=cache_status, injector=injector,
+        )
+        for outcome in outcomes:
+            attempts[outcome.exp_id] += 1
+            by_id[outcome.exp_id] = outcome
+            if use_cache and isinstance(outcome, JobResult):
+                store.put(
+                    digests[outcome.exp_id], outcome.experiment, outcome.elapsed_s
+                )
+        return outcomes
+
+    def round_crashed(outcomes: list[JobResult | JobFailure]) -> bool:
+        return any(isinstance(o, JobFailure) and o.kind == "crash" for o in outcomes)
+
+    outcomes = run_round(run_ids, jobs)
+    retry_rounds = 0
+    serial_fallback = False
+    if retry is not None and run_ids:
+        current_jobs = jobs
+        crash_streak = 1 if round_crashed(outcomes) else 0
+        while True:
+            pending = [
+                exp_id
+                for exp_id in run_ids
+                if isinstance(by_id[exp_id], JobFailure)
+                and retry.is_transient(by_id[exp_id].kind)
+                and attempts[exp_id] < retry.max_attempts
+            ]
+            if not pending:
+                break
+            if current_jobs > 1 and crash_streak >= retry.crash_rounds_before_serial:
+                current_jobs = 1
+                serial_fallback = True
+                perfmon_record("fault", {"serial_fallbacks": 1.0})
+            delay = max(retry.delay_s(exp_id, attempts[exp_id]) for exp_id in pending)
+            if delay > 0:
+                retry.sleep(delay)
+            perfmon_record(
+                "fault", {"retries": float(len(pending)), "backoff_s": delay}
+            )
+            retry_rounds += 1
+            outcomes = run_round(pending, current_jobs)
+            crash_streak = crash_streak + 1 if round_crashed(outcomes) else 0
 
     report = EngineReport(
         plan=plan,
         results=[by_id[e.exp_id] for e in plan.entries],
         jobs=jobs,
         wall_s=time.perf_counter() - start,
+        attempts=dict(attempts),
+        retry_rounds=retry_rounds,
+        serial_fallback=serial_fallback,
     )
     if verify:
         _verify_results(report)

@@ -1,0 +1,113 @@
+"""Command-line interface for the fault-injection subsystem.
+
+Usage::
+
+    python -m repro.faults chaos --seed N [--quick] [--jobs N]
+                                 [--ids id ...] [--workdir PATH]
+                                 [--plan-out PATH] [--report-out PATH]
+                                 [--json]
+    python -m repro.faults plan  --seed N [--ids id ...]
+
+``chaos`` runs the full harness (see :mod:`repro.faults.chaos`) and
+exits 0 only when every invariant held; ``plan`` just samples and
+prints the fault plan a seed expands to.  Reports and plans are
+deterministic functions of the seed, so CI can diff two runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.engine.cli import validate_experiment_ids
+from repro.faults.chaos import run_chaos
+from repro.faults.plan import FaultPlan
+from repro.suite.experiments import EXPERIMENTS
+
+__all__ = ["main"]
+
+
+def _chaos_ids(args: argparse.Namespace) -> tuple[str, ...] | None:
+    return tuple(args.ids) if args.ids else None
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    report = run_chaos(
+        seed=args.seed,
+        quick=args.quick,
+        jobs=args.jobs,
+        workdir=args.workdir,
+        exp_ids=_chaos_ids(args),
+    )
+    if args.plan_out:
+        report.plan.save(args.plan_out)
+    payload = report.to_dict()
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(payload, indent=1, sort_keys=True))
+    else:
+        print(report.plan.summary())
+        for check in report.checks:
+            mark = "ok  " if check.passed else "FAIL"
+            print(f"{mark} {check.name:<40} {check.detail}")
+        print(report.summary())
+    return 0 if report.passed else 1
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    ids = _chaos_ids(args) or tuple(EXPERIMENTS)
+    plan = FaultPlan.sample(args.seed, ids)
+    if args.json:
+        print(json.dumps(plan.to_dict(), indent=1, sort_keys=True))
+    else:
+        for action in plan.actions:
+            delay = f" delay={action.delay_s:g}s" if action.delay_s else ""
+            print(f"{action.site:<14} {action.exp_id:<10} "
+                  f"{action.kind:<8} attempt={action.attempt}{delay}")
+        print(plan.summary())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="Seeded fault injection and the chaos harness.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_chaos = sub.add_parser("chaos", help="run the suite under a fault plan")
+    p_chaos.add_argument("--seed", type=int, required=True,
+                         help="fault-plan seed (same seed, same report)")
+    p_chaos.add_argument("--quick", action="store_true",
+                         help="small experiment subset and sweeps (CI smoke)")
+    p_chaos.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="engine worker processes (default 1: the "
+                              "deterministic-report mode)")
+    p_chaos.add_argument("--ids", nargs="*", metavar="exp_id", default=None,
+                         help="explicit experiment subset")
+    p_chaos.add_argument("--workdir", default=None, metavar="PATH",
+                         help="where throwaway result stores live "
+                              "(default: a temp dir, removed afterwards)")
+    p_chaos.add_argument("--plan-out", default=None, metavar="PATH",
+                         help="write the sampled fault plan JSON here")
+    p_chaos.add_argument("--report-out", default=None, metavar="PATH",
+                         help="write the chaos report JSON here")
+    p_chaos.add_argument("--json", action="store_true",
+                         help="print the report as JSON")
+
+    p_plan = sub.add_parser("plan", help="sample and print a fault plan")
+    p_plan.add_argument("--seed", type=int, required=True)
+    p_plan.add_argument("--ids", nargs="*", metavar="exp_id", default=None)
+    p_plan.add_argument("--json", action="store_true")
+
+    args = parser.parse_args(argv)
+    error = validate_experiment_ids(list(args.ids or []))
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    handlers = {"chaos": _cmd_chaos, "plan": _cmd_plan}
+    return handlers[args.command](args)

@@ -1,0 +1,206 @@
+"""Fault-injection vocabulary and the hook the host layers call.
+
+The paper's resilience story (Section 2.6) is an *operating system*
+story: SUPER-UX checkpoints, NQS requeues, and the machine keeps
+running with resources configured out.  This module is the host-side
+analogue — a small, seeded vocabulary of things that can go wrong
+(:data:`FAULT_KINDS`) at named places (:data:`FAULT_SITES`), and the
+:func:`fault_point` hook through which ``engine.executor`` and
+``engine.store`` ask "does anything go wrong here, now?".
+
+Determinism contract: a :class:`FaultInjector` makes its decisions
+purely from the actions it was constructed with and the order of
+``fault_point`` calls — no clock, no ambient randomness.  Run the same
+plan against the same job order twice and the same faults fire at the
+same attempts.
+
+Every site name doubles as a ``fault.*`` perfmon counter (declared
+below), so profiles show *where* faults were injected; the REPO008
+lint rule holds call sites to this registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.perfmon.collector import record as perfmon_record
+from repro.perfmon.counters import declare_counters
+
+__all__ = [
+    "FAULT_SITES",
+    "FAULT_KINDS",
+    "FAILING_KINDS",
+    "FaultAction",
+    "FaultInjector",
+    "fault_point",
+    "corrupt_file",
+]
+
+#: Hook sites in the host layers.  Adding a site here both registers
+#: its ``fault.<site>`` counter and satisfies REPO008 for callers.
+FAULT_SITES = ("executor_job", "store_entry")
+
+#: ``error``/``crash``/``timeout`` fail a job attempt (transient, the
+#: retry policy's domain); ``slow`` delays an attempt without failing
+#: it; ``corrupt`` damages a store entry after it is written.
+FAULT_KINDS = ("error", "crash", "timeout", "slow", "corrupt")
+
+#: Kinds that make a job attempt fail (as opposed to degrade).
+FAILING_KINDS = ("error", "crash", "timeout")
+
+declare_counters(
+    "fault",
+    FAULT_SITES
+    + (
+        "injected",
+        "retries",
+        "backoff_s",
+        "serial_fallbacks",
+        "quarantined",
+        "requeues",
+    ),
+)
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One planned fault: what goes wrong, where, for whom, and when.
+
+    ``attempt`` counts job submissions for ``exp_id`` at the site
+    (0 = first try); store-entry actions ignore it.  ``delay_s`` is how
+    long a ``slow`` or ``timeout`` fault stalls the worker.
+    """
+
+    site: str
+    exp_id: str
+    kind: str
+    attempt: int = 0
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise ValueError(f"unknown fault site {self.site!r}; know {FAULT_SITES}")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; know {FAULT_KINDS}")
+        if self.site == "store_entry" and self.kind != "corrupt":
+            raise ValueError("store_entry faults must be kind 'corrupt'")
+        if self.site == "executor_job" and self.kind == "corrupt":
+            raise ValueError("corrupt faults apply to store entries, not jobs")
+        if self.attempt < 0 or self.delay_s < 0:
+            raise ValueError("attempt and delay_s must be non-negative")
+
+    def directive(self, in_worker: bool) -> dict:
+        """The picklable form shipped to a worker process.
+
+        ``in_worker`` tells a ``crash`` whether it may really kill the
+        process (pool mode) or must simulate (serial, in the parent).
+        """
+        return {
+            "kind": self.kind,
+            "delay_s": self.delay_s,
+            "in_worker": in_worker,
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "site": self.site,
+            "exp_id": self.exp_id,
+            "kind": self.kind,
+            "attempt": self.attempt,
+            "delay_s": self.delay_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> FaultAction:
+        return cls(
+            site=payload["site"],
+            exp_id=payload["exp_id"],
+            kind=payload["kind"],
+            attempt=int(payload.get("attempt", 0)),
+            delay_s=float(payload.get("delay_s", 0.0)),
+        )
+
+
+@dataclass
+class FaultInjector:
+    """Matches planned actions against hook calls, in the parent process.
+
+    Decisions are made *here*, at submit time, never in workers — the
+    directive a worker receives is data, so the same plan produces the
+    same faults no matter how the pool schedules processes.  Each
+    action fires at most once; :attr:`applied` records what fired, in
+    firing order.
+    """
+
+    actions: tuple[FaultAction, ...] = ()
+    applied: list[FaultAction] = field(default_factory=list)
+    _pending: list[FaultAction] = field(default_factory=list)
+    _submissions: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.actions = tuple(self.actions)
+        self._pending = list(self.actions)
+
+    def poll(self, site: str, exp_id: str) -> FaultAction | None:
+        """The first unfired action matching this hook call, if any."""
+        if site == "executor_job":
+            attempt = self._submissions.get(exp_id, 0)
+            self._submissions[exp_id] = attempt + 1
+        else:
+            attempt = None
+        for action in self._pending:
+            if action.site != site or action.exp_id != exp_id:
+                continue
+            if attempt is not None and action.attempt != attempt:
+                continue
+            self._pending.remove(action)
+            self.applied.append(action)
+            return action
+        return None
+
+    def applied_counts(self) -> dict[str, int]:
+        """Fired actions per site, for reports."""
+        counts: dict[str, int] = {}
+        for action in self.applied:
+            counts[action.site] = counts.get(action.site, 0) + 1
+        return counts
+
+    def unapplied(self) -> list[FaultAction]:
+        """Planned actions that never matched a hook call."""
+        return list(self._pending)
+
+
+def fault_point(
+    site: str, injector: FaultInjector | None, exp_id: str
+) -> FaultAction | None:
+    """The hook host layers call at each injectable site.
+
+    With no injector this is free and returns None — production paths
+    pay one ``is None`` check.  When an action fires, the ``fault``
+    perfmon component records one tick for the site and one for
+    ``injected`` (profiles stay honest under failure; REPO008 keeps
+    the site names registered).
+    """
+    if site not in FAULT_SITES:
+        raise ValueError(f"unknown fault site {site!r}; know {FAULT_SITES}")
+    if injector is None:
+        return None
+    action = injector.poll(site, exp_id)
+    if action is not None:
+        perfmon_record("fault", {site: 1.0, "injected": 1.0})
+    return action
+
+
+def corrupt_file(path) -> None:
+    """Damage a file in place the way a torn write would.
+
+    The leading bytes are stomped while the length is preserved, so
+    the file still exists and still looks the right size — only a
+    reader that actually parses or integrity-checks the content can
+    reject it.  (Stomping the start rather than the middle keeps the
+    damage unconditionally detectable: a mid-file stamp can land
+    inside a JSON string value and leave the document parseable.)
+    """
+    data = path.read_bytes()
+    stamp = b"#CORRUPTED-BY-FAULT-INJECTION#"
+    path.write_bytes(stamp + data[len(stamp):])

@@ -1,0 +1,148 @@
+"""Seeded fault plans: sample once, replay anywhere.
+
+A :class:`FaultPlan` is the unit the chaos harness, the suite runner
+(``--fault-plan``) and CI exchange: a seed plus the concrete
+:class:`~repro.faults.inject.FaultAction` list it expanded to.  The
+expansion happens exactly once, in :meth:`FaultPlan.sample`; everything
+downstream replays the action list, so a plan file is a complete,
+portable description of a chaos scenario.
+
+Sampling is plain ``random.Random(seed)`` over the sorted experiment
+ids — same seed, same ids, same plan, on any platform.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.faults.inject import FAILING_KINDS, FaultAction, FaultInjector
+
+__all__ = ["PLAN_SCHEMA", "FaultPlan", "sample_plan"]
+
+PLAN_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed and the deterministic action list it expanded to."""
+
+    seed: int
+    actions: tuple[FaultAction, ...]
+
+    def injector(self) -> FaultInjector:
+        """A fresh injector replaying this plan from the top."""
+        return FaultInjector(actions=self.actions)
+
+    def counts(self) -> dict[str, int]:
+        """Actions per kind — the plan's shape at a glance."""
+        counts: dict[str, int] = {}
+        for action in self.actions:
+            counts[action.kind] = counts.get(action.kind, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        by_kind = ", ".join(f"{n} {kind}" for kind, n in sorted(self.counts().items()))
+        return (
+            f"fault plan (seed {self.seed}): {len(self.actions)} actions"
+            + (f" — {by_kind}" if by_kind else " — clean run")
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": PLAN_SCHEMA,
+            "seed": self.seed,
+            "actions": [action.to_dict() for action in self.actions],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> FaultPlan:
+        if payload.get("schema") != PLAN_SCHEMA:
+            raise ValueError(
+                f"unsupported fault-plan schema {payload.get('schema')!r}"
+            )
+        return cls(
+            seed=int(payload["seed"]),
+            actions=tuple(
+                FaultAction.from_dict(entry) for entry in payload["actions"]
+            ),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> FaultPlan:
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+    @classmethod
+    def sample(
+        cls,
+        seed: int,
+        exp_ids: Iterable[str],
+        fault_rate: float = 0.6,
+        max_failures: int = 2,
+        slow_rate: float = 0.25,
+        corrupt_rate: float = 0.35,
+        failure_delay_s: float = 0.02,
+        slow_delay_s: float = 0.02,
+    ) -> FaultPlan:
+        """Expand a seed into a concrete plan over the given experiments.
+
+        Per experiment (in sorted-id order, so the draw sequence is
+        reproducible): with probability ``fault_rate`` the first
+        1..``max_failures`` attempts each fail with a uniformly chosen
+        failing kind; independently, the first clean attempt may be
+        ``slow`` and the eventual store entry may be corrupted.  The
+        failure budget must leave room for one clean attempt within
+        any retry policy of ``max_failures + 1`` or more attempts.
+        """
+        if not 0.0 <= fault_rate <= 1.0:
+            raise ValueError(f"fault_rate must be in [0, 1], got {fault_rate}")
+        if max_failures < 1:
+            raise ValueError("max_failures must be >= 1")
+        rng = random.Random(seed)
+        actions: list[FaultAction] = []
+        for exp_id in sorted(set(exp_ids)):
+            failures = 0
+            if rng.random() < fault_rate:
+                failures = rng.randint(1, max_failures)
+                for attempt in range(failures):
+                    kind = rng.choice(FAILING_KINDS)
+                    actions.append(
+                        FaultAction(
+                            site="executor_job",
+                            exp_id=exp_id,
+                            kind=kind,
+                            attempt=attempt,
+                            delay_s=failure_delay_s if kind == "timeout" else 0.0,
+                        )
+                    )
+            if rng.random() < slow_rate:
+                actions.append(
+                    FaultAction(
+                        site="executor_job",
+                        exp_id=exp_id,
+                        kind="slow",
+                        attempt=failures,
+                        delay_s=slow_delay_s,
+                    )
+                )
+            if rng.random() < corrupt_rate:
+                actions.append(
+                    FaultAction(site="store_entry", exp_id=exp_id, kind="corrupt")
+                )
+        return cls(seed=seed, actions=tuple(actions))
+
+
+def sample_plan(seed: int, exp_ids: Sequence[str], **knobs) -> FaultPlan:
+    """Convenience alias for :meth:`FaultPlan.sample`."""
+    return FaultPlan.sample(seed, exp_ids, **knobs)

@@ -1,0 +1,94 @@
+"""Bounded retry with exponential backoff and deterministic jitter.
+
+The engine treats a transient :class:`~repro.engine.executor.JobFailure`
+the way NQS treats a node fault (Section 2.6.3): the job goes back in
+the queue, it does not take the campaign down.  A :class:`RetryPolicy`
+bounds how often (``max_attempts``), spaces the rounds out
+(exponential backoff capped at ``max_delay_s``), and de-synchronises
+retries with *deterministic* jitter — a hash of ``(exp_id, attempt)``,
+not entropy, so two runs of the same plan back off identically and the
+chaos harness can assert byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+__all__ = ["RetryPolicy", "chaos_retry_policy", "deterministic_jitter"]
+
+
+def deterministic_jitter(exp_id: str, attempt: int) -> float:
+    """A reproducible draw in [0, 1) from the (job, attempt) identity."""
+    digest = hashlib.sha256(f"{exp_id}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the engine re-runs transient failures.
+
+    ``transient_kinds`` selects which failure kinds are worth retrying
+    (defaults assume a plain ``error`` is deterministic — the builder
+    will raise again — while crashes and timeouts are environmental).
+    ``crash_rounds_before_serial`` is the graceful-degradation knob:
+    after that many consecutive rounds containing a crash, the engine
+    abandons the process pool and falls back to serial in-process
+    execution.  ``sleep`` exists so tests and the chaos harness can
+    run the backoff schedule without waiting it out.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.05
+    backoff_factor: float = 2.0
+    max_delay_s: float = 2.0
+    jitter_fraction: float = 0.25
+    transient_kinds: tuple[str, ...] = ("crash", "timeout")
+    crash_rounds_before_serial: int = 2
+    sleep: Callable[[float], None] = field(default=time.sleep, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1]")
+        if self.crash_rounds_before_serial < 1:
+            raise ValueError("crash_rounds_before_serial must be >= 1")
+
+    def is_transient(self, kind: str) -> bool:
+        return kind in self.transient_kinds
+
+    def delay_s(self, exp_id: str, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1 = first retry).
+
+        Exponential in the attempt, capped, then stretched by up to
+        ``jitter_fraction`` using the deterministic jitter draw.
+        """
+        if attempt < 1:
+            raise ValueError("delay_s is for retries; attempt must be >= 1")
+        base = min(
+            self.max_delay_s,
+            self.base_delay_s * self.backoff_factor ** (attempt - 1),
+        )
+        return base * (1.0 + self.jitter_fraction * deterministic_jitter(exp_id, attempt))
+
+
+def chaos_retry_policy() -> RetryPolicy:
+    """The policy chaos runs use: retry everything, back off fast.
+
+    Injected ``error`` faults are environmental (they fire once per
+    planned attempt), so unlike production, errors are transient here;
+    delays are compressed to keep CI wall time down.
+    """
+    return RetryPolicy(
+        max_attempts=4,
+        base_delay_s=0.01,
+        max_delay_s=0.1,
+        transient_kinds=("error", "crash", "timeout"),
+    )

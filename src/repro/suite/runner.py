@@ -6,6 +6,10 @@ the command-line face of the reproduction.  ``--json`` emits the same
 report machine-readably (for CI); ``--engine`` routes execution through
 :mod:`repro.engine` — parallel fan-out (``--jobs N``) and the
 content-addressed result cache (disable with ``--no-cache``).
+``--fault-plan PATH`` replays a saved :mod:`repro.faults` plan against
+the run (implying ``--engine``): the planned faults fire at the
+engine's hook sites and the retry policy absorbs them — the command
+should still exit 0 with byte-identical outputs.
 
 ``--perfmon`` activates the observability subsystem for the run: the
 machine components populate their emulated SX hardware counters, every
@@ -154,8 +158,21 @@ def _run_through_engine(args: argparse.Namespace) -> tuple[SuiteReport, int]:
     """Execute via repro.engine; returns (report, n_failed_jobs)."""
     from repro.engine import run_engine
 
+    retry = injector = None
+    if args.fault_plan:
+        from repro.faults.plan import FaultPlan
+        from repro.faults.retry import chaos_retry_policy
+
+        plan = FaultPlan.load(args.fault_plan)
+        injector = plan.injector()
+        retry = chaos_retry_policy()
+        print(plan.summary(), file=sys.stderr)
     engine_report = run_engine(
-        args.ids or None, jobs=args.jobs, use_cache=not args.no_cache
+        args.ids or None,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        retry=retry,
+        injector=injector,
     )
     report = SuiteReport(
         experiments=engine_report.experiments,
@@ -188,6 +205,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="worker processes when --engine is given")
     parser.add_argument("--no-cache", action="store_true",
                         help="with --engine: bypass the result store")
+    parser.add_argument("--fault-plan", metavar="PATH", default=None,
+                        help="run under the saved fault plan (JSON from "
+                             "'python -m repro.faults plan'); implies "
+                             "--engine and enables retry with backoff")
     parser.add_argument("--perfmon", action="store_true",
                         help="profile the run: emulated hardware counters, "
                              "spans, and per-kernel PROGINF sections")
@@ -202,6 +223,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv if argv is not None else sys.argv[1:])
     if args.perfmon_out:
         args.perfmon = True
+    if args.fault_plan:
+        args.engine = True
     if args.costing is not None:
         set_default_engine(args.costing)
 

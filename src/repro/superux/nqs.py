@@ -15,12 +15,18 @@ discrete-event engine, produce accounting records, and expose ``qcat``
 
 from __future__ import annotations
 
+import math
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.events import Acquire, Release, Resource, Simulator
+from repro.perfmon.collector import record as perfmon_record
 from repro.perfmon.collector import sim_tracer
+from repro.perfmon.counters import declare_counters
 
 __all__ = ["BatchJob", "NQSQueue", "QueueComplex", "AccountingRecord"]
+
+declare_counters("fault", ("requeues",))
 
 
 @dataclass
@@ -34,14 +40,23 @@ class BatchJob:
     #: (fraction_of_duration, line) pairs: output appears as time passes.
     output_script: tuple[tuple[float, str], ...] = ()
     submit_time: float = 0.0
+    #: Section 2.6.2's checkpointing, applied to batch work: with an
+    #: interval set, a node fault only loses progress since the last
+    #: checkpoint; without one, the requeued job restarts from scratch.
+    checkpoint_interval_s: float | None = None
     start_time: float | None = None
     finish_time: float | None = None
+    requeues: int = 0
 
     def __post_init__(self) -> None:
         if self.cpus < 1:
             raise ValueError(f"job {self.name!r} needs at least one CPU")
         if self.memory_gb < 0 or self.duration_s <= 0:
             raise ValueError(f"job {self.name!r} has invalid resources")
+        if self.checkpoint_interval_s is not None and self.checkpoint_interval_s <= 0:
+            raise ValueError(
+                f"job {self.name!r}: checkpoint interval must be positive"
+            )
         for frac, _ in self.output_script:
             if not 0.0 <= frac <= 1.0:
                 raise ValueError("output fractions must be in [0, 1]")
@@ -78,6 +93,7 @@ class AccountingRecord:
     queued_s: float
     ran_s: float
     cpu_seconds: float
+    requeues: int = 0
 
 
 @dataclass
@@ -141,15 +157,33 @@ class QueueComplex:
             )
         self.submitted.append((job, q))
 
-    def run(self) -> float:
+    def run(
+        self,
+        node_faults: Sequence[float] = (),
+        fault_downtime_s: float = 0.0,
+    ) -> float:
         """Schedule all submitted jobs to completion; returns makespan.
 
         Jobs start in priority order (high first), FIFO within a
         priority, each holding its CPUs for its duration; per-queue run
         limits are enforced with counted resources.
+
+        ``node_faults`` are simulated-time instants at which the node
+        drops its running work (Section 2.6.3: NQS requeues, it does
+        not lose jobs).  Every job executing across a fault instant is
+        interrupted, keeps only the progress its checkpoint interval
+        protects (all of it is lost without one), waits out
+        ``fault_downtime_s``, and goes back through admission.  Fault
+        times come from the caller — this module stays free of
+        randomness (the simulator determinism invariant).
         """
         if not self.submitted:
             raise ValueError("nothing submitted")
+        if any(f < 0 for f in node_faults):
+            raise ValueError("fault times must be non-negative")
+        if fault_downtime_s < 0:
+            raise ValueError("fault downtime must be non-negative")
+        faults = tuple(sorted(node_faults))
         sim = Simulator(tracer=sim_tracer(prefix="nqs"))
         cpus = Resource(self.node_cpus, "cpus")
         slots = {q.name: Resource(q.run_limit, f"runlimit:{q.name}") for q in self.queues}
@@ -158,13 +192,44 @@ class QueueComplex:
         )
 
         def job_proc(job: BatchJob, q: NQSQueue):
-            yield Acquire(slots[q.name])
-            yield Acquire(cpus, job.cpus)
-            job.start_time = sim.now
-            yield job.duration_s
-            job.finish_time = sim.now
-            yield Release(cpus, job.cpus)
-            yield Release(slots[q.name])
+            remaining = job.duration_s
+            occupied_s = 0.0
+            while True:
+                yield Acquire(slots[q.name])
+                yield Acquire(cpus, job.cpus)
+                if job.start_time is None:
+                    job.start_time = sim.now
+                segment_start = sim.now
+                fault = next(
+                    (f for f in faults
+                     if segment_start < f < segment_start + remaining),
+                    None,
+                )
+                if fault is None:
+                    yield remaining
+                    occupied_s += remaining
+                    job.finish_time = sim.now
+                    yield Release(cpus, job.cpus)
+                    yield Release(slots[q.name])
+                    break
+                # The node drops at `fault`: run up to it, keep only the
+                # checkpointed prefix of this segment, and requeue.
+                ran = fault - segment_start
+                yield ran
+                occupied_s += ran
+                kept = 0.0
+                if job.checkpoint_interval_s is not None:
+                    kept = (
+                        math.floor(ran / job.checkpoint_interval_s)
+                        * job.checkpoint_interval_s
+                    )
+                remaining -= kept
+                job.requeues += 1
+                perfmon_record("fault", {"requeues": 1.0})
+                yield Release(cpus, job.cpus)
+                yield Release(slots[q.name])
+                if fault_downtime_s > 0:
+                    yield fault_downtime_s
             self.accounting.append(
                 AccountingRecord(
                     job=job.name,
@@ -172,7 +237,8 @@ class QueueComplex:
                     cpus=job.cpus,
                     queued_s=job.start_time - job.submit_time,
                     ran_s=job.finish_time - job.start_time,
-                    cpu_seconds=job.cpus * (job.finish_time - job.start_time),
+                    cpu_seconds=job.cpus * occupied_s,
+                    requeues=job.requeues,
                 )
             )
             return job.name

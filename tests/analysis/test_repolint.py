@@ -364,6 +364,63 @@ class TestBatchSiblingContract:
         assert "REPO007" not in rule_ids(lint_file(path, tmp_path))
 
 
+class TestFaultSiteRegistry:
+    """REPO008: fault_point call sites name a registered site, literally."""
+
+    def test_registered_literal_site_is_clean(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/engine/hooks.py",
+            'action = fault_point("executor_job", injector, exp_id)\n',
+        )
+        assert lint_file(path, tmp_path) == []
+
+    def test_unregistered_site_is_flagged(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/engine/hooks.py",
+            'action = fault_point("warp_core", injector, exp_id)\n',
+        )
+        found = lint_file(path, tmp_path)
+        assert rule_ids(found) == ["REPO008"]
+        assert "warp_core" in found[0].message
+        assert "FAULT_SITES" in found[0].message
+
+    def test_non_literal_site_is_flagged(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/engine/hooks.py",
+            "action = fault_point(site_variable, injector, exp_id)\n",
+        )
+        found = lint_file(path, tmp_path)
+        assert rule_ids(found) == ["REPO008"]
+        assert "string literal" in found[0].message
+
+    def test_site_keyword_form_is_checked_too(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/engine/hooks.py",
+            'action = fault_point(site="warp_core", injector=i, exp_id=e)\n',
+        )
+        assert rule_ids(lint_file(path, tmp_path)) == ["REPO008"]
+
+    def test_attribute_call_form_counts(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/engine/hooks.py",
+            'action = inject.fault_point("warp_core", injector, exp_id)\n',
+        )
+        assert rule_ids(lint_file(path, tmp_path)) == ["REPO008"]
+
+    def test_tests_are_out_of_scope(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "tests/test_hooks.py",
+            'action = fault_point("warp_core", injector, exp_id)\n',
+        )
+        assert lint_file(path, tmp_path) == []
+
+
 def test_syntax_error_is_repo000(tmp_path):
     path = write_module(tmp_path, "src/repro/suite/broken.py", "def oops(:\n")
     found = lint_file(path, tmp_path)

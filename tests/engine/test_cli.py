@@ -1,13 +1,21 @@
 """Tests for ``python -m repro.engine`` (run / plan / stats / gc)."""
 
 import json
+import multiprocessing
+import os
+import time
 
 import pytest
 
-from repro.engine.cli import main
+from repro.engine.cli import FAILURE_EXIT_CODES, main
 from repro.suite.experiments import EXPERIMENTS
 
 FAST = ["table1", "table2", "table3"]
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="pool tests inject builders via fork inheritance",
+)
 
 
 def _run(capsys, *argv):
@@ -52,14 +60,53 @@ class TestRun:
         for exp_id in EXPERIMENTS:
             assert exp_id in err
 
-    def test_failure_exits_nonzero(self, tmp_path, capsys, monkeypatch):
+    def test_failure_exits_with_error_code(self, tmp_path, capsys, monkeypatch):
         def broken():
             raise RuntimeError("nope")
 
         monkeypatch.setitem(EXPERIMENTS, "boom", broken)
         code, out, _ = _run(capsys, "run", "boom", "--cache-dir", str(tmp_path))
-        assert code == 1
+        assert code == 3  # builder errors are exit 3; see FAILURE_EXIT_CODES
         assert "[error]" in out
+
+    @needs_fork
+    def test_crash_exits_4(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "dies", lambda: os._exit(13))
+        code, out, _ = _run(capsys, "run", "dies", "--jobs", "2",
+                            "--cache-dir", str(tmp_path))
+        assert code == FAILURE_EXIT_CODES["crash"] == 4
+        assert "[crash]" in out
+
+    @needs_fork
+    def test_timeout_exits_5_and_names_the_job(self, tmp_path, capsys,
+                                               monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "sleepy", lambda: time.sleep(1.5))
+        code, out, _ = _run(capsys, "run", "sleepy", "--jobs", "2",
+                            "--timeout", "0.2", "--cache-dir", str(tmp_path))
+        assert code == FAILURE_EXIT_CODES["timeout"] == 5
+        assert "[timeout]" in out
+        assert "job sleepy exceeded the 0.2 s limit after" in out
+
+    @needs_fork
+    def test_mixed_failures_take_the_highest_code(self, tmp_path, capsys,
+                                                  monkeypatch):
+        def broken():
+            raise RuntimeError("nope")
+
+        monkeypatch.setitem(EXPERIMENTS, "boom", broken)
+        monkeypatch.setitem(EXPERIMENTS, "dies", lambda: os._exit(13))
+        code, _, _ = _run(capsys, "run", "boom", "dies", "--jobs", "2",
+                          "--cache-dir", str(tmp_path))
+        assert code == 4  # crash (4) outranks error (3)
+
+    def test_json_report_carries_resilience_block(self, tmp_path, capsys):
+        code, out, _ = _run(capsys, "run", "table1", "--cache-dir",
+                            str(tmp_path), "--json")
+        assert code == 0
+        resilience = json.loads(out)["engine"]["resilience"]
+        assert resilience == {
+            "retry_rounds": 0, "serial_fallback": False, "attempts": {},
+        }
 
 
 class TestPlan:

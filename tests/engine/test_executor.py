@@ -147,3 +147,152 @@ class TestRunEngine:
         }
         assert "2 cache hits" in report.summary()
         assert "1 executed" in report.summary()
+
+
+def _injector(*actions):
+    from repro.faults.inject import FaultAction, FaultInjector
+
+    return FaultInjector(actions=tuple(FaultAction(**a) for a in actions))
+
+
+def _fast_retry(**overrides):
+    from repro.faults.retry import RetryPolicy
+
+    defaults = dict(
+        max_attempts=4,
+        base_delay_s=0.001,
+        max_delay_s=0.01,
+        transient_kinds=("error", "crash", "timeout"),
+        sleep=lambda _: None,
+    )
+    defaults.update(overrides)
+    return RetryPolicy(**defaults)
+
+
+class TestFaultInjection:
+    """Injected faults surface as structured failures; retry absorbs them."""
+
+    def test_injected_error_fails_the_first_attempt_only(self):
+        injector = _injector(
+            dict(site="executor_job", exp_id="table2", kind="error", attempt=0)
+        )
+        first = execute_jobs(["table2"], jobs=1, injector=injector)
+        assert isinstance(first[0], JobFailure) and first[0].kind == "error"
+        second = execute_jobs(["table2"], jobs=1, injector=injector)
+        assert isinstance(second[0], JobResult)
+
+    def test_injected_timeout_names_the_job_and_elapsed_time(self):
+        injector = _injector(
+            dict(site="executor_job", exp_id="table2", kind="timeout",
+                 attempt=0, delay_s=0.01)
+        )
+        results = execute_jobs(["table2"], jobs=1, injector=injector)
+        failure = results[0]
+        assert isinstance(failure, JobFailure) and failure.kind == "timeout"
+        assert "table2" in failure.message
+        assert " s" in failure.message  # carries the measured elapsed time
+
+    def test_injected_crash_is_simulated_in_serial_mode(self):
+        injector = _injector(
+            dict(site="executor_job", exp_id="table2", kind="crash", attempt=0)
+        )
+        results = execute_jobs(["table2"], jobs=1, injector=injector)
+        assert isinstance(results[0], JobFailure)
+        assert results[0].kind == "crash"  # the engine survived to report it
+
+    def test_injected_slow_fault_still_succeeds(self):
+        injector = _injector(
+            dict(site="executor_job", exp_id="table2", kind="slow",
+                 attempt=0, delay_s=0.001)
+        )
+        results = execute_jobs(["table2"], jobs=1, injector=injector)
+        assert isinstance(results[0], JobResult)
+
+    @needs_fork
+    def test_injected_crash_really_kills_a_pool_worker(self):
+        injector = _injector(
+            dict(site="executor_job", exp_id="table2", kind="crash", attempt=0)
+        )
+        results = execute_jobs(["table2"], jobs=2, injector=injector)
+        assert isinstance(results[0], JobFailure)
+        assert results[0].kind == "crash"
+
+
+class TestRetry:
+    def test_transient_failures_are_retried_to_success(self, tmp_path):
+        injector = _injector(
+            dict(site="executor_job", exp_id="table2", kind="error", attempt=0),
+            dict(site="executor_job", exp_id="table2", kind="crash", attempt=1),
+        )
+        report = run_engine(
+            ["table1", "table2"], store=ResultStore(tmp_path),
+            retry=_fast_retry(), injector=injector,
+        )
+        assert not report.failures
+        assert report.attempts == {"table1": 1, "table2": 3}
+        assert report.retried == ["table2"]
+        assert report.retry_rounds == 2
+        assert "1 retried" in report.summary()
+
+    def test_attempt_budget_is_bounded(self, tmp_path):
+        injector = _injector(*[
+            dict(site="executor_job", exp_id="table2", kind="error", attempt=n)
+            for n in range(6)
+        ])
+        report = run_engine(
+            ["table2"], store=ResultStore(tmp_path),
+            retry=_fast_retry(max_attempts=3), injector=injector,
+        )
+        assert len(report.failures) == 1
+        assert report.attempts == {"table2": 3}
+
+    def test_non_transient_kinds_are_not_retried(self, tmp_path):
+        injector = _injector(
+            dict(site="executor_job", exp_id="table2", kind="error", attempt=0)
+        )
+        report = run_engine(
+            ["table2"], store=ResultStore(tmp_path),
+            retry=_fast_retry(transient_kinds=("crash", "timeout")),
+            injector=injector,
+        )
+        assert len(report.failures) == 1
+        assert report.attempts == {"table2": 1}
+
+    def test_backoff_sleeps_are_taken_from_the_policy(self, tmp_path):
+        slept = []
+        injector = _injector(
+            dict(site="executor_job", exp_id="table2", kind="error", attempt=0)
+        )
+        run_engine(
+            ["table2"], store=ResultStore(tmp_path),
+            retry=_fast_retry(sleep=slept.append), injector=injector,
+        )
+        assert len(slept) == 1 and slept[0] > 0
+
+    def test_retried_success_is_byte_identical_and_cached(self, tmp_path):
+        store = ResultStore(tmp_path)
+        reference = run_engine(["table2"], store=ResultStore(tmp_path / "ref"))
+        injector = _injector(
+            dict(site="executor_job", exp_id="table2", kind="crash", attempt=0)
+        )
+        report = run_engine(
+            ["table2"], store=store, retry=_fast_retry(), injector=injector,
+        )
+        assert canonical_bytes(report.successes[0].experiment) == canonical_bytes(
+            reference.successes[0].experiment
+        )
+        assert {e.exp_id for e in store.entries()} == {"table2"}
+
+    @needs_fork
+    def test_repeated_pool_crashes_degrade_to_serial(self, tmp_path):
+        injector = _injector(
+            dict(site="executor_job", exp_id="table2", kind="crash", attempt=0),
+            dict(site="executor_job", exp_id="table2", kind="crash", attempt=1),
+        )
+        report = run_engine(
+            ["table2"], store=ResultStore(tmp_path), jobs=2,
+            retry=_fast_retry(crash_rounds_before_serial=2), injector=injector,
+        )
+        assert not report.failures
+        assert report.serial_fallback
+        assert "(serial fallback)" in report.summary()

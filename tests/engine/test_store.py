@@ -3,7 +3,7 @@
 import json
 
 from repro.engine.deps import ExperimentDigest
-from repro.engine.store import ResultStore, canonical_bytes
+from repro.engine.store import ResultStore, canonical_bytes, payload_checksum
 from repro.suite.results import Experiment
 
 
@@ -71,6 +71,98 @@ class TestPutGet:
         payload["schema"] = 999
         store.entry_path(digest).write_text(json.dumps(payload))
         assert store.get(digest) is None
+
+    def test_entries_carry_a_verifiable_checksum(self, tmp_path):
+        store = ResultStore(tmp_path)
+        digest = _digest()
+        store.put(digest, _experiment(), 0.0)
+        payload = json.loads(store.entry_path(digest).read_text())
+        assert payload["checksum"] == payload_checksum(payload["experiment"])
+
+
+class TestQuarantine:
+    def test_unparseable_entry_is_quarantined_on_read(self, tmp_path):
+        store = ResultStore(tmp_path)
+        digest = _digest()
+        store.put(digest, _experiment(), 0.0)
+        name = store.entry_path(digest).name
+        store.entry_path(digest).write_text("{not json")
+        assert store.get(digest) is None
+        assert not store.entry_path(digest).exists()
+        assert (store.quarantine_dir / name).exists()
+        assert store.quarantine_log == [(name, "unparseable JSON")]
+
+    def test_checksum_mismatch_is_quarantined(self, tmp_path):
+        """A tampered payload that still parses is caught by integrity."""
+        store = ResultStore(tmp_path)
+        digest = _digest()
+        store.put(digest, _experiment(), 0.0)
+        payload = json.loads(store.entry_path(digest).read_text())
+        payload["experiment"]["title"] = "tampered"
+        store.entry_path(digest).write_text(json.dumps(payload))
+        assert store.get(digest) is None
+        assert store.quarantine_log[0][1] == "checksum mismatch"
+
+    def test_old_schema_is_a_miss_but_not_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path)
+        digest = _digest()
+        store.put(digest, _experiment(), 0.0)
+        payload = json.loads(store.entry_path(digest).read_text())
+        payload["schema"] = 1
+        store.entry_path(digest).write_text(json.dumps(payload))
+        assert store.get(digest) is None
+        assert store.entry_path(digest).exists()  # left for overwrite
+        assert store.quarantine_log == []
+
+    def test_stats_count_corrupt_and_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path)
+        good = _digest("exp.a", "1" * 64)
+        bad = _digest("exp.a", "2" * 64)
+        gone = _digest("exp.a", "3" * 64)
+        for d in (good, bad, gone):
+            store.put(d, _experiment("exp.a"), 0.0)
+        store.entry_path(bad).write_text("{not json")
+        store.entry_path(gone).write_text("{not json")
+        store.get(gone)  # quarantined on the way out
+        stats = store.stats()
+        assert stats.entries == 2
+        assert stats.corrupt == 1
+        assert stats.quarantined == 1
+        assert "1 corrupt" in stats.summary()
+        assert "1 quarantined" in stats.summary()
+
+    def test_gc_quarantines_corrupt_entries_even_when_live(self, tmp_path):
+        store = ResultStore(tmp_path)
+        live = _digest("exp.a", "1" * 64)
+        store.put(live, _experiment("exp.a"), 0.0)
+        store.entry_path(live).write_text("{not json")
+        removed = store.gc({"exp.a": live})
+        assert [e.corrupt for e in removed] == [True]
+        assert not store.entry_path(live).exists()
+        assert len(store.quarantined_entries()) == 1
+
+    def test_fault_injector_hook_corrupts_a_fresh_write(self, tmp_path):
+        from repro.faults.inject import FaultAction, FaultInjector
+
+        store = ResultStore(tmp_path)
+        store.fault_injector = FaultInjector(actions=(
+            FaultAction(site="store_entry", exp_id="table_x", kind="corrupt"),
+        ))
+        digest = _digest()
+        store.put(digest, _experiment(), 0.0)
+        assert store.fault_injector.applied_counts() == {"store_entry": 1}
+        assert store.get(digest) is None  # quarantined, not served
+        assert len(store.quarantined_entries()) == 1
+
+    def test_clear_empties_the_quarantine_too(self, tmp_path):
+        store = ResultStore(tmp_path)
+        digest = _digest()
+        store.put(digest, _experiment(), 0.0)
+        store.entry_path(digest).write_text("{not json")
+        store.get(digest)
+        assert len(store.quarantined_entries()) == 1
+        store.clear()
+        assert store.quarantined_entries() == []
 
 
 class TestSurvey:

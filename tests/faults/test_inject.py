@@ -1,0 +1,112 @@
+"""Tests for the fault vocabulary, the injector, and the hook."""
+
+import json
+
+import pytest
+
+from repro.faults.inject import (
+    FAULT_KINDS,
+    FAULT_SITES,
+    FaultAction,
+    FaultInjector,
+    corrupt_file,
+    fault_point,
+)
+
+
+class TestFaultAction:
+    def test_round_trip(self):
+        action = FaultAction(site="executor_job", exp_id="table1",
+                             kind="timeout", attempt=1, delay_s=0.5)
+        assert FaultAction.from_dict(action.to_dict()) == action
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultAction(site="nowhere", exp_id="table1", kind="error")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultAction(site="executor_job", exp_id="table1", kind="gremlins")
+
+    def test_store_faults_must_corrupt(self):
+        with pytest.raises(ValueError, match="must be kind 'corrupt'"):
+            FaultAction(site="store_entry", exp_id="table1", kind="crash")
+
+    def test_jobs_cannot_corrupt(self):
+        with pytest.raises(ValueError, match="store entries"):
+            FaultAction(site="executor_job", exp_id="table1", kind="corrupt")
+
+    def test_directive_carries_worker_flag(self):
+        action = FaultAction(site="executor_job", exp_id="t", kind="crash")
+        assert action.directive(in_worker=True)["in_worker"] is True
+        assert action.directive(in_worker=False)["in_worker"] is False
+
+    def test_vocabulary_is_closed(self):
+        assert set(FAULT_SITES) == {"executor_job", "store_entry"}
+        assert "corrupt" in FAULT_KINDS
+
+
+class TestFaultInjector:
+    def test_matches_on_submission_count(self):
+        """executor_job actions key on the Nth submission of the id."""
+        injector = FaultInjector(actions=(
+            FaultAction(site="executor_job", exp_id="t", kind="error", attempt=0),
+            FaultAction(site="executor_job", exp_id="t", kind="crash", attempt=1),
+        ))
+        first = injector.poll("executor_job", "t")
+        second = injector.poll("executor_job", "t")
+        third = injector.poll("executor_job", "t")
+        assert (first.kind, second.kind, third) == ("error", "crash", None)
+        assert injector.unapplied() == []
+
+    def test_actions_fire_at_most_once(self):
+        injector = FaultInjector(actions=(
+            FaultAction(site="store_entry", exp_id="t", kind="corrupt"),
+        ))
+        assert injector.poll("store_entry", "t") is not None
+        assert injector.poll("store_entry", "t") is None
+
+    def test_other_ids_unaffected(self):
+        injector = FaultInjector(actions=(
+            FaultAction(site="executor_job", exp_id="t", kind="error"),
+        ))
+        assert injector.poll("executor_job", "other") is None
+        assert injector.poll("executor_job", "t") is not None
+
+    def test_applied_counts_by_site(self):
+        injector = FaultInjector(actions=(
+            FaultAction(site="executor_job", exp_id="a", kind="error"),
+            FaultAction(site="store_entry", exp_id="a", kind="corrupt"),
+        ))
+        injector.poll("executor_job", "a")
+        injector.poll("store_entry", "a")
+        assert injector.applied_counts() == {"executor_job": 1, "store_entry": 1}
+
+
+class TestFaultPoint:
+    def test_no_injector_is_free(self):
+        assert fault_point("executor_job", None, "t") is None
+
+    def test_unknown_site_rejected_even_without_injector(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            fault_point("typo_site", None, "t")
+
+    def test_returns_the_matching_action(self):
+        injector = FaultInjector(actions=(
+            FaultAction(site="executor_job", exp_id="t", kind="slow", delay_s=0.0),
+        ))
+        action = fault_point("executor_job", injector, "t")
+        assert action is not None and action.kind == "slow"
+        assert injector.applied == [action]
+
+
+class TestCorruptFile:
+    def test_preserves_length_but_breaks_json(self, tmp_path):
+        path = tmp_path / "entry.json"
+        payload = {"schema": 2, "experiment": {"rows": list(range(50))}}
+        path.write_text(json.dumps(payload, indent=1))
+        before = path.stat().st_size
+        corrupt_file(path)
+        assert path.stat().st_size == before
+        with pytest.raises(ValueError):
+            json.loads(path.read_text())

@@ -1,0 +1,71 @@
+"""Tests for seeded fault-plan sampling and serialization."""
+
+import pytest
+
+from repro.faults.inject import FAILING_KINDS
+from repro.faults.plan import FaultPlan, sample_plan
+
+IDS = ("table1", "table2", "sec2", "figure6")
+
+
+class TestSampling:
+    def test_same_seed_same_plan(self):
+        assert FaultPlan.sample(42, IDS) == FaultPlan.sample(42, IDS)
+
+    def test_id_order_does_not_matter(self):
+        assert FaultPlan.sample(42, IDS) == FaultPlan.sample(42, tuple(reversed(IDS)))
+
+    def test_different_seeds_differ(self):
+        plans = {FaultPlan.sample(seed, IDS).actions for seed in range(8)}
+        assert len(plans) > 1
+
+    def test_failures_fit_the_retry_budget(self):
+        """Never more than max_failures failing attempts per job, and they
+        occupy attempts 0..n-1 so one clean attempt always remains."""
+        for seed in range(10):
+            plan = FaultPlan.sample(seed, IDS, max_failures=2)
+            for exp_id in IDS:
+                failing = sorted(
+                    a.attempt for a in plan.actions
+                    if a.exp_id == exp_id and a.site == "executor_job"
+                    and a.kind in FAILING_KINDS
+                )
+                assert len(failing) <= 2
+                assert failing == list(range(len(failing)))
+
+    def test_fault_rate_zero_yields_clean_plan(self):
+        plan = FaultPlan.sample(1, IDS, fault_rate=0.0, slow_rate=0.0,
+                                corrupt_rate=0.0)
+        assert plan.actions == ()
+        assert "clean run" in plan.summary()
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan.sample(1, IDS, fault_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan.sample(1, IDS, max_failures=0)
+
+    def test_alias(self):
+        assert sample_plan(3, IDS) == FaultPlan.sample(3, IDS)
+
+
+class TestSerialization:
+    def test_save_load_round_trip(self, tmp_path):
+        plan = FaultPlan.sample(1996, IDS)
+        path = plan.save(tmp_path / "plan.json")
+        assert FaultPlan.load(path) == plan
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            FaultPlan.from_dict({"schema": 99, "seed": 1, "actions": []})
+
+    def test_counts_and_summary(self):
+        plan = FaultPlan.sample(1996, IDS)
+        assert sum(plan.counts().values()) == len(plan.actions)
+        assert f"seed {plan.seed}" in plan.summary()
+
+    def test_injector_replays_from_the_top(self):
+        plan = FaultPlan.sample(1996, IDS)
+        a, b = plan.injector(), plan.injector()
+        assert a is not b
+        assert a.actions == b.actions == plan.actions

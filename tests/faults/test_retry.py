@@ -1,0 +1,62 @@
+"""Tests for the retry policy and its deterministic backoff."""
+
+import pytest
+
+from repro.faults.retry import RetryPolicy, chaos_retry_policy, deterministic_jitter
+
+
+class TestJitter:
+    def test_deterministic_and_bounded(self):
+        draws = [deterministic_jitter("table1", n) for n in range(16)]
+        assert draws == [deterministic_jitter("table1", n) for n in range(16)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+
+    def test_varies_with_identity(self):
+        assert deterministic_jitter("a", 1) != deterministic_jitter("b", 1)
+        assert deterministic_jitter("a", 1) != deterministic_jitter("a", 2)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_until_the_cap(self):
+        policy = RetryPolicy(base_delay_s=0.1, backoff_factor=2.0,
+                             max_delay_s=0.4, jitter_fraction=0.0)
+        assert policy.delay_s("t", 1) == pytest.approx(0.1)
+        assert policy.delay_s("t", 2) == pytest.approx(0.2)
+        assert policy.delay_s("t", 3) == pytest.approx(0.4)
+        assert policy.delay_s("t", 4) == pytest.approx(0.4)  # capped
+
+    def test_jitter_stretches_by_at_most_the_fraction(self):
+        policy = RetryPolicy(base_delay_s=1.0, max_delay_s=1.0,
+                             jitter_fraction=0.25)
+        delay = policy.delay_s("t", 1)
+        assert 1.0 <= delay <= 1.25
+        assert delay == policy.delay_s("t", 1)  # reproducible
+
+    def test_delay_requires_a_retry_attempt(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay_s("t", 0)
+
+    def test_transience(self):
+        policy = RetryPolicy()
+        assert policy.is_transient("crash")
+        assert policy.is_transient("timeout")
+        assert not policy.is_transient("error")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_fraction=2.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(crash_rounds_before_serial=0)
+
+
+class TestChaosPolicy:
+    def test_retries_every_failure_kind_quickly(self):
+        policy = chaos_retry_policy()
+        assert policy.is_transient("error")
+        assert policy.is_transient("crash")
+        assert policy.is_transient("timeout")
+        assert policy.max_delay_s <= 0.1

@@ -154,6 +154,9 @@ class TestNQS:
         with pytest.raises(ValueError):
             BatchJob("x", cpus=0, memory_gb=1, duration_s=1)
         with pytest.raises(ValueError):
+            BatchJob("x", cpus=1, memory_gb=1, duration_s=1,
+                     checkpoint_interval_s=0.0)
+        with pytest.raises(ValueError):
             NQSQueue("q", run_limit=0)
         with pytest.raises(ValueError):
             QueueComplex(queues=[])
@@ -162,6 +165,75 @@ class TestNQS:
         qc = self.make_complex()
         with pytest.raises(ValueError):
             qc.run()
+
+
+class TestNQSRequeue:
+    """Section 2.6.3: a node fault requeues running work, nothing is lost."""
+
+    def make_complex(self):
+        return QueueComplex(
+            queues=[NQSQueue("batch", max_run_seconds=86400, run_limit=4)],
+            node_cpus=32,
+        )
+
+    def test_fault_without_checkpoint_restarts_from_scratch(self):
+        qc = self.make_complex()
+        job = BatchJob("j", cpus=4, memory_gb=1, duration_s=100)
+        qc.submit(job, "batch")
+        makespan = qc.run(node_faults=[60.0])
+        # 60 s lost, then the full 100 s again.
+        assert makespan == pytest.approx(160.0)
+        assert job.requeues == 1
+        rec = qc.accounting[0]
+        assert rec.requeues == 1
+        assert rec.cpu_seconds == pytest.approx(4 * 160.0)  # lost work billed
+        assert rec.ran_s == pytest.approx(160.0)
+
+    def test_checkpoint_interval_bounds_the_loss(self):
+        qc = self.make_complex()
+        job = BatchJob("j", cpus=4, memory_gb=1, duration_s=100,
+                       checkpoint_interval_s=25.0)
+        qc.submit(job, "batch")
+        makespan = qc.run(node_faults=[60.0])
+        # 50 s checkpointed before the fault at 60: only 50 s remain.
+        assert makespan == pytest.approx(110.0)
+        assert job.requeues == 1
+
+    def test_fault_downtime_delays_the_requeue(self):
+        qc = self.make_complex()
+        job = BatchJob("j", cpus=4, memory_gb=1, duration_s=100,
+                       checkpoint_interval_s=50.0)
+        qc.submit(job, "batch")
+        makespan = qc.run(node_faults=[60.0], fault_downtime_s=30.0)
+        assert makespan == pytest.approx(60.0 + 30.0 + 50.0)
+
+    def test_fault_outside_the_run_window_is_harmless(self):
+        qc = self.make_complex()
+        job = BatchJob("j", cpus=4, memory_gb=1, duration_s=100)
+        qc.submit(job, "batch")
+        makespan = qc.run(node_faults=[500.0])
+        assert makespan == pytest.approx(100.0)
+        assert job.requeues == 0
+
+    def test_every_running_job_at_the_fault_is_requeued(self):
+        qc = self.make_complex()
+        jobs = [
+            BatchJob(f"j{i}", cpus=8, memory_gb=1, duration_s=100)
+            for i in range(3)
+        ]
+        for job in jobs:
+            qc.submit(job, "batch")
+        qc.run(node_faults=[50.0])
+        assert [job.requeues for job in jobs] == [1, 1, 1]
+        assert all(job.finish_time is not None for job in jobs)
+
+    def test_fault_validation(self):
+        qc = self.make_complex()
+        qc.submit(BatchJob("j", cpus=4, memory_gb=1, duration_s=10), "batch")
+        with pytest.raises(ValueError):
+            qc.run(node_faults=[-1.0])
+        with pytest.raises(ValueError):
+            qc.run(fault_downtime_s=-1.0)
 
 
 class TestSFS:
