@@ -9,12 +9,18 @@ Two analyzers share one diagnostics vocabulary
   vectors, bank-conflict strides, gather-dominated and scalar-dominated
   loops — and quantifies each with the analytic model (advisory);
 * the **repo linter** (:mod:`repro.analysis.repolint`) enforces the
-  repository's structural invariants over the AST (CI-gating).
+  repository's structural invariants over the AST (CI-gating);
+* the **effect analyzer** (:mod:`repro.analysis.effects`) builds an
+  import-resolved call graph over a whole package, propagates
+  per-function effect summaries to a fixpoint, and proves the engine's
+  cache-key determinism and pool-worker purity contracts (the DET rule
+  family, CI-gating against a checked-in baseline).
 
-Run either from the command line::
+Run any of them from the command line::
 
     python -m repro.analysis trace radabs
-    python -m repro.analysis --repolint
+    python -m repro.analysis repolint
+    python -m repro.analysis effects src/repro
 """
 
 from repro.analysis.diagnostics import (
@@ -22,6 +28,16 @@ from repro.analysis.diagnostics import (
     DiagnosticReport,
     Severity,
     count_by_rule,
+)
+from repro.analysis.effects import (
+    Effect,
+    EffectContract,
+    EffectsReport,
+    analyze_and_check,
+    analyze_tree,
+    check_contracts,
+    default_contract,
+    effect_chain,
 )
 from repro.analysis.repolint import lint_file, lint_repo, repo_root
 from repro.analysis.rules import ALL_RULES
@@ -49,4 +65,12 @@ __all__ = [
     "lint_repo",
     "lint_file",
     "repo_root",
+    "Effect",
+    "EffectContract",
+    "EffectsReport",
+    "analyze_tree",
+    "analyze_and_check",
+    "check_contracts",
+    "default_contract",
+    "effect_chain",
 ]

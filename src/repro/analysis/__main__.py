@@ -2,22 +2,49 @@
 
 Usage::
 
-    python -m repro.analysis list             # registered benchmark ids
-    python -m repro.analysis trace <id> ...   # analyze benchmark traces
-    python -m repro.analysis trace --all      # analyze every registered id
-    python -m repro.analysis --repolint       # lint the repo (CI gate)
+    python -m repro.analysis list               # registered benchmark ids
+    python -m repro.analysis trace <id> ...     # analyze benchmark traces
+    python -m repro.analysis trace --all        # analyze every registered id
+    python -m repro.analysis effects [path]     # whole-program effect analysis
+    python -m repro.analysis repolint           # lint the repo (CI gate)
+    python -m repro.analysis --repolint         # legacy spelling of the same
 
-``trace`` is advisory (always exits 0: diagnostics are performance
-explanations, not failures); ``--repolint`` exits 1 on any finding.
+Every subcommand exits with the same convention:
+
+* **0** — clean (no findings);
+* **1** — findings, none of them errors (advisory: trace diagnostics,
+  stale-baseline warnings);
+* **2** — error findings, or a usage error (unknown benchmark id,
+  unreadable baseline, bad arguments).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
-from repro.analysis.repolint import lint_repo
+from repro.analysis.diagnostics import DiagnosticReport, Severity
+from repro.analysis.effects import (
+    DEFAULT_BASELINE,
+    EffectsReport,
+    analyze_tree,
+    check_contracts,
+    load_baseline,
+    sarif_report,
+    write_baseline,
+)
+from repro.analysis.repolint import lint_repo, repo_root
 from repro.analysis.traces import TRACE_BUILDERS, analyze_benchmark
+
+
+def _report_exit_code(report: DiagnosticReport) -> int:
+    """Uniform exit convention: 0 clean, 1 warnings only, 2 errors."""
+    worst = report.worst_severity
+    if worst is None:
+        return 0
+    return 2 if worst is Severity.ERROR else 1
 
 
 def _cmd_list() -> int:
@@ -33,6 +60,7 @@ def _cmd_trace(ids: list[str]) -> int:
             known = ", ".join(sorted(TRACE_BUILDERS))
             print(f"error: unknown benchmark id {trace_id!r}; known ids: {known}")
             return 2
+    exit_code = 0
     for trace_id in ids:
         report = analyze_benchmark(trace_id)
         print(f"== {trace_id}: {report.subject}")
@@ -42,7 +70,8 @@ def _cmd_trace(ids: list[str]) -> int:
             for diag in report:
                 print(f"   {diag}")
         print(f"   summary: {report.summary_line()}")
-    return 0
+        exit_code = max(exit_code, _report_exit_code(report))
+    return exit_code
 
 
 def _cmd_repolint() -> int:
@@ -51,20 +80,120 @@ def _cmd_repolint() -> int:
         print(diag)
     if report.clean:
         print("repolint: all repo invariants hold")
+    else:
+        print(f"repolint: {len(report)} violation(s)")
+    return _report_exit_code(report)
+
+
+def _effects_json(report: EffectsReport) -> dict:
+    return {
+        "schema_version": 1,
+        "subject": report.subject,
+        "findings": [
+            {
+                "rule_id": f.diagnostic.rule_id,
+                "severity": str(f.diagnostic.severity),
+                "location": f.diagnostic.location,
+                "message": f.diagnostic.message,
+                "fingerprint": f.fingerprint,
+            }
+            for f in report.findings
+        ],
+        "suppressed": report.suppressed,
+        "stale_baseline": list(report.stale_baseline),
+        "summary": report.summary_line(),
+    }
+
+
+def _cmd_effects(args: argparse.Namespace) -> int:
+    root = Path(args.path) if args.path else repo_root() / "src" / "repro"
+    if not root.is_dir():
+        print(f"error: {root} is not a directory")
+        return 2
+    baseline_path = Path(args.baseline) if args.baseline else repo_root() / DEFAULT_BASELINE
+    try:
+        baseline = set() if args.no_baseline else load_baseline(baseline_path)
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read baseline {baseline_path}: {exc}")
+        return 2
+    program = analyze_tree(root)
+    report = check_contracts(program, baseline=baseline)
+
+    if args.write_baseline:
+        # Re-check unbaselined so the file captures every current error.
+        fresh = check_contracts(program, baseline=set())
+        count = write_baseline(baseline_path, fresh)
+        print(f"effects: wrote {count} fingerprint(s) to {baseline_path}")
         return 0
-    print(f"repolint: {len(report)} violation(s)")
-    return 1
+
+    payload: dict | None = None
+    if args.format == "json":
+        payload = _effects_json(report)
+    elif args.format == "sarif":
+        payload = sarif_report(report)
+    if payload is not None:
+        text = json.dumps(payload, indent=2, sort_keys=(args.format == "json"))
+        if args.out:
+            Path(args.out).write_text(text + "\n", encoding="utf-8")
+            print(f"effects: wrote {args.format} to {args.out}")
+        else:
+            print(text)
+        return report.exit_code()
+
+    # text format
+    for finding in report.findings:
+        print(finding.diagnostic)
+    functions = len(program.functions)
+    modules = len(program.modules)
+    print(
+        f"effects: {modules} modules, {functions} functions analyzed — "
+        f"{report.summary_line()}"
+    )
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(_effects_json(report), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    return report.exit_code()
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.analysis.effects import effect_chain
+
+    root = Path(args.path) if args.path else repo_root() / "src" / "repro"
+    program = analyze_tree(root)
+    full = args.explain
+    if full not in program.functions:
+        candidates = [name for name in program.functions if name.endswith(full)]
+        if len(candidates) == 1:
+            full = candidates[0]
+        else:
+            hint = f"; did you mean one of {sorted(candidates)[:5]}?" if candidates else ""
+            print(f"error: no analyzed function {args.explain!r}{hint}")
+            return 2
+    effects = sorted(program.effects_of(full), key=lambda e: e.value)
+    print(f"{full}:")
+    if not effects:
+        print("   no effects — transitively pure")
+        return 0
+    for effect in effects:
+        chain = effect_chain(program, full, effect)
+        print(f"   {effect}: {' -> '.join(chain)}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Vectorization diagnostics and repo-invariant lint.",
+        description=(
+            "Vectorization diagnostics, repo-invariant lint, and whole-program "
+            "effect analysis. Exit codes: 0 clean, 1 warnings, 2 errors."
+        ),
     )
     parser.add_argument(
         "--repolint",
         action="store_true",
-        help="lint src/repro and tests for repo invariants (exit 1 on findings)",
+        help="legacy alias for the 'repolint' subcommand",
     )
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("list", help="list registered benchmark ids")
@@ -73,9 +202,47 @@ def main(argv: list[str] | None = None) -> int:
     trace_parser.add_argument(
         "--all", action="store_true", help="analyze every registered benchmark"
     )
+    sub.add_parser(
+        "repolint", help="lint src/repro and tests for repo invariants (CI gate)"
+    )
+    effects_parser = sub.add_parser(
+        "effects",
+        help="whole-program effect analysis: cache-key determinism (DET rules)",
+    )
+    effects_parser.add_argument(
+        "path", nargs="?", help="package directory to analyze (default: src/repro)"
+    )
+    effects_parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    effects_parser.add_argument(
+        "--baseline",
+        help=f"baseline file of accepted fingerprints (default: {DEFAULT_BASELINE})",
+    )
+    effects_parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding",
+    )
+    effects_parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept every current error into the baseline file and exit 0",
+    )
+    effects_parser.add_argument(
+        "--out", help="also write the report (json for text format) to this file"
+    )
+    effects_parser.add_argument(
+        "--explain",
+        metavar="FUNCTION",
+        help="print the effect summary and call chains for one function",
+    )
     args = parser.parse_args(argv)
 
-    if args.repolint:
+    if args.repolint or args.command == "repolint":
         return _cmd_repolint()
     if args.command == "list":
         return _cmd_list()
@@ -84,6 +251,10 @@ def main(argv: list[str] | None = None) -> int:
         if not ids:
             trace_parser.error("give at least one benchmark id or --all")
         return _cmd_trace(ids)
+    if args.command == "effects":
+        if args.explain:
+            return _cmd_explain(args)
+        return _cmd_effects(args)
     parser.print_help()
     return 2
 

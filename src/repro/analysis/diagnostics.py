@@ -66,8 +66,11 @@ class Diagnostic:
     op_index: int | None = None
 
     def __str__(self) -> str:
+        # Render every impact a rule bothered to set — a factor of 1.0
+        # ("costs nothing extra") or below is information, not absence;
+        # only None means "no single factor is meaningful here".
         impact = ""
-        if self.predicted_impact is not None and self.predicted_impact > 1.0:
+        if self.predicted_impact is not None:
             impact = f" [~{self.predicted_impact:.1f}x]"
         return f"{self.rule_id} {self.severity}: {self.location}: {self.message}{impact}"
 
@@ -104,7 +107,13 @@ class DiagnosticReport:
             return "clean"
         counts = count_by_rule(self.diagnostics)
         parts = [f"{rule} x{n}" for rule, n in counts.items()]
-        impacts = [d.predicted_impact for d in self.diagnostics if d.predicted_impact]
+        # "is not None", not truthiness: an explicit impact of 0.0 is a
+        # real measurement and must participate in the worst-case figure.
+        impacts = [
+            d.predicted_impact
+            for d in self.diagnostics
+            if d.predicted_impact is not None
+        ]
         worst = f" (worst ~{max(impacts):.1f}x)" if impacts else ""
         return ", ".join(parts) + worst
 

@@ -48,7 +48,7 @@ from repro.analysis.diagnostics import Diagnostic, DiagnosticReport, Severity
 from repro.faults.inject import FAULT_SITES
 from repro.machine.operations import INTRINSICS
 
-__all__ = ["lint_repo", "lint_file", "repo_root"]
+__all__ = ["lint_repo", "lint_file", "repo_root", "module_exemptions", "skipped_lines"]
 
 #: Kernel functional entry points that do not follow the ``*_kernel``
 #: naming pattern (solver-style or multi-transform interfaces).
@@ -73,14 +73,20 @@ def repo_root() -> Path:
     return Path(__file__).resolve().parents[3]
 
 
-def _module_exemptions(source: str) -> set[str]:
+def module_exemptions(source: str) -> set[str]:
+    """Rule ids a module opts out of via ``# repolint: exempt=...``.
+
+    Shared with :mod:`repro.analysis.effects`, whose DET rules honor the
+    same pragma vocabulary.
+    """
     exempt: set[str] = set()
     for match in _EXEMPT_RE.finditer(source):
         exempt.update(r.strip() for r in match.group(1).split(",") if r.strip())
     return exempt
 
 
-def _skipped_lines(source: str) -> set[int]:
+def skipped_lines(source: str) -> set[int]:
+    """1-based line numbers carrying a ``# repolint: skip`` pragma."""
     return {
         i for i, line in enumerate(source.splitlines(), start=1) if _SKIP_RE.search(line)
     }
@@ -236,11 +242,49 @@ def _check_intrinsic_names(rel: str, tree: ast.Module) -> list[Diagnostic]:
     return found
 
 
+#: time-module members that read the host clock (REPO004).
+_CLOCK_MEMBERS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+
+def _forbidden_origin(path: str) -> str | None:
+    """REPO004 message fragment when a dotted origin is impure, else None."""
+    if path == "random" or path.startswith("random."):
+        return path
+    if path == "numpy.random" or path.startswith("numpy.random."):
+        return path
+    if path.startswith("time.") and path.split(".", 1)[1] in _CLOCK_MEMBERS:
+        return f"{path}()"
+    return None
+
+
 def _check_determinism(rel: str, tree: ast.Module) -> list[Diagnostic]:
-    """REPO004: simulator code never reads host clocks or entropy."""
+    """REPO004: simulator code never reads host clocks or entropy.
+
+    Flags both the imports and the usages they enable.  Usage sites are
+    resolved through an alias table, so from-imports and renames —
+    ``from time import time``, ``from time import perf_counter as now``,
+    ``import numpy.random as nr`` — are caught alongside the
+    attribute-style ``time.time()`` / ``np.random.rand()`` forms the
+    original check was limited to.
+    """
     found = []
+    flagged: set[tuple[int, str]] = set()
 
     def flag(lineno: int, what: str) -> None:
+        if (lineno, what) in flagged:
+            return
+        flagged.add((lineno, what))
         found.append(
             Diagnostic(
                 rule_id="REPO004",
@@ -253,34 +297,74 @@ def _check_determinism(rel: str, tree: ast.Module) -> list[Diagnostic]:
             )
         )
 
+    # Pass 1: imports — flag the forbidden ones, and build the alias
+    # table usage resolution reads (local name -> dotted origin).
+    aliases: dict[str, str] = {}
     for node in ast.walk(tree):
-        if isinstance(node, (ast.Import, ast.ImportFrom)):
-            modules = (
-                [alias.name for alias in node.names]
-                if isinstance(node, ast.Import)
-                else [node.module or ""]
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                aliases[alias.asname or root] = alias.name if alias.asname else root
+                if root in ("time", "random") or alias.name.startswith("numpy.random"):
+                    flag(node.lineno, f"import of {alias.name!r}")
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            module_flagged = module.split(".")[0] in ("time", "random") or (
+                module.startswith("numpy.random")
             )
-            for mod in modules:
-                if mod.split(".")[0] in ("time", "random"):
-                    flag(node.lineno, f"import of {mod!r}")
-        elif isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
-            if node.value.id == "time" and node.attr in (
-                "time",
-                "perf_counter",
-                "monotonic",
-                "process_time",
-            ):
-                flag(node.lineno, f"time.{node.attr}()")
-            elif node.value.id == "random":
-                flag(node.lineno, f"random.{node.attr}")
-        elif (
-            isinstance(node, ast.Attribute)
-            and isinstance(node.value, ast.Attribute)
-            and node.value.attr == "random"
-            and isinstance(node.value.value, ast.Name)
-            and node.value.value.id in ("np", "numpy")
-        ):
-            flag(node.lineno, f"numpy.random.{node.attr}")
+            if module_flagged:
+                flag(node.lineno, f"import of {module!r}")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                origin = f"{module}.{alias.name}" if module else alias.name
+                aliases[alias.asname or alias.name] = origin
+                if _forbidden_origin(origin) is not None and not module_flagged:
+                    # e.g. ``from numpy import random`` — the forbidden
+                    # module arrives under a name the module check above
+                    # could not see, so flag the symbol itself.
+                    flag(node.lineno, f"import of {origin!r}")
+
+    # Pass 2: usages, resolved through the alias table.  Only outermost
+    # attribute chains are flagged, so ``np.random.rand`` is one finding.
+    parents: dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+
+    def resolve(node: ast.expr) -> str | None:
+        if isinstance(node, ast.Name):
+            return aliases.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = resolve(node.value)
+            return f"{base}.{node.attr}" if base is not None else None
+        return None
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute):
+            if isinstance(parents.get(node), ast.Attribute):
+                continue  # an enclosing chain will consider the full path
+            origin = resolve(node)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            if isinstance(parents.get(node), (ast.Attribute, ast.Import, ast.ImportFrom)):
+                continue
+            origin = aliases.get(node.id)
+            # A bare module reference is not itself a clock/entropy read;
+            # member origins (``from time import time``) are.
+            if origin is not None and "." not in origin:
+                origin = None
+            if origin is not None and node.id != origin.rsplit(".", 1)[1]:
+                member = _forbidden_origin(origin)
+                if member is not None:
+                    flag(node.lineno, f"{member} (as {node.id!r})")
+                continue
+        else:
+            continue
+        if origin is None:
+            continue
+        fragment = _forbidden_origin(origin)
+        if fragment is not None:
+            flag(node.lineno, fragment)
     return found
 
 
@@ -486,8 +570,8 @@ def lint_file(path: Path, root: Path) -> list[Diagnostic]:
                 message=f"file does not parse: {exc.msg}",
             )
         ]
-    exempt = _module_exemptions(source)
-    skipped = _skipped_lines(source)
+    exempt = module_exemptions(source)
+    skipped = skipped_lines(source)
 
     found: list[Diagnostic] = []
     if _is_kernel_module(rel_parts):

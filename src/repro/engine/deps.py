@@ -39,6 +39,7 @@ __all__ = [
     "DIGEST_SCHEMA",
     "EXPERIMENTS_MODULE",
     "ExperimentDigest",
+    "builder_entry_points",
     "package_root",
     "module_path",
     "dependency_closure",
@@ -168,6 +169,45 @@ def _experiments_module_index() -> tuple[dict[str, str], dict[str, ast.FunctionD
         elif isinstance(node, ast.FunctionDef):
             functions[node.name] = node
     return imports, functions
+
+
+def builder_entry_points() -> tuple[tuple[str, str, str], ...]:
+    """``(exp_id, module, function)`` for every registered builder.
+
+    Enumerated *statically* from the ``EXPERIMENTS`` dict literal in the
+    experiments module — no builder runs, mirroring how the rest of this
+    module treats staleness.  This is the contract surface the effect
+    analyzer (:mod:`repro.analysis.effects`) checks: each entry point
+    must be transitively deterministic (DET001–DET004) and, because the
+    executor dispatches these same functions into pool workers, free of
+    module-global mutation (DET005).
+    """
+    tree = _parse(module_path(EXPERIMENTS_MODULE))
+    _, functions = _experiments_module_index()
+    entries: list[tuple[str, str, str]] = []
+    for node in tree.body:
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "EXPERIMENTS" for t in node.targets
+        ):
+            value = node.value
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.target.id == "EXPERIMENTS"
+        ):
+            value = node.value
+        if not isinstance(value, ast.Dict):
+            continue
+        for key, builder in zip(value.keys, value.values):
+            if (
+                isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                and isinstance(builder, ast.Name)
+                and builder.id in functions
+            ):
+                entries.append((key.value, EXPERIMENTS_MODULE, builder.id))
+    return tuple(entries)
 
 
 def _builder_seeds(builder_name: str) -> set[str]:

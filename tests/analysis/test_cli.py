@@ -1,5 +1,8 @@
 """Smoke tests for the ``python -m repro.analysis`` CLI."""
 
+import json
+import textwrap
+
 import pytest
 
 from repro.analysis.__main__ import main
@@ -22,14 +25,15 @@ class TestTrace:
         assert "no diagnostics" in out
         assert "summary: clean" in out
 
-    def test_diagnosed_benchmark_still_exits_zero(self, capsys):
-        # trace is advisory: diagnostics explain performance, not failures
-        assert main(["trace", "radabs-scalar"]) == 0
+    def test_diagnosed_benchmark_exits_one(self, capsys):
+        # Uniform exit convention: advisory findings (warnings) exit 1,
+        # so scripts can distinguish "clean" from "explained slowdowns".
+        assert main(["trace", "radabs-scalar"]) == 1
         out = capsys.readouterr().out
         assert "VEC004" in out
 
     def test_multiple_ids_in_order(self, capsys):
-        assert main(["trace", "copy", "xpose"]) == 0
+        assert main(["trace", "copy", "xpose"]) == 1
         out = capsys.readouterr().out
         assert out.index("== copy:") < out.index("== xpose:")
         assert "VEC002" in out  # xpose's stride-512 bank conflict
@@ -44,8 +48,90 @@ class TestTrace:
         assert exc.value.code == 2
 
 
+def _impure_pkg(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("", encoding="utf-8")
+    (pkg / "builders.py").write_text(
+        textwrap.dedent(
+            """
+            import time
+
+
+            def build_a():
+                return time.time()
+
+
+            EXPERIMENTS = {"a": build_a}
+            """
+        ),
+        encoding="utf-8",
+    )
+    return pkg
+
+
+class TestEffects:
+    def test_head_tree_is_clean_against_baseline(self, capsys):
+        # The acceptance criterion: zero unbaselined DET errors at head.
+        assert main(["effects"]) == 0
+        out = capsys.readouterr().out
+        assert "modules" in out and "analyzed" in out
+
+    def test_impure_builder_exits_two(self, tmp_path, capsys):
+        pkg = _impure_pkg(tmp_path)
+        assert main(["effects", str(pkg), "--no-baseline"]) == 2
+        out = capsys.readouterr().out
+        assert "DET001" in out
+        assert "time.time()" in out
+
+    def test_json_format_round_trips(self, tmp_path, capsys):
+        pkg = _impure_pkg(tmp_path)
+        assert main(["effects", str(pkg), "--no-baseline", "--format", "json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+        assert [f["rule_id"] for f in payload["findings"]] == ["DET001"]
+        assert payload["findings"][0]["fingerprint"].startswith("DET001 ")
+
+    def test_sarif_to_file(self, tmp_path, capsys):
+        pkg = _impure_pkg(tmp_path)
+        out_file = tmp_path / "effects.sarif"
+        code = main(
+            ["effects", str(pkg), "--no-baseline", "--format", "sarif",
+             "--out", str(out_file)]
+        )
+        assert code == 2
+        payload = json.loads(out_file.read_text(encoding="utf-8"))
+        assert payload["version"] == "2.1.0"
+        assert payload["runs"][0]["results"][0]["ruleId"] == "DET001"
+
+    def test_write_baseline_then_rerun_is_clean(self, tmp_path, capsys):
+        pkg = _impure_pkg(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            ["effects", str(pkg), "--baseline", str(baseline), "--write-baseline"]
+        ) == 0
+        assert "wrote 1 fingerprint(s)" in capsys.readouterr().out
+        assert main(["effects", str(pkg), "--baseline", str(baseline)]) == 0
+
+    def test_explain_reports_chain(self, tmp_path, capsys):
+        pkg = _impure_pkg(tmp_path)
+        assert main(["effects", str(pkg), "--explain", "build_a"]) == 0
+        out = capsys.readouterr().out
+        assert "pkg.builders.build_a" in out
+        assert "reads-clock" in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["effects", str(tmp_path / "nowhere")]) == 2
+        assert "not a directory" in capsys.readouterr().out
+
+
 def test_repolint_gate_passes_at_head(capsys):
     assert main(["--repolint"]) == 0
+    assert "all repo invariants hold" in capsys.readouterr().out
+
+
+def test_repolint_subcommand_matches_legacy_flag(capsys):
+    assert main(["repolint"]) == 0
     assert "all repo invariants hold" in capsys.readouterr().out
 
 

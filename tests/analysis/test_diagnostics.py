@@ -31,10 +31,13 @@ class TestDiagnostic:
         text = str(_diag())
         assert text.startswith("VEC001 warning: op[0] 'x':")
 
-    def test_impact_rendered_when_meaningful(self):
+    def test_impact_rendered_whenever_set(self):
         assert "[~8.0x]" in str(_diag(impact=8.0))
         assert "[~" not in str(_diag(impact=None))
-        assert "[~" not in str(_diag(impact=1.0))  # no slowdown, no suffix
+        # A factor of exactly 1.0 (or below) is still information a rule
+        # chose to report — only None suppresses the suffix.
+        assert "[~1.0x]" in str(_diag(impact=1.0))
+        assert "[~0.5x]" in str(_diag(impact=0.5))
 
 
 class TestDiagnosticReport:
@@ -63,6 +66,16 @@ class TestDiagnosticReport:
         assert "VEC001 x2" in line
         assert "VEC004 x1" in line
         assert "worst ~8.0x" in line
+
+    def test_summary_line_explicit_zero_impact_participates(self):
+        # 0.0 is falsy but not None: it must reach the worst-case max,
+        # not be confused with "no impact recorded".
+        report = DiagnosticReport(subject="t", diagnostics=[_diag(impact=0.0)])
+        assert "worst ~0.0x" in report.summary_line()
+        report = DiagnosticReport(
+            subject="t", diagnostics=[_diag(impact=0.0), _diag(impact=None)]
+        )
+        assert "worst ~0.0x" in report.summary_line()
 
 
 def test_count_by_rule_first_seen_order():

@@ -181,6 +181,90 @@ class TestDeterminism:
         )
         assert lint_file(path, tmp_path) == []
 
+    def test_from_import_of_clock_is_flagged(self, tmp_path):
+        # Regression: ``from time import time`` used to dodge the
+        # attribute-style usage check entirely.
+        path = write_module(
+            tmp_path,
+            "src/repro/machine/sneaky.py",
+            """
+            from time import time
+
+
+            def now():
+                return time()
+            """,
+        )
+        found = lint_file(path, tmp_path)
+        assert rule_ids(found) == ["REPO004", "REPO004"]  # import + usage
+        assert any("time.time()" in d.message for d in found)
+
+    def test_aliased_from_import_usage_is_flagged(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/machine/renamed.py",
+            """
+            from time import perf_counter as wall
+            from random import random as draw
+
+
+            def sample():
+                return wall() + draw()
+            """,
+        )
+        found = lint_file(path, tmp_path)
+        usage = [d for d in found if "as " in d.message]
+        assert len(usage) == 2
+        assert any("time.perf_counter() (as 'wall')" in d.message for d in usage)
+        assert any("random.random (as 'draw')" in d.message for d in usage)
+
+    def test_aliased_module_import_usage_is_flagged(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/iosim/clocked.py",
+            """
+            import time as clock
+
+
+            def now():
+                return clock.monotonic()
+            """,
+        )
+        found = lint_file(path, tmp_path)
+        assert rule_ids(found) == ["REPO004", "REPO004"]
+        assert any("time.monotonic()" in d.message for d in found)
+
+    def test_numpy_random_from_import_is_flagged(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/superux/entropy.py",
+            """
+            from numpy.random import rand
+
+
+            def noise(n):
+                return rand(n)
+            """,
+        )
+        found = lint_file(path, tmp_path)
+        assert rule_ids(found) == ["REPO004", "REPO004"]
+        assert any("numpy.random.rand" in d.message for d in found)
+
+    def test_unrelated_from_imports_stay_clean(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/machine/fine2.py",
+            """
+            from math import sqrt
+            from itertools import count
+
+
+            def grow(x):
+                return sqrt(x) + next(iter(count()))
+            """,
+        )
+        assert lint_file(path, tmp_path) == []
+
 
 class TestMagicUnits:
     def test_literal_scale_factor_in_src(self, tmp_path):
