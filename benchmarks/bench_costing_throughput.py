@@ -30,7 +30,7 @@ from pathlib import Path
 
 from repro.analysis.traces import TRACE_BUILDERS, build_registered_trace
 from repro.machine.operations import Trace
-from repro.machine.presets import sx4_processor, table1_machines
+from repro.machine.presets import canonical_machines, sx4_processor
 from repro.machine.processor import Processor
 
 __all__ = [
@@ -58,10 +58,7 @@ def build_suite() -> list[tuple[str, Trace]]:
 
 def parity_machines() -> list[Processor]:
     """The machines parity is asserted on: Table 1 plus both SX-4 clocks."""
-    machines = list(table1_machines().values())
-    machines.append(sx4_processor())  # 9.2 ns benchmark clock
-    machines.append(sx4_processor(period_ns=8.0))
-    return machines
+    return list(canonical_machines().values())
 
 
 def check_parity(

@@ -28,6 +28,12 @@ REPO008   every ``fault_point`` call site names its site with a string
           literal drawn from :data:`repro.faults.inject.FAULT_SITES` —
           the registry that also declares the ``fault.<site>`` perfmon
           counter, so every injectable site is observable in profiles
+REPO009   every machine-axis method ``<name>_cycles_grid`` has a
+          ``<name>_cycles_batch`` sibling on the same class — the grid
+          parity contract of :mod:`repro.machine.grid`: a grid kernel
+          is only trustworthy if the per-machine batch kernel it must
+          mirror bit-for-bit exists to be verified against (REPO007
+          then chains that sibling down to the per-op reference)
 ========  ==============================================================
 
 All findings are ERROR severity — the CLI exits non-zero on any, which
@@ -475,6 +481,49 @@ def _check_batch_siblings(rel: str, tree: ast.Module) -> list[Diagnostic]:
     return found
 
 
+def _check_grid_siblings(rel: str, tree: ast.Module) -> list[Diagnostic]:
+    """REPO009: grid methods shadow a per-machine batch method.
+
+    The machine-axis engine's correctness story stacks on REPO007's:
+    a ``<name>_cycles_grid`` method claims bit-parity with running
+    ``<name>_cycles_batch`` once per machine, so the batch sibling must
+    exist on the same class for the grid parity suite to compare
+    against (and REPO007 in turn guarantees *that* sibling has its
+    per-op reference).
+    """
+    found = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        methods = {
+            item.name: item
+            for item in node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for name, method in methods.items():
+            # Private _*_grid helpers are the kernels behind the public
+            # API, not independently-verified surface.
+            if not name.endswith("_cycles_grid") or name.startswith("_"):
+                continue
+            sibling = name[: -len("_grid")] + "_batch"
+            if sibling in methods:
+                continue
+            found.append(
+                Diagnostic(
+                    rule_id="REPO009",
+                    severity=Severity.ERROR,
+                    location=f"{rel}:{method.lineno}",
+                    message=(
+                        f"grid method {node.name}.{name} has no per-machine "
+                        f"sibling {sibling!r}; every machine-axis method "
+                        f"needs the batch reference the grid parity suite "
+                        f"verifies it against"
+                    ),
+                )
+            )
+    return found
+
+
 def _check_fault_sites(rel: str, tree: ast.Module) -> list[Diagnostic]:
     """REPO008: fault_point call sites name a registered site, literally.
 
@@ -586,6 +635,7 @@ def lint_file(path: Path, root: Path) -> list[Diagnostic]:
         found.extend(_check_magic_units(rel, tree))
     if _in_src(rel_parts):
         found.extend(_check_batch_siblings(rel, tree))
+        found.extend(_check_grid_siblings(rel, tree))
         found.extend(_check_fault_sites(rel, tree))
 
     def kept(diag: Diagnostic) -> bool:

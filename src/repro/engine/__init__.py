@@ -36,7 +36,7 @@ from repro.engine.executor import (
     run_engine,
 )
 from repro.engine.plan import ExecutionPlan, PlanEntry, plan_suite
-from repro.engine.store import CachedResult, ResultStore, canonical_bytes
+from repro.engine.store import CachedResult, ChunkStore, ResultStore, canonical_bytes
 
 __all__ = [
     "ExperimentDigest",
@@ -51,6 +51,7 @@ __all__ = [
     "PlanEntry",
     "plan_suite",
     "CachedResult",
+    "ChunkStore",
     "ResultStore",
     "canonical_bytes",
 ]

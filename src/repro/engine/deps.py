@@ -43,6 +43,7 @@ __all__ = [
     "package_root",
     "module_path",
     "dependency_closure",
+    "closure_digest",
     "experiment_dependencies",
     "machine_fingerprint",
     "experiment_digest",
@@ -252,6 +253,25 @@ def _seeds_for(exp_id: str) -> set[str]:
     # its defining module if that is a repro module, else nothing — the
     # experiments module below still anchors the digest.
     return {module} if module_path(module) is not None else set()
+
+
+def closure_digest(seeds: Iterable[str]) -> str:
+    """Digest over the source bytes of the seeds' transitive closure.
+
+    The generic form of :func:`experiment_digest`'s module section:
+    callers that key a cache on "the code that computes this value"
+    (``repro.explore`` keys grid-sweep chunks this way) fold it into
+    their own content hash, so any edit to a costing module invalidates
+    exactly the chunks it could have changed.
+    """
+    deps = dependency_closure(seeds)
+    hasher = hashlib.sha256()
+    hasher.update(f"schema={DIGEST_SCHEMA}\x00".encode())
+    for name in sorted(deps):
+        hasher.update(f"{name}\x00".encode())
+        hasher.update(hashlib.sha256(deps[name].read_bytes()).digest())
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
 
 
 def experiment_dependencies(exp_id: str) -> dict[str, Path]:

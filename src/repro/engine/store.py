@@ -41,16 +41,19 @@ from repro.suite.results import Experiment
 __all__ = [
     "DEFAULT_STORE_ROOT",
     "STORE_SCHEMA",
+    "CHUNK_SCHEMA",
     "CachedResult",
     "StoreEntry",
     "StoreStats",
     "ResultStore",
+    "ChunkStore",
     "canonical_bytes",
     "payload_checksum",
 ]
 
 DEFAULT_STORE_ROOT = ".repro-cache"
 STORE_SCHEMA = 2
+CHUNK_SCHEMA = 1
 
 declare_counters("fault", ("quarantined",))
 
@@ -349,4 +352,125 @@ class ResultStore:
         if self.tmp_dir.is_dir():
             for leftover in self.tmp_dir.glob("*.tmp"):
                 leftover.unlink(missing_ok=True)
+        return len(entries)
+
+
+class ChunkStore:
+    """Content-addressed JSON chunks, for callers keyed by a content hash.
+
+    :class:`ResultStore` caches suite :class:`Experiment` payloads; this
+    is the same store discipline — atomic ``tmp/`` + :func:`os.replace`
+    writes, sha256 payload checksums verified on read, corrupt entries
+    quarantined and reported as misses — for arbitrary JSON payloads
+    whose key the caller derives itself (``repro.explore`` keys grid
+    sweep chunks on source digests + grid fingerprint + trace ids).
+
+    Layout, sharing the root with the result store::
+
+        chunks/<namespace>.<sha256-key>.json
+        quarantine/                            shared with ResultStore
+        tmp/                                   shared with ResultStore
+    """
+
+    def __init__(self, root: str | Path = DEFAULT_STORE_ROOT) -> None:
+        self.root = Path(root)
+        self.chunks_dir = self.root / "chunks"
+        self.quarantine_dir = self.root / "quarantine"
+        self.tmp_dir = self.root / "tmp"
+        self.quarantine_log: list[tuple[str, str]] = []
+
+    # ------------------------------------------------------------ paths
+    @staticmethod
+    def _check_address(namespace: str, key: str) -> None:
+        if not namespace or "." in namespace or "/" in namespace:
+            raise ValueError(f"invalid chunk namespace {namespace!r}")
+        if len(key) != 64 or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"chunk key must be 64 lowercase hex chars, got {key!r}")
+
+    def entry_path(self, namespace: str, key: str) -> Path:
+        self._check_address(namespace, key)
+        return self.chunks_dir / f"{namespace}.{key}.json"
+
+    # ------------------------------------------------------------ access
+    def contains(self, namespace: str, key: str) -> bool:
+        return self.entry_path(namespace, key).is_file()
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            os.replace(path, self.quarantine_dir / path.name)
+        except OSError:
+            return  # already gone (racing reader quarantined it)
+        self.quarantine_log.append((path.name, reason))
+        perfmon_record("fault", {"quarantined": 1.0})
+
+    def get(self, namespace: str, key: str) -> dict | None:
+        """The chunk payload for a key, or None (missing or corrupt)."""
+        path = self.entry_path(namespace, key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            self._quarantine(path, "unparseable JSON")
+            return None
+        if isinstance(payload, dict) and payload.get("schema") != CHUNK_SCHEMA:
+            return None  # older schema: recompute overwrites it in place
+        problem = None
+        if not isinstance(payload, dict):
+            problem = "payload is not an object"
+        elif any(field not in payload for field in ("key", "checksum", "chunk")):
+            problem = "missing field"
+        elif not isinstance(payload["chunk"], dict):
+            problem = "chunk payload is not an object"
+        elif payload_checksum(payload["chunk"]) != payload["checksum"]:
+            problem = "checksum mismatch"
+        if problem is not None:
+            self._quarantine(path, problem)
+            return None
+        return payload["chunk"]
+
+    def put(self, namespace: str, key: str, chunk: dict) -> Path:
+        """Persist one chunk atomically; returns the entry path."""
+        final = self.entry_path(namespace, key)
+        self.chunks_dir.mkdir(parents=True, exist_ok=True)
+        self.tmp_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CHUNK_SCHEMA,
+            "namespace": namespace,
+            "key": key,
+            "checksum": payload_checksum(chunk),
+            "chunk": chunk,
+        }
+        staging = self.tmp_dir / f"{namespace}.{key}.{os.getpid()}.tmp"
+        staging.write_text(
+            json.dumps(payload, indent=1, sort_keys=True), encoding="utf-8"
+        )
+        os.replace(staging, final)
+        return final
+
+    # ------------------------------------------------------------ survey
+    def entries(self) -> list[StoreEntry]:
+        """Every chunk on disk (``exp_id`` carries the namespace)."""
+        if not self.chunks_dir.is_dir():
+            return []
+        found = []
+        for path in sorted(self.chunks_dir.glob("*.json")):
+            stem = path.name[: -len(".json")]
+            namespace, _, key = stem.rpartition(".")
+            if not namespace or len(key) != 64:
+                continue
+            found.append(
+                StoreEntry(exp_id=namespace, key=key, path=path,
+                           size_bytes=path.stat().st_size)
+            )
+        return found
+
+    def clear(self) -> int:
+        """Remove every chunk; returns how many were dropped."""
+        entries = self.entries()
+        for entry in entries:
+            entry.path.unlink(missing_ok=True)
         return len(entries)

@@ -1,0 +1,128 @@
+"""Pareto-frontier extraction over swept design spaces.
+
+The paper's Table 1 frames the SX-4 in exactly these coordinates:
+delivered Mflops against the hardware provisioned to earn them (peak
+rate, memory ports, interleave).  :func:`cost_proxy` reduces a grid
+row's provisioned hardware to one scalar — peak Gflops plus port GB/s
+plus interleave units — and :func:`pareto_points` extracts the machines
+no other machine beats on *all* of (suite Mflops, suite bandwidth,
+-cost): the designs where spending more silicon actually buys
+performance on this workload mix.
+
+The proxy is a screening heuristic, not a price list — it only needs to
+order "more hardware" above "less hardware" consistently, and the units
+are chosen so a J90-class and an SX-4-class machine land within an
+order of magnitude of each other on each term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.explore.engine import GridSuiteResult
+from repro.machine.grid import MachineGrid
+from repro.units import MEGA
+
+__all__ = ["ParetoPoint", "cost_proxy", "pareto_front", "pareto_points"]
+
+#: Interleave normalizer: one "interleave unit" per 64 memory banks
+#: (vector machines) or per megabyte of cache (cache machines) — a bank
+#: of fast SRAM interleave is far more silicon than a byte of cache.
+_BANKS_PER_UNIT = 64.0
+_CACHE_BYTES_PER_UNIT = MEGA
+
+
+def cost_proxy(grid: MachineGrid) -> np.ndarray:
+    """Hardware-provisioning scalar per grid row (bigger = more silicon).
+
+    ``peak Gflops + port GB/s + interleave units``, each term computed
+    from the grid columns: peak rate is pipes*sets (vector) or
+    flops/cycle (cache machine) times the clock; port bandwidth is the
+    memory-port (or cache-miss) word rate; interleave is bank count or
+    cache size against :data:`_BANKS_PER_UNIT`-style normalizers.
+    """
+    frequency_ghz = 1.0 / grid.period_ns  # 1/ns = GHz
+    vector = grid.has_vector
+    peak_gflops = np.where(
+        vector,
+        grid.pipes * grid.concurrent_sets * frequency_ghz,
+        grid.flops_per_cycle * frequency_ghz,
+    )
+    port_gbps = np.where(
+        vector,
+        grid.port_words_per_cycle * 8.0 * frequency_ghz,
+        grid.cache_mem_words_per_cycle * 8.0 * frequency_ghz,
+    )
+    interleave = np.where(
+        vector,
+        grid.banks / _BANKS_PER_UNIT,
+        grid.cache_size_bytes / _CACHE_BYTES_PER_UNIT,
+    )
+    return peak_gflops + port_gbps + interleave
+
+
+def pareto_front(values: np.ndarray, maximize: tuple[bool, ...]) -> np.ndarray:
+    """Indices of the non-dominated rows of ``values`` (m, k), ascending.
+
+    Row ``i`` is dominated when some row is at least as good on every
+    objective and strictly better on one (``maximize`` orients each
+    column).  Ties survive: identical rows dominate nobody, so duplicate
+    optima all appear.
+    """
+    if values.ndim != 2:
+        raise ValueError(f"values must be 2-D (machines x objectives), got {values.shape}")
+    if values.shape[1] != len(maximize):
+        raise ValueError(
+            f"{values.shape[1]} objectives but {len(maximize)} maximize flags"
+        )
+    oriented = values * np.where(np.asarray(maximize), 1.0, -1.0)
+    m = oriented.shape[0]
+    keep = np.ones(m, dtype=bool)
+    for i in range(m):
+        if not keep[i]:
+            continue
+        at_least = (oriented >= oriented[i]).all(axis=1)
+        better = (oriented > oriented[i]).any(axis=1)
+        if (at_least & better).any():
+            keep[i] = False
+    return np.flatnonzero(keep)
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One non-dominated machine: what it delivers and what it costs."""
+
+    index: int
+    machine: str
+    mflops: float
+    bandwidth_bytes_per_s: float
+    cost_proxy: float
+
+
+def pareto_points(result: GridSuiteResult, grid: MachineGrid) -> list[ParetoPoint]:
+    """The Pareto frontier of a costed sweep, in grid order.
+
+    Objectives: maximize suite Mflops, maximize suite bandwidth,
+    minimize :func:`cost_proxy`.
+    """
+    if grid.n_machines != result.n_machines:
+        raise ValueError(
+            f"grid has {grid.n_machines} machines but result has {result.n_machines}"
+        )
+    proxy = cost_proxy(grid)
+    values = np.stack(
+        [result.suite_mflops, result.suite_bandwidth_bytes_per_s, proxy], axis=1
+    )
+    indices = pareto_front(values, maximize=(True, True, False))
+    return [
+        ParetoPoint(
+            index=int(i),
+            machine=result.machine_names[i],
+            mflops=float(result.suite_mflops[i]),
+            bandwidth_bytes_per_s=float(result.suite_bandwidth_bytes_per_s[i]),
+            cost_proxy=float(proxy[i]),
+        )
+        for i in indices
+    ]

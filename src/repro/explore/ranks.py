@@ -1,0 +1,101 @@
+"""Rank-inversion maps: where machine ordering flips between benchmarks.
+
+Table 1's central observation is that benchmark choice reorders
+machines — HINT and the kernel benchmarks crown different processors
+because they stress arithmetic peak versus memory behavior.  A rank
+inversion generalizes that to a swept design space: machine ``x``
+*inverts* between traces ``a`` and ``b`` (relative to a reference
+machine) when it beats the reference on one trace but not the other.
+The inverted region of a sweep is exactly where "which benchmark did
+you run?" decides the ranking — the paper's Table 1 effect, mapped over
+thousands of hypothetical machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.explore.engine import GridSuiteResult
+
+__all__ = [
+    "DEFAULT_REFERENCE",
+    "DEFAULT_TRACE_PAIR",
+    "RankInversionMap",
+    "rank_inversion_map",
+]
+
+#: Table 1's sharpest contrast: HINT (arithmetic-weighted) against
+#: RADABS (memory/intrinsic-weighted).
+DEFAULT_TRACE_PAIR = ("hint", "radabs")
+
+#: The paper's baseline vector machine.
+DEFAULT_REFERENCE = "Cray Y-MP"
+
+
+@dataclass(frozen=True)
+class RankInversionMap:
+    """Per-machine inversion verdicts for one (trace_a, trace_b, ref)."""
+
+    trace_a: str
+    trace_b: str
+    reference: str
+    machine_names: tuple[str, ...]
+    beats_reference_a: np.ndarray  # bool per machine
+    beats_reference_b: np.ndarray  # bool per machine
+    inverted: np.ndarray  # bool per machine
+
+    @property
+    def n_machines(self) -> int:
+        return len(self.machine_names)
+
+    @property
+    def n_inverted(self) -> int:
+        return int(self.inverted.sum())
+
+    @property
+    def inverted_names(self) -> tuple[str, ...]:
+        return tuple(
+            name for name, flag in zip(self.machine_names, self.inverted) if flag
+        )
+
+
+def rank_inversion_map(
+    result: GridSuiteResult,
+    trace_a: str = DEFAULT_TRACE_PAIR[0],
+    trace_b: str = DEFAULT_TRACE_PAIR[1],
+    reference: str = DEFAULT_REFERENCE,
+) -> RankInversionMap:
+    """Which machines rank differently on ``trace_a`` versus ``trace_b``.
+
+    ``reference`` names a machine row of the result (sweeps built with
+    ``include_presets=True`` embed the canonical machines, so the
+    paper's processors are available by name).  A machine is inverted
+    when it beats the reference's Mflops on exactly one of the traces.
+    """
+    for trace_id in (trace_a, trace_b):
+        if trace_id not in result.traces:
+            raise ValueError(
+                f"trace {trace_id!r} not in result (has: {list(result.trace_ids)})"
+            )
+    try:
+        ref = result.machine_names.index(reference)
+    except ValueError:
+        raise ValueError(
+            f"reference machine {reference!r} not in result; build the sweep "
+            f"with include_presets=True or pick one of {list(result.machine_names)[:8]}"
+        ) from None
+    mflops_a = result.traces[trace_a].mflops
+    mflops_b = result.traces[trace_b].mflops
+    beats_a = mflops_a > mflops_a[ref]
+    beats_b = mflops_b > mflops_b[ref]
+    return RankInversionMap(
+        trace_a=trace_a,
+        trace_b=trace_b,
+        reference=reference,
+        machine_names=result.machine_names,
+        beats_reference_a=beats_a,
+        beats_reference_b=beats_b,
+        inverted=beats_a != beats_b,
+    )

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from repro.machine.iop import DiskArray, IOProcessor
 from repro.machine.ixs import InternodeCrossbar
 from repro.machine.node import Node
-from repro.machine.presets import cray_j90, cray_ymp, sx4_processor
+from repro.machine.presets import PRESET_FACTORIES
 from repro.machine.processor import Processor
 
 __all__ = [
@@ -49,12 +49,12 @@ IXS_LANES_PER_CHANNEL = 4
 #: I/O processors per node (Section 2.4: up to four XMUs/IOPs).
 NODE_IOPS = 4
 
-#: Presets the degraded-machine API knows; each returns a fresh
-#: :class:`Processor` so degrading never mutates shared state.
+#: Presets the degraded-machine API knows (the vector machines of the
+#: shared :data:`~repro.machine.presets.PRESET_FACTORIES` registry);
+#: each returns a fresh :class:`Processor` so degrading never mutates
+#: shared state.
 PRESETS: dict[str, Callable[[], Processor]] = {
-    "sx4": sx4_processor,
-    "ymp": cray_ymp,
-    "j90": cray_j90,
+    preset_id: PRESET_FACTORIES[preset_id] for preset_id in ("sx4", "ymp", "j90")
 }
 
 

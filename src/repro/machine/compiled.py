@@ -59,6 +59,7 @@ __all__ = [
     "CompiledTrace",
     "compile_trace",
     "fsum",
+    "fsum_columns",
     "get_default_engine",
     "set_default_engine",
     "resolve_engine",
@@ -118,6 +119,20 @@ def fsum(values) -> float:
     if isinstance(values, np.ndarray):
         return math.fsum(values.tolist())
     return math.fsum(values)
+
+
+def fsum_columns(matrix: np.ndarray) -> np.ndarray:
+    """Exactly-rounded per-column sums of an ``(n, m)`` float64 matrix.
+
+    The machine-grid reduction: column ``j`` holds machine ``j``'s
+    per-op cycle costs, and its :func:`math.fsum` is bit-identical to
+    the total the per-machine compiled path computes for that machine —
+    fsum's exact partial sums make the result order-independent, so
+    slicing a machine out of a grid changes nothing.
+    """
+    if matrix.shape[0] == 0:
+        return np.zeros(matrix.shape[1])
+    return np.array([math.fsum(column) for column in matrix.T.tolist()])
 
 
 @dataclass(frozen=True)

@@ -36,6 +36,11 @@ __all__ = [
     "sun_sparc20",
     "ibm_rs6000_590",
     "table1_machines",
+    "canonical_machines",
+    "preset_processor",
+    "PRESET_FACTORIES",
+    "TABLE1_LABELS",
+    "CANONICAL_PRESET_IDS",
     "BENCHMARK_CLOCK_NS",
     "PRODUCTION_CLOCK_NS",
 ]
@@ -230,11 +235,58 @@ def ibm_rs6000_590() -> Processor:
     )
 
 
+def _sx4_production() -> Processor:
+    """The production SX-4 part (8.0 ns clock)."""
+    return sx4_processor(period_ns=PRODUCTION_CLOCK_NS)
+
+
+#: The preset registry: stable id -> factory.  This is the single place
+#: a new machine gets registered; ``table1_machines``,
+#: ``canonical_machines``, :mod:`repro.faults.degraded` and
+#: :mod:`repro.explore` all resolve presets through it, so adding a
+#: preset is a one-line change here.
+PRESET_FACTORIES = {
+    "sparc20": sun_sparc20,
+    "rs6k": ibm_rs6000_590,
+    "j90": cray_j90,
+    "ymp": cray_ymp,
+    "sx4": sx4_processor,
+    "sx4-production": _sx4_production,
+}
+
+#: Table 1 column labels (the paper's spellings), in paper order,
+#: mapped to registry ids.
+TABLE1_LABELS = {
+    "SUN SPARC20": "sparc20",
+    "IBM RS6K 590": "rs6k",
+    "CRI J90": "j90",
+    "CRI YMP": "ymp",
+}
+
+#: The six machines every exact-parity gate runs on: Table 1 plus both
+#: SX-4 clocks, in registry order.
+CANONICAL_PRESET_IDS = ("sparc20", "rs6k", "j90", "ymp", "sx4", "sx4-production")
+
+
+def preset_processor(preset_id: str) -> Processor:
+    """A fresh processor for a registry id; raises on unknown ids."""
+    try:
+        factory = PRESET_FACTORIES[preset_id]
+    except KeyError:
+        known = ", ".join(sorted(PRESET_FACTORIES))
+        raise ValueError(f"unknown machine preset {preset_id!r} (known: {known})") from None
+    return factory()
+
+
 def table1_machines() -> dict[str, Processor]:
     """The four single-processor systems of Table 1, in paper order."""
-    return {
-        "SUN SPARC20": sun_sparc20(),
-        "IBM RS6K 590": ibm_rs6000_590(),
-        "CRI J90": cray_j90(),
-        "CRI YMP": cray_ymp(),
-    }
+    return {label: preset_processor(preset_id) for label, preset_id in TABLE1_LABELS.items()}
+
+
+def canonical_machines() -> dict[str, Processor]:
+    """The six canonical parity machines, keyed by processor name."""
+    machines = {}
+    for preset_id in CANONICAL_PRESET_IDS:
+        processor = preset_processor(preset_id)
+        machines[processor.name] = processor
+    return machines

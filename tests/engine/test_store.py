@@ -3,7 +3,7 @@
 import json
 
 from repro.engine.deps import ExperimentDigest
-from repro.engine.store import ResultStore, canonical_bytes, payload_checksum
+from repro.engine.store import ChunkStore, ResultStore, canonical_bytes, payload_checksum
 from repro.suite.results import Experiment
 
 
@@ -225,3 +225,81 @@ class TestCanonicalBytes:
         original = _experiment()
         store.put(digest, original, 0.0)
         assert canonical_bytes(store.get(digest).experiment) == canonical_bytes(original)
+
+
+class TestChunkStore:
+    KEY = "b" * 64
+
+    def test_round_trip(self, tmp_path):
+        store = ChunkStore(tmp_path / "cache")
+        chunk = {"trace_ids": ["hint"], "values": [1.0, 2.5, 0.1]}
+        path = store.put("explore", self.KEY, chunk)
+        assert path.name == f"explore.{self.KEY}.json"
+        assert store.contains("explore", self.KEY)
+        assert store.get("explore", self.KEY) == chunk
+
+    def test_floats_round_trip_bit_exactly(self, tmp_path):
+        store = ChunkStore(tmp_path / "cache")
+        values = [0.1, 1e300, 5e-324, 1.0 / 3.0, 9.2e-9]
+        store.put("explore", self.KEY, {"values": values})
+        back = store.get("explore", self.KEY)["values"]
+        assert all(a == b for a, b in zip(values, back))
+
+    def test_miss_returns_none(self, tmp_path):
+        store = ChunkStore(tmp_path / "cache")
+        assert store.get("explore", self.KEY) is None
+        assert not store.contains("explore", self.KEY)
+
+    def test_bad_addresses_rejected(self, tmp_path):
+        store = ChunkStore(tmp_path / "cache")
+        for namespace, key in [("", self.KEY), ("a.b", self.KEY),
+                               ("a/b", self.KEY), ("explore", "short"),
+                               ("explore", "Z" * 64)]:
+            try:
+                store.entry_path(namespace, key)
+            except ValueError:
+                continue
+            raise AssertionError(f"{namespace!r}/{key!r} accepted")
+
+    def test_unparseable_json_quarantined(self, tmp_path):
+        store = ChunkStore(tmp_path / "cache")
+        path = store.put("explore", self.KEY, {"v": 1})
+        path.write_text("{ not json", encoding="utf-8")
+        assert store.get("explore", self.KEY) is None
+        assert not path.exists()
+        assert (store.quarantine_dir / path.name).exists()
+        assert store.quarantine_log[-1][1] == "unparseable JSON"
+
+    def test_checksum_mismatch_quarantined(self, tmp_path):
+        store = ChunkStore(tmp_path / "cache")
+        path = store.put("explore", self.KEY, {"v": 1})
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["chunk"]["v"] = 2  # tamper without re-checksumming
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert store.get("explore", self.KEY) is None
+        assert store.quarantine_log[-1][1] == "checksum mismatch"
+
+    def test_old_schema_is_a_plain_miss(self, tmp_path):
+        store = ChunkStore(tmp_path / "cache")
+        path = store.put("explore", self.KEY, {"v": 1})
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["schema"] = 0
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert store.get("explore", self.KEY) is None
+        assert path.exists()  # not quarantined: recompute overwrites
+
+    def test_entries_and_clear(self, tmp_path):
+        store = ChunkStore(tmp_path / "cache")
+        store.put("explore", "c" * 64, {"v": 1})
+        store.put("other", "d" * 64, {"v": 2})
+        entries = store.entries()
+        assert [e.exp_id for e in entries] == ["explore", "other"]
+        assert store.clear() == 2
+        assert store.entries() == []
+
+    def test_shares_root_layout_with_result_store(self, tmp_path):
+        root = tmp_path / "cache"
+        chunk_store = ChunkStore(root)
+        result_store = ResultStore(root)
+        assert chunk_store.quarantine_dir == result_store.quarantine_dir
+        assert chunk_store.tmp_dir == result_store.tmp_dir

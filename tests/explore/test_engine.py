@@ -1,0 +1,158 @@
+"""Suite-level grid costing: aggregates, chunk caching, cache-key hygiene."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.engine.store import ChunkStore
+from repro.explore.engine import (
+    CHUNK_NAMESPACE,
+    cost_suite_grid,
+    grid_chunk_key,
+    suite_trace_ids,
+)
+from repro.explore.sweep import ParameterSweep, explicit_axis, linear_axis
+from repro.machine.grid import MachineGrid
+from repro.machine.presets import canonical_machines
+
+TRACE_SUBSET = ("hint", "radabs", "stream")
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return MachineGrid.from_processors(list(canonical_machines().values()))
+
+
+@pytest.fixture(scope="module")
+def sweep_grid():
+    return ParameterSweep(
+        "sx4",
+        (linear_axis("clock.period_ns", 6.0, 12.0, 5),
+         explicit_axis("vector.pipes", [4, 8, 16])),
+        include_presets=True,
+    ).build()
+
+
+class TestAggregates:
+    def test_suite_seconds_is_fsum_of_traces(self, grid):
+        result = cost_suite_grid(grid, trace_ids=TRACE_SUBSET)
+        for j in range(grid.n_machines):
+            expected = math.fsum(result.traces[t].seconds[j] for t in TRACE_SUBSET)
+            assert result.suite_seconds[j] == expected
+
+    def test_suite_rates_from_totals(self, grid):
+        result = cost_suite_grid(grid, trace_ids=TRACE_SUBSET)
+        total_fe = math.fsum(result.traces[t].flop_equivalents for t in TRACE_SUBSET)
+        for j in range(grid.n_machines):
+            assert result.suite_mflops[j] == total_fe / result.suite_seconds[j] / 1e6
+
+    def test_default_is_full_registry(self, grid):
+        result = cost_suite_grid(grid)
+        assert result.trace_ids == suite_trace_ids()
+        assert len(result.trace_ids) == 16
+
+    def test_per_machine_suite_matches_per_machine_execution(self, grid):
+        from repro.analysis.traces import build_registered_trace
+
+        result = cost_suite_grid(grid, trace_ids=TRACE_SUBSET)
+        machines = list(canonical_machines().values())
+        for j, processor in enumerate(machines):
+            expected = math.fsum(
+                processor.execute(build_registered_trace(t)).seconds
+                for t in TRACE_SUBSET
+            )
+            assert result.suite_seconds[j] == expected
+
+    def test_unknown_trace_rejected(self, grid):
+        with pytest.raises(ValueError, match="unknown trace ids"):
+            cost_suite_grid(grid, trace_ids=("hint", "bogus"))
+
+    def test_empty_trace_list_rejected(self, grid):
+        with pytest.raises(ValueError, match="at least one trace"):
+            cost_suite_grid(grid, trace_ids=())
+
+    def test_bad_chunk_size_rejected(self, grid):
+        with pytest.raises(ValueError, match="chunk_machines"):
+            cost_suite_grid(grid, store=None, chunk_machines=0)
+
+
+class TestChunkCaching:
+    def test_warm_pass_is_bit_identical(self, sweep_grid, tmp_path):
+        store = ChunkStore(root=tmp_path)
+        cold = cost_suite_grid(
+            sweep_grid, trace_ids=TRACE_SUBSET, store=store, chunk_machines=4
+        )
+        warm = cost_suite_grid(
+            sweep_grid, trace_ids=TRACE_SUBSET, store=store, chunk_machines=4
+        )
+        assert cold.chunk_hits == 0 and cold.chunk_misses > 1
+        assert warm.chunk_misses == 0 and warm.chunk_hits == cold.chunk_misses
+        for trace_id in TRACE_SUBSET:
+            for field in ("cycles", "seconds", "mflops", "bandwidth_bytes_per_s"):
+                a = getattr(cold.traces[trace_id], field)
+                b = getattr(warm.traces[trace_id], field)
+                assert (a == b).all()
+        assert (cold.suite_seconds == warm.suite_seconds).all()
+        assert (cold.suite_mflops == warm.suite_mflops).all()
+
+    def test_chunked_equals_unchunked(self, sweep_grid, tmp_path):
+        chunked = cost_suite_grid(
+            sweep_grid,
+            trace_ids=TRACE_SUBSET,
+            store=ChunkStore(root=tmp_path),
+            chunk_machines=5,
+        )
+        plain = cost_suite_grid(sweep_grid, trace_ids=TRACE_SUBSET)
+        for trace_id in TRACE_SUBSET:
+            assert (chunked.traces[trace_id].cycles == plain.traces[trace_id].cycles).all()
+        assert (chunked.suite_seconds == plain.suite_seconds).all()
+
+    def test_corrupt_chunk_is_recomputed(self, sweep_grid, tmp_path):
+        store = ChunkStore(root=tmp_path)
+        cold = cost_suite_grid(
+            sweep_grid, trace_ids=("hint",), store=store, chunk_machines=4
+        )
+        victim = next(store.root.joinpath("chunks").glob("explore.*.json"))
+        victim.write_text('{"not": "a chunk"}', encoding="utf-8")
+        again = cost_suite_grid(
+            sweep_grid, trace_ids=("hint",), store=store, chunk_machines=4
+        )
+        assert again.chunk_misses == 1
+        assert again.chunk_hits == cold.chunk_misses - 1
+        assert (again.traces["hint"].cycles == cold.traces["hint"].cycles).all()
+
+    def test_dilation_partitions_the_cache(self, sweep_grid, tmp_path):
+        store = ChunkStore(root=tmp_path)
+        cost_suite_grid(sweep_grid, trace_ids=("hint",), store=store)
+        dilated = cost_suite_grid(
+            sweep_grid, trace_ids=("hint",), store=store, memory_dilation=1.5
+        )
+        assert dilated.chunk_hits == 0
+
+
+class TestChunkKeys:
+    def test_key_depends_on_grid_values(self, grid):
+        tweaked = grid.subset(np.arange(grid.n_machines))
+        tweaked.period_ns[0] *= 2.0
+        assert grid_chunk_key(grid, TRACE_SUBSET, 1.0) != grid_chunk_key(
+            tweaked, TRACE_SUBSET, 1.0
+        )
+
+    def test_key_depends_on_traces_and_dilation(self, grid):
+        base = grid_chunk_key(grid, TRACE_SUBSET, 1.0)
+        assert grid_chunk_key(grid, ("hint",), 1.0) != base
+        assert grid_chunk_key(grid, TRACE_SUBSET, 1.5) != base
+
+    def test_key_depends_on_source_code(self, grid):
+        key = grid_chunk_key(grid, TRACE_SUBSET, 1.0, code_digest="0" * 64)
+        assert key != grid_chunk_key(grid, TRACE_SUBSET, 1.0, code_digest="1" * 64)
+
+    def test_payloads_are_json_round_trippable(self, grid, tmp_path):
+        store = ChunkStore(root=tmp_path)
+        cost_suite_grid(grid, trace_ids=("hint",), store=store)
+        entry = next(store.root.joinpath("chunks").glob(f"{CHUNK_NAMESPACE}.*.json"))
+        payload = json.loads(entry.read_text(encoding="utf-8"))
+        assert payload["namespace"] == CHUNK_NAMESPACE
+        assert payload["chunk"]["n_machines"] == grid.n_machines

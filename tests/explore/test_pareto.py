@@ -1,0 +1,116 @@
+"""Pareto-frontier extraction and the hardware cost proxy."""
+
+import numpy as np
+import pytest
+
+from repro.explore.engine import cost_suite_grid
+from repro.explore.pareto import cost_proxy, pareto_front, pareto_points
+from repro.explore.sweep import ParameterSweep, explicit_axis
+from repro.machine.grid import MachineGrid
+from repro.machine.presets import canonical_machines
+
+
+class TestParetoFront:
+    def test_single_point_survives(self):
+        assert list(pareto_front(np.array([[1.0, 2.0]]), (True, True))) == [0]
+
+    def test_dominated_point_removed(self):
+        values = np.array([[1.0, 1.0], [2.0, 2.0]])
+        assert list(pareto_front(values, (True, True))) == [1]
+
+    def test_trade_off_points_both_survive(self):
+        values = np.array([[1.0, 3.0], [3.0, 1.0]])
+        assert list(pareto_front(values, (True, True))) == [0, 1]
+
+    def test_minimize_orientation(self):
+        values = np.array([[1.0, 5.0], [2.0, 6.0]])
+        # Maximizing both: the second row wins everywhere.
+        assert list(pareto_front(values, (True, True))) == [1]
+        # Minimizing the second column turns it into a trade-off.
+        assert list(pareto_front(values, (True, False))) == [0, 1]
+
+    def test_duplicate_optima_all_survive(self):
+        values = np.array([[2.0, 2.0], [2.0, 2.0], [1.0, 1.0]])
+        assert list(pareto_front(values, (True, True))) == [0, 1]
+
+    def test_indices_ascending(self):
+        rng = np.random.default_rng(7)
+        values = rng.uniform(size=(50, 3))
+        indices = pareto_front(values, (True, True, False))
+        assert list(indices) == sorted(indices)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            pareto_front(np.zeros(3), (True,))
+        with pytest.raises(ValueError, match="maximize flags"):
+            pareto_front(np.zeros((3, 2)), (True,))
+
+    def test_no_survivor_is_dominated(self):
+        rng = np.random.default_rng(11)
+        values = rng.uniform(size=(80, 3))
+        maximize = (True, False, True)
+        survivors = pareto_front(values, maximize)
+        oriented = values * np.where(np.asarray(maximize), 1.0, -1.0)
+        for i in survivors:
+            dominated = (
+                (oriented >= oriented[i]).all(axis=1)
+                & (oriented > oriented[i]).any(axis=1)
+            ).any()
+            assert not dominated
+
+
+class TestCostProxy:
+    def test_vector_machines_cost_more_than_cache_machines(self):
+        machines = canonical_machines()
+        grid = MachineGrid.from_processors(list(machines.values()))
+        proxy = cost_proxy(grid)
+        by_name = dict(zip(grid.names, proxy))
+        assert by_name["NEC SX-4 (9.2 ns)"] > by_name["Cray J90"]
+        assert by_name["Cray J90"] > by_name["SUN SPARC20"]
+
+    def test_monotone_in_pipes(self):
+        grid = ParameterSweep(
+            "sx4", (explicit_axis("vector.pipes", [4, 8, 16]),)
+        ).build()
+        proxy = cost_proxy(grid)
+        assert proxy[0] < proxy[1] < proxy[2]
+
+    def test_faster_clock_costs_more(self):
+        grid = ParameterSweep(
+            "sx4", (explicit_axis("clock.period_ns", [8.0, 16.0]),)
+        ).build()
+        proxy = cost_proxy(grid)
+        assert proxy[0] > proxy[1]
+
+
+class TestParetoPoints:
+    def test_frontier_over_a_sweep(self):
+        grid = ParameterSweep(
+            "sx4",
+            (explicit_axis("clock.period_ns", [6.0, 9.2, 14.0]),
+             explicit_axis("vector.pipes", [4, 8, 16])),
+            include_presets=True,
+        ).build()
+        result = cost_suite_grid(grid, trace_ids=("hint", "stream"))
+        points = pareto_points(result, grid)
+        assert points
+        frontier = {p.machine for p in points}
+        # A machine strictly dominated in all three objectives by the
+        # faster-clock same-pipes variant cannot be on the frontier.
+        proxy = cost_proxy(grid)
+        for p in points:
+            i = p.index
+            assert p.mflops == result.suite_mflops[i]
+            assert p.cost_proxy == proxy[i]
+        # Deterministic: extracting twice gives the same points.
+        assert [p.index for p in pareto_points(result, grid)] == [
+            p.index for p in points
+        ]
+        assert frontier == {result.machine_names[p.index] for p in points}
+
+    def test_mismatched_grid_rejected(self):
+        grid = ParameterSweep("sx4").build()
+        result = cost_suite_grid(grid, trace_ids=("hint",))
+        other = MachineGrid.from_processors(list(canonical_machines().values()))
+        with pytest.raises(ValueError, match="machines"):
+            pareto_points(result, other)

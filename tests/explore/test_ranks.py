@@ -1,0 +1,80 @@
+"""Rank-inversion maps: the Table 1 effect over a design space."""
+
+import pytest
+
+from repro.explore.engine import cost_suite_grid
+from repro.explore.ranks import (
+    DEFAULT_REFERENCE,
+    DEFAULT_TRACE_PAIR,
+    rank_inversion_map,
+)
+from repro.explore.sweep import ParameterSweep, explicit_axis, linear_axis
+from repro.machine.grid import MachineGrid
+from repro.machine.presets import canonical_machines
+
+
+@pytest.fixture(scope="module")
+def preset_result():
+    grid = MachineGrid.from_processors(list(canonical_machines().values()))
+    return cost_suite_grid(grid, trace_ids=DEFAULT_TRACE_PAIR)
+
+
+class TestRankInversionMap:
+    def test_reference_machine_is_never_inverted(self, preset_result):
+        inversion = rank_inversion_map(preset_result)
+        ref = preset_result.machine_names.index(DEFAULT_REFERENCE)
+        assert not inversion.beats_reference_a[ref]
+        assert not inversion.beats_reference_b[ref]
+        assert not inversion.inverted[ref]
+
+    def test_verdicts_follow_mflops(self, preset_result):
+        inversion = rank_inversion_map(preset_result)
+        ref = preset_result.machine_names.index(DEFAULT_REFERENCE)
+        a = preset_result.traces[DEFAULT_TRACE_PAIR[0]].mflops
+        b = preset_result.traces[DEFAULT_TRACE_PAIR[1]].mflops
+        for i in range(inversion.n_machines):
+            assert inversion.beats_reference_a[i] == (a[i] > a[ref])
+            assert inversion.beats_reference_b[i] == (b[i] > b[ref])
+            assert inversion.inverted[i] == (
+                inversion.beats_reference_a[i] != inversion.beats_reference_b[i]
+            )
+
+    def test_inverted_names(self, preset_result):
+        inversion = rank_inversion_map(preset_result)
+        assert set(inversion.inverted_names) == {
+            name
+            for name, flag in zip(inversion.machine_names, inversion.inverted)
+            if flag
+        }
+        assert inversion.n_inverted == len(inversion.inverted_names)
+
+    def test_sweep_finds_inversions(self):
+        # Around the reference's own operating point, slowing the clock
+        # and varying pipes produces machines that beat the Y-MP on one
+        # trace but not the other.
+        grid = ParameterSweep(
+            "ymp",
+            (linear_axis("clock.period_ns", 3.0, 12.0, 8),
+             explicit_axis("vector.pipes", [1, 2, 4])),
+            include_presets=True,
+        ).build()
+        result = cost_suite_grid(grid, trace_ids=DEFAULT_TRACE_PAIR)
+        inversion = rank_inversion_map(result)
+        assert 0 < inversion.n_inverted < inversion.n_machines
+
+    def test_unknown_trace_rejected(self, preset_result):
+        with pytest.raises(ValueError, match="not in result"):
+            rank_inversion_map(preset_result, trace_a="linpack")
+
+    def test_unknown_reference_rejected(self, preset_result):
+        with pytest.raises(ValueError, match="reference machine"):
+            rank_inversion_map(preset_result, reference="CDC 6600")
+
+    def test_custom_pair_and_reference(self):
+        grid = MachineGrid.from_processors(list(canonical_machines().values()))
+        result = cost_suite_grid(grid, trace_ids=("linpack", "ccm2"))
+        inversion = rank_inversion_map(
+            result, trace_a="linpack", trace_b="ccm2", reference="Cray J90"
+        )
+        assert inversion.reference == "Cray J90"
+        assert inversion.trace_a == "linpack"

@@ -15,10 +15,10 @@ from repro.machine.compiled import (
     set_default_engine,
 )
 from repro.machine.operations import INTRINSICS, ScalarOp, Trace, VectorOp
-from repro.machine.presets import sx4_processor, table1_machines
+from repro.machine.presets import canonical_machines, sx4_processor
 from repro.perfmon.collector import profile
 
-ALL_MACHINES = [*table1_machines().values(), sx4_processor(), sx4_processor(period_ns=8.0)]
+ALL_MACHINES = list(canonical_machines().values())
 
 REPORT_FIELDS = ("cycles", "seconds", "raw_flops", "flop_equivalents", "words_moved")
 

@@ -90,3 +90,33 @@ class TestSpecs:
             "Cooling",
             "Power Consumption",
         ]
+
+
+class TestPresetRegistry:
+    def test_factory_for_every_canonical_id(self):
+        for preset_id in presets.CANONICAL_PRESET_IDS:
+            assert preset_id in presets.PRESET_FACTORIES
+            proc = presets.preset_processor(preset_id)
+            assert proc.name
+
+    def test_unknown_id_names_the_known_ones(self):
+        with pytest.raises(ValueError, match="sx4-production"):
+            presets.preset_processor("cray-2")
+
+    def test_preset_processor_builds_fresh_instances(self):
+        assert presets.preset_processor("sx4") is not presets.preset_processor("sx4")
+
+    def test_sx4_production_is_the_8ns_clock(self):
+        proc = presets.preset_processor("sx4-production")
+        assert proc.clock.period_ns == presets.PRODUCTION_CLOCK_NS
+
+    def test_canonical_machines_keyed_by_processor_name(self):
+        machines = presets.canonical_machines()
+        assert len(machines) == len(presets.CANONICAL_PRESET_IDS)
+        for name, proc in machines.items():
+            assert proc.name == name
+
+    def test_table1_machines_built_from_registry(self):
+        table1 = presets.table1_machines()
+        assert list(table1) == list(presets.TABLE1_LABELS)
+        assert table1["CRI YMP"].name == "Cray Y-MP"
