@@ -169,6 +169,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="report path (default: repo-root BENCH_engine.json)")
     parser.add_argument("--min-speedup", type=float, default=None, metavar="X",
                         help="fail unless compiled is at least X times faster")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="committed BENCH_engine.json to regress against")
+    parser.add_argument("--max-slowdown", type=float, default=0.25, metavar="F",
+                        help="fail when compiled_s_per_suite exceeds the "
+                             "baseline by more than this fraction "
+                             "(default: 0.25)")
     args = parser.parse_args(argv if argv is not None else sys.argv[1:])
 
     payload = run_benchmark(rounds=args.rounds, repeats=args.repeats)
@@ -192,6 +198,20 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: speedup {payload['speedup']:.1f}x below required "
               f"{args.min_speedup:g}x", file=sys.stderr)
         return 1
+    if args.baseline is not None:
+        baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+        reference = float(baseline["compiled_s_per_suite"])
+        measured = payload["compiled_s_per_suite"]
+        slowdown = measured / reference - 1.0
+        print(f"baseline: {reference * 1e3:8.3f} ms / suite "
+              f"({args.baseline}); slowdown {slowdown:+.1%} "
+              f"(gate {args.max_slowdown:+.0%})")
+        if slowdown > args.max_slowdown:
+            print(f"error: compiled costing regressed {slowdown:+.1%} vs "
+                  f"baseline (allowed {args.max_slowdown:+.0%}): "
+                  f"{measured * 1e3:.3f} ms vs {reference * 1e3:.3f} ms",
+                  file=sys.stderr)
+            return 1
     return 0
 
 

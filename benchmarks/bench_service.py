@@ -1,0 +1,179 @@
+"""Service submission throughput and warm-hit latency.
+
+The workload is the service's steady state: a burst of submissions
+against an already-populated store.  A 100-job cold burst (distinct
+``tag`` values, so every body digests to its own job id) executes
+through the engine once; the identical warm burst must then be answered
+entirely from the spool — one read per submission, ``cache: hit``, no
+executor.  The benchmark measures both bursts through the transport-free
+:meth:`ServiceApp.handle` path (the socket layer adds only framing) and
+records warm-hit p50/p99 latency plus submissions/s in
+``BENCH_service.json``.
+
+The embedded gate is the content-addressing contract: the cold burst
+must be 0% hits, the warm burst **at least 90%** hits (it is 100% in
+practice; the margin absorbs future admission changes, not cache
+regressions).
+
+Standalone (writes the JSON report, exit 1 on a gate breach)::
+
+    python benchmarks/bench_service.py --jobs 100
+
+Under pytest the hit-rate gate runs as an ordinary (smaller) test::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.service.app import CACHE_HIT, ServiceApp
+
+__all__ = [
+    "submission_bodies",
+    "run_burst",
+    "percentile",
+    "run_benchmark",
+    "main",
+]
+
+#: Smallest real suite job: one experiment, so the cold burst executes
+#: quickly while the warm burst still exercises the full submit path.
+SUITE_IDS = ["table2"]
+
+WARM_HIT_RATE_FLOOR = 0.90
+
+
+def submission_bodies(jobs: int) -> list[bytes]:
+    """``jobs`` distinct request bodies for identical work.
+
+    The ``tag`` field varies the job id without changing the resolved
+    work — the engine computes once and every later job splices the
+    same digests from the store.
+    """
+    return [
+        json.dumps(
+            {"kind": "suite", "suite": {"ids": SUITE_IDS}, "tag": f"burst-{i:04d}"}
+        ).encode("utf-8")
+        for i in range(jobs)
+    ]
+
+
+def run_burst(app: ServiceApp, bodies: list[bytes]) -> tuple[list[float], int]:
+    """Submit every body; returns (per-submission seconds, hits)."""
+    latencies: list[float] = []
+    hits = 0
+    for body in bodies:
+        start = time.perf_counter()
+        response = app.handle("POST", "/v1/jobs", body)
+        latencies.append(time.perf_counter() - start)
+        payload = json.loads(response.body)
+        if payload.get("cache") == CACHE_HIT:
+            hits += 1
+        app.run_pending()  # execute misses inline, like the worker would
+    return latencies, hits
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    """The ``fraction`` quantile by nearest-rank on sorted samples."""
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def run_benchmark(jobs: int = 100) -> dict:
+    """Cold + warm bursts against a fresh root; BENCH_service payload."""
+    bodies = submission_bodies(jobs)
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as root:
+        app = ServiceApp(root=root)
+
+        cold_start = time.perf_counter()
+        cold_latencies, cold_hits = run_burst(app, bodies)
+        cold_wall_s = time.perf_counter() - cold_start
+
+        warm_start = time.perf_counter()
+        warm_latencies, warm_hits = run_burst(app, bodies)
+        warm_wall_s = time.perf_counter() - warm_start
+
+    return {
+        "schema_version": 1,
+        "benchmark": "service_submission_burst",
+        "workload": f"{jobs}-job burst of identical suite work "
+                    f"({'+'.join(SUITE_IDS)}), distinct tags, cold then warm",
+        "jobs": jobs,
+        "cold": {
+            "hits": cold_hits,
+            "hit_rate": cold_hits / jobs,
+            "wall_s": cold_wall_s,
+            "submit_p50_s": percentile(cold_latencies, 0.50),
+            "submit_p99_s": percentile(cold_latencies, 0.99),
+        },
+        "warm": {
+            "hits": warm_hits,
+            "hit_rate": warm_hits / jobs,
+            "wall_s": warm_wall_s,
+            "submit_p50_s": percentile(warm_latencies, 0.50),
+            "submit_p99_s": percentile(warm_latencies, 0.99),
+            "submissions_per_s": jobs / warm_wall_s if warm_wall_s > 0 else 0.0,
+        },
+        "gate": {
+            "warm_hit_rate_floor": WARM_HIT_RATE_FLOOR,
+            "cold_must_miss": True,
+        },
+    }
+
+
+def test_warm_burst_hits_without_executor():
+    """Pytest face of the gate, on a burst small enough for CI."""
+    payload = run_benchmark(jobs=10)
+    assert payload["cold"]["hit_rate"] == 0.0
+    assert payload["warm"]["hit_rate"] >= WARM_HIT_RATE_FLOOR
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark service submission bursts; write BENCH_service.json."
+    )
+    parser.add_argument("--jobs", type=int, default=100,
+                        help="submissions per burst (default: 100)")
+    parser.add_argument("--out", default=str(Path(__file__).resolve().parent.parent
+                                             / "BENCH_service.json"),
+                        help="report path (default: repo-root BENCH_service.json)")
+    args = parser.parse_args(argv if argv is not None else sys.argv[1:])
+
+    payload = run_benchmark(jobs=args.jobs)
+    Path(args.out).write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+
+    cold, warm = payload["cold"], payload["warm"]
+    print(f"burst: {payload['jobs']} submissions of identical work, "
+          f"cold then warm")
+    print(f"cold: {cold['hit_rate']:7.1%} hits, "
+          f"p50 {cold['submit_p50_s'] * 1e3:7.3f} ms, "
+          f"p99 {cold['submit_p99_s'] * 1e3:7.3f} ms")
+    print(f"warm: {warm['hit_rate']:7.1%} hits, "
+          f"p50 {warm['submit_p50_s'] * 1e3:7.3f} ms, "
+          f"p99 {warm['submit_p99_s'] * 1e3:7.3f} ms, "
+          f"{warm['submissions_per_s']:,.0f} submissions/s")
+    print(f"report: {args.out}")
+
+    if cold["hit_rate"] != 0.0:
+        print(f"error: cold burst hit rate {cold['hit_rate']:.1%} != 0% — "
+              f"a fresh root answered from a cache that cannot exist",
+              file=sys.stderr)
+        return 1
+    if warm["hit_rate"] < WARM_HIT_RATE_FLOOR:
+        print(f"error: warm burst hit rate {warm['hit_rate']:.1%} below the "
+              f"{WARM_HIT_RATE_FLOOR:.0%} floor — content addressing is "
+              f"not short-circuiting resubmissions", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,6 +34,12 @@ REPO009   every machine-axis method ``<name>_cycles_grid`` has a
           is only trustworthy if the per-machine batch kernel it must
           mirror bit-for-bit exists to be verified against (REPO007
           then chains that sibling down to the per-op reference)
+REPO010   CLI entry modules honor the uniform exit-code contract:
+          0 = success, 1 = operation failed, 2 = usage error.  Literal
+          ``sys.exit(N)`` / ``raise SystemExit(N)`` with any other
+          integer is rejected — richer failure taxonomies (like
+          ``engine run``'s 3/4/5 failure kinds) must flow through a
+          named, documented code map, never inline magic numbers
 ========  ==============================================================
 
 All findings are ERROR severity — the CLI exits non-zero on any, which
@@ -573,6 +579,73 @@ def _check_fault_sites(rel: str, tree: ast.Module) -> list[Diagnostic]:
     return found
 
 
+#: Exit codes every ``repro.*`` CLI may use as inline literals.  The
+#: shared contract — 0 success, 1 failure, 2 usage — is what lets shell
+#: scripts and CI treat the tools uniformly; anything finer-grained
+#: (``engine run``'s failure kinds) must come from a named code map.
+CONTRACT_EXIT_CODES = (0, 1, 2)
+
+
+def _exit_code_literal(node: ast.AST) -> tuple[int, int] | None:
+    """(lineno, code) when ``node`` exits with a literal int, else None.
+
+    Matches ``sys.exit(N)`` / ``exit(N)`` calls and ``raise
+    SystemExit(N)``; non-literal arguments (variables, dict lookups
+    like ``FAILURE_EXIT_CODES[kind]``) are out of scope by design —
+    a named map is exactly the documented escape this rule demands.
+    """
+    call: ast.expr | None = None
+    if isinstance(node, ast.Raise) and isinstance(node.exc, ast.Call):
+        func = node.exc.func
+        if isinstance(func, ast.Name) and func.id == "SystemExit":
+            call = node.exc
+    elif isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+        if name == "exit":
+            call = node
+    if call is None or len(call.args) != 1 or call.keywords:
+        return None
+    arg = call.args[0]
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, int):
+        return node.lineno, arg.value
+    return None
+
+
+def _check_exit_codes(rel: str, tree: ast.Module) -> list[Diagnostic]:
+    """REPO010: CLI entry modules keep to the 0/1/2 exit-code contract.
+
+    Applies to ``cli.py`` / ``__main__.py`` modules and any src module
+    defining a top-level ``main`` function.  Only *literal* integer
+    codes outside the contract are findings: exits through a named
+    failure-kind map (``sys.exit(FAILURE_EXIT_CODES[kind])``) are the
+    sanctioned way to express richer taxonomies, because the map is a
+    single documented, greppable surface instead of scattered numbers.
+    """
+    found = []
+    for node in ast.walk(tree):
+        hit = _exit_code_literal(node)
+        if hit is None:
+            continue
+        lineno, code = hit
+        if code in CONTRACT_EXIT_CODES:
+            continue
+        found.append(
+            Diagnostic(
+                rule_id="REPO010",
+                severity=Severity.ERROR,
+                location=f"{rel}:{lineno}",
+                message=(
+                    f"CLI exits with literal code {code}, outside the "
+                    f"uniform contract {CONTRACT_EXIT_CODES} "
+                    f"(0 ok / 1 failure / 2 usage); route richer "
+                    f"failure kinds through a named exit-code map"
+                ),
+            )
+        )
+    return found
+
+
 # ---------------------------------------------------------------- driver
 def _is_kernel_module(rel_parts: tuple[str, ...]) -> bool:
     return (
@@ -601,6 +674,20 @@ def _is_simulator_path(rel_parts: tuple[str, ...]) -> bool:
 
 def _in_src(rel_parts: tuple[str, ...]) -> bool:
     return rel_parts[:2] == ("src", "repro")
+
+
+def _is_cli_entry(rel_parts: tuple[str, ...], tree: ast.Module) -> bool:
+    """Modules REPO010 holds to the exit-code contract: the conventional
+    entry-point filenames, plus any src module exposing a top-level
+    ``main`` (however it is named, it is somebody's entry point)."""
+    if not _in_src(rel_parts):
+        return False
+    if rel_parts[-1] in ("cli.py", "__main__.py"):
+        return True
+    return any(
+        isinstance(node, ast.FunctionDef) and node.name == "main"
+        for node in tree.body
+    )
 
 
 def lint_file(path: Path, root: Path) -> list[Diagnostic]:
@@ -637,6 +724,8 @@ def lint_file(path: Path, root: Path) -> list[Diagnostic]:
         found.extend(_check_batch_siblings(rel, tree))
         found.extend(_check_grid_siblings(rel, tree))
         found.extend(_check_fault_sites(rel, tree))
+    if _is_cli_entry(rel_parts, tree):
+        found.extend(_check_exit_codes(rel, tree))
 
     def kept(diag: Diagnostic) -> bool:
         if diag.rule_id in exempt:

@@ -191,6 +191,13 @@ def _cmd_gc(args: argparse.Namespace) -> int:
         f"gc: {verb} {len(removed)} entr{'y' if len(removed) == 1 else 'ies'}"
         f" ({total}){tail}"
     )
+    from repro.service.spool import JobSpool
+
+    swept = JobSpool(store.root).sweep_expired(dry_run=args.dry_run)
+    print(
+        f"gc: {verb} {len(swept)} expired service job "
+        f"record{'' if len(swept) == 1 else 's'}"
+    )
     return 0
 
 

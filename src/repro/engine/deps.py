@@ -38,6 +38,7 @@ from repro.machine import presets
 __all__ = [
     "DIGEST_SCHEMA",
     "EXPERIMENTS_MODULE",
+    "SERVICE_RESOLVE_MODULE",
     "ExperimentDigest",
     "builder_entry_points",
     "package_root",
@@ -55,6 +56,11 @@ DIGEST_SCHEMA = 1
 
 #: The module whose builder functions define the suite.
 EXPERIMENTS_MODULE = "repro.suite.experiments"
+
+#: The service's request-resolution registry; its resolvers join the
+#: builder entry points so the effect analyzer holds the HTTP surface
+#: to the same determinism contract as the experiment builders.
+SERVICE_RESOLVE_MODULE = "repro.service.resolve"
 
 _PACKAGE = "repro"
 
@@ -183,19 +189,44 @@ def builder_entry_points() -> tuple[tuple[str, str, str], ...]:
     executor dispatches these same functions into pool workers, free of
     module-global mutation (DET005).
     """
-    tree = _parse(module_path(EXPERIMENTS_MODULE))
-    _, functions = _experiments_module_index()
+    entries = list(_registry_entry_points(EXPERIMENTS_MODULE, "EXPERIMENTS"))
+    entries.extend(
+        (f"service:{kind}", module, func)
+        for kind, module, func in _registry_entry_points(
+            SERVICE_RESOLVE_MODULE, "JOB_RESOLVERS"
+        )
+    )
+    return tuple(entries)
+
+
+def _registry_entry_points(
+    module: str, registry: str
+) -> tuple[tuple[str, str, str], ...]:
+    """Statically enumerate a module-level ``{str: function}`` dict literal.
+
+    Returns ``(key, module, function)`` for every entry whose key is a
+    string constant and whose value names a top-level function of the
+    module.  An absent module yields no entries — the engine must keep
+    working in trees that ship without the optional registries.
+    """
+    path = module_path(module)
+    if path is None:
+        return ()
+    tree = _parse(path)
+    functions = {
+        node.name for node in tree.body if isinstance(node, ast.FunctionDef)
+    }
     entries: list[tuple[str, str, str]] = []
     for node in tree.body:
         value: ast.expr | None = None
         if isinstance(node, ast.Assign) and any(
-            isinstance(t, ast.Name) and t.id == "EXPERIMENTS" for t in node.targets
+            isinstance(t, ast.Name) and t.id == registry for t in node.targets
         ):
             value = node.value
         elif (
             isinstance(node, ast.AnnAssign)
             and isinstance(node.target, ast.Name)
-            and node.target.id == "EXPERIMENTS"
+            and node.target.id == registry
         ):
             value = node.value
         if not isinstance(value, ast.Dict):
@@ -207,7 +238,7 @@ def builder_entry_points() -> tuple[tuple[str, str, str], ...]:
                 and isinstance(builder, ast.Name)
                 and builder.id in functions
             ):
-                entries.append((key.value, EXPERIMENTS_MODULE, builder.id))
+                entries.append((key.value, module, builder.id))
     return tuple(entries)
 
 

@@ -38,7 +38,9 @@ __all__ = [
 
 #: Hook sites in the host layers.  Adding a site here both registers
 #: its ``fault.<site>`` counter and satisfies REPO008 for callers.
-FAULT_SITES = ("executor_job", "store_entry")
+#: ``service_submit`` fires in the service's submission handler, before
+#: admission — chaos tests use it to prove clients survive 503s.
+FAULT_SITES = ("executor_job", "store_entry", "service_submit")
 
 #: ``error``/``crash``/``timeout`` fail a job attempt (transient, the
 #: retry policy's domain); ``slow`` delays an attempt without failing
@@ -86,6 +88,11 @@ class FaultAction:
             raise ValueError("store_entry faults must be kind 'corrupt'")
         if self.site == "executor_job" and self.kind == "corrupt":
             raise ValueError("corrupt faults apply to store entries, not jobs")
+        if self.site == "service_submit" and self.kind not in ("error", "slow"):
+            raise ValueError(
+                "service_submit faults must be kind 'error' or 'slow' "
+                "(a submission either bounces with a 503 or stalls)"
+            )
         if self.attempt < 0 or self.delay_s < 0:
             raise ValueError("attempt and delay_s must be non-negative")
 

@@ -1,0 +1,54 @@
+"""Benchmark-as-a-service: an async job API over the content-addressed engine.
+
+The engine made suite runs cacheable and incremental for one user on
+one checkout; this package makes the same machinery multi-client.  A
+long-running HTTP service accepts benchmark campaigns as jobs —
+suite subsets (with optional fault plans) and design-space sweeps —
+executes them through :func:`repro.engine.executor.run_engine` and
+:func:`repro.explore.engine.cost_suite_grid`, and leans on content
+addressing end to end:
+
+``requests``
+    canonical request bodies; the job id is a sha256 over them, so
+    identical submissions collide onto the same job everywhere;
+``resolve``
+    the pure request→work mapping, registered as builder entry points
+    so the effect analyzer proves the handler path deterministic;
+``spool``
+    the durable queue — every job journaled to the engine's
+    :class:`~repro.engine.store.ChunkStore`, so a killed server
+    resumes its backlog on restart, same ids, same results;
+``tenants``
+    per-tenant quotas, result TTLs, and cache isolation by
+    construction (a store root per tenant);
+``app``
+    the HTTP surface and worker (transport-free, tests call it
+    directly);
+``server`` / ``client``
+    the asyncio socket front end and the blocking stdlib client;
+``cli``
+    ``python -m repro.service serve|submit|status|gc``.
+
+The headline property, inherited from the store: submitting the same
+request twice returns byte-identical result payloads, and the second
+submission is answered from the spool in one read (``cache: hit``)
+without the executor ever running.
+"""
+
+from repro.service.app import ServiceApp
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.requests import request_job_id, validate_request
+from repro.service.spool import JobRecord, JobSpool
+from repro.service.tenants import Tenant, TenantRegistry
+
+__all__ = [
+    "ServiceApp",
+    "ServiceClient",
+    "ServiceError",
+    "request_job_id",
+    "validate_request",
+    "JobRecord",
+    "JobSpool",
+    "Tenant",
+    "TenantRegistry",
+]

@@ -1,0 +1,556 @@
+"""The service application: routing, admission, execution, observability.
+
+:class:`ServiceApp` is the whole HTTP surface as one synchronous
+``handle(method, path, body)`` function — the asyncio server
+(:mod:`repro.service.server`) is a thin socket wrapper around it, and
+tests (and the benchmark's direct mode) call it without a socket.
+
+Request lifecycle::
+
+    POST /v1/jobs
+      -> validate_request     (400 on malformed bodies)
+      -> tenant admission     (403 unknown tenant, 429 over quota)
+      -> job id = request digest
+      -> spool lookup:
+           done     -> 200, ``cache: hit`` — no executor, one spool read
+           unfinished -> 202, ``cache: pending`` — the existing handle
+           absent   -> 202, ``cache: miss`` — journal + enqueue
+
+The worker (``run_pending``; driven by the server's background task,
+or called directly in tests) pops pending jobs and executes them
+through the engine: suite jobs via
+:func:`repro.engine.executor.run_engine` against the tenant's own
+:class:`~repro.engine.store.ResultStore`, sweep jobs via
+:func:`repro.explore.engine.cost_suite_grid` with the tenant's chunk
+store.  Each job runs inside a :mod:`repro.perfmon` profile;
+``GET /v1/jobs/{id}`` embeds a live snapshot of its counters and spans
+while it runs, and ``GET /metrics`` serves the service-lifetime
+counters in Prometheus exposition format.
+
+Result payloads are deterministic by construction (experiment dicts
+and digest maps only — timings live in record ``meta``), serialized
+with sorted keys and compact separators: identical requests produce
+byte-identical result responses, which tests and the CI service-smoke
+job assert with a plain byte compare.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.engine.executor import run_engine
+from repro.engine.store import DEFAULT_STORE_ROOT, ResultStore
+from repro.explore.engine import cost_suite_grid
+from repro.faults.inject import FaultInjector, fault_point
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import chaos_retry_policy
+from repro.perfmon.collector import Profile
+from repro.perfmon.collector import profile as perfmon_profile
+from repro.perfmon.counters import declare_counters
+from repro.perfmon.export import to_prometheus
+from repro.service.requests import (
+    DEFAULT_TENANT,
+    RequestError,
+    request_job_id,
+    validate_request,
+)
+from repro.service.resolve import JOB_RESOLVERS
+from repro.service.spool import DONE, FAILED, JobRecord, JobSpool
+from repro.service.tenants import Tenant, TenantRegistry, tenant_store_root
+from repro.suite.archive import experiment_to_dict
+
+__all__ = [
+    "RESULT_SCHEMA",
+    "CACHE_HIT",
+    "CACHE_MISS",
+    "CACHE_PENDING",
+    "Response",
+    "ServiceApp",
+    "json_response",
+    "canonical_json_bytes",
+]
+
+RESULT_SCHEMA = 1
+
+CACHE_HIT = "hit"
+CACHE_MISS = "miss"
+CACHE_PENDING = "pending"
+
+declare_counters(
+    "service",
+    (
+        "requests",  # every handled HTTP request
+        "submissions",  # POST /v1/jobs admitted (hit or miss)
+        "hits",  # submissions answered from a completed record
+        "misses",  # submissions that created a new job
+        "completed",  # jobs finished successfully
+        "failed",  # jobs finished in failure
+        "quota_rejections",  # submissions bounced by tenant quotas
+        "bad_requests",  # malformed submissions (HTTP 400)
+        "swept",  # job records dropped by TTL sweeps
+    ),
+)
+
+
+@dataclass(frozen=True)
+class Response:
+    """One HTTP response, transport-agnostic."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+
+
+def canonical_json_bytes(payload: dict) -> bytes:
+    """Sorted-key compact JSON — the byte-identity serialization."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def json_response(status: int, payload: dict) -> Response:
+    return Response(status=status, body=canonical_json_bytes(payload))
+
+
+def _error(status: int, message: str) -> Response:
+    return json_response(status, {"error": message})
+
+
+class ServiceApp:
+    """Benchmark-as-a-service over the content-addressed engine."""
+
+    def __init__(
+        self,
+        root: str | Path = DEFAULT_STORE_ROOT,
+        tenants: TenantRegistry | None = None,
+        jobs: int = 1,
+        injector: FaultInjector | None = None,
+        clock=time.time,
+    ) -> None:
+        self.root = Path(root)
+        self.spool = JobSpool(self.root)
+        self.tenants = tenants if tenants is not None else TenantRegistry()
+        self.jobs = jobs
+        self.injector = injector
+        self.clock = clock
+        #: (tenant, job_id) FIFO the worker drains.
+        self.queue: deque[tuple[str, str]] = deque()
+        #: live per-job profiles, for progress snapshots while running.
+        self.job_profiles: dict[str, Profile] = {}
+        #: service-lifetime profile behind ``GET /metrics``.
+        self.profile = Profile(meta={"service": "repro", "root": str(self.root)})
+        self.started_at = self.clock()
+
+    # ------------------------------------------------------------ counters
+    def _count(self, **increments: float) -> None:
+        self.profile.counters.add_many(
+            "service", {name: float(value) for name, value in increments.items()}
+        )
+
+    # ------------------------------------------------------------ recovery
+    def recover(self) -> list[JobRecord]:
+        """Re-enqueue unfinished spool records (startup resume path)."""
+        resumed = self.spool.recover()
+        for record in resumed:
+            self.queue.append((record.tenant, record.job_id))
+        return resumed
+
+    # ------------------------------------------------------------ routing
+    def handle(self, method: str, path: str, body: bytes = b"") -> Response:
+        """Dispatch one request; never raises for client-side faults."""
+        self._count(requests=1.0)
+        path, _, query = path.partition("?")
+        params = _parse_query(query)
+        parts = [p for p in path.split("/") if p]
+        try:
+            if method == "POST" and parts == ["v1", "jobs"]:
+                return self.submit(body)
+            if method == "GET" and len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+                return self.job_status(parts[2], params.get("tenant"))
+            if (
+                method == "GET"
+                and len(parts) == 4
+                and parts[:2] == ["v1", "jobs"]
+                and parts[3] == "result"
+            ):
+                return self.job_result(parts[2], params.get("tenant"))
+            if method == "GET" and parts == ["v1", "jobs"]:
+                return self.list_jobs(params.get("tenant"))
+            if method == "GET" and len(parts) == 3 and parts[:2] == ["v1", "results"]:
+                return self.result_by_digest(parts[2], params.get("tenant"))
+            if method == "GET" and parts == ["metrics"]:
+                return self.metrics()
+            if method == "GET" and parts == ["v1", "health"]:
+                return self.health()
+        except Exception as exc:  # a handler bug must not kill the server
+            return _error(500, f"{type(exc).__name__}: {exc}")
+        return _error(404, f"no route for {method} /{'/'.join(parts)}")
+
+    # ------------------------------------------------------------ handlers
+    def submit(self, body: bytes) -> Response:
+        try:
+            parsed = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, ValueError):
+            self._count(bad_requests=1.0)
+            return _error(400, "request body is not valid JSON")
+        try:
+            request = validate_request(parsed)
+        except RequestError as exc:
+            self._count(bad_requests=1.0)
+            return _error(400, str(exc))
+
+        tenant = self.tenants.get(request["tenant"])
+        if tenant is None:
+            return _error(
+                403,
+                f"unknown tenant {request['tenant']!r}; provisioned: "
+                f"{', '.join(self.tenants.names())}",
+            )
+
+        job_id = request_job_id(request)
+        action = fault_point("service_submit", self.injector, job_id)
+        if action is not None:
+            if action.kind == "slow":
+                time.sleep(action.delay_s)
+            else:
+                return _error(503, "injected service fault (chaos harness)")
+
+        existing = self.spool.get(tenant.name, job_id)
+        if existing is not None and existing.state == DONE:
+            # The content-addressed fast path: one spool read, no
+            # executor, no queue — the "costs ~0" case.
+            self._count(submissions=1.0, hits=1.0)
+            return json_response(
+                200, self._submission_payload(existing, CACHE_HIT)
+            )
+        if existing is not None and not existing.finished:
+            self._count(submissions=1.0)
+            return json_response(
+                202, self._submission_payload(existing, CACHE_PENDING)
+            )
+
+        counts = self.spool.counts(tenant.name)
+        unfinished = counts["pending"] + counts["running"]
+        if existing is None and unfinished >= tenant.max_pending:
+            self._count(quota_rejections=1.0)
+            return _error(
+                429,
+                f"tenant {tenant.name!r} has {unfinished} unfinished jobs "
+                f"(quota {tenant.max_pending})",
+            )
+        if existing is None and counts["total"] >= tenant.max_records:
+            self._count(quota_rejections=1.0)
+            return _error(
+                429,
+                f"tenant {tenant.name!r} holds {counts['total']} job records "
+                f"(quota {tenant.max_records}); run gc or raise the quota",
+            )
+
+        record = JobRecord(
+            job_id=job_id,
+            tenant=tenant.name,
+            request=request,
+            submitted_at=self.clock(),
+            attempts=existing.attempts if existing is not None else 0,
+        )
+        self.spool.put(record)
+        self.queue.append((tenant.name, job_id))
+        self._count(submissions=1.0, misses=1.0)
+        return json_response(202, self._submission_payload(record, CACHE_MISS))
+
+    def _submission_payload(self, record: JobRecord, cache: str) -> dict:
+        return {
+            "job_id": record.job_id,
+            "kind": record.kind,
+            "tenant": record.tenant,
+            "state": record.state,
+            "cache": cache,
+            "links": {
+                "status": f"/v1/jobs/{record.job_id}?tenant={record.tenant}",
+                "result": f"/v1/jobs/{record.job_id}/result?tenant={record.tenant}",
+            },
+        }
+
+    def _lookup(self, job_id: str, tenant: str | None) -> JobRecord | None:
+        return self.spool.get(tenant or DEFAULT_TENANT, job_id)
+
+    def job_status(self, job_id: str, tenant: str | None) -> Response:
+        record = self._lookup(job_id, tenant)
+        if record is None:
+            return _error(404, f"no job {job_id!r} for tenant {tenant or DEFAULT_TENANT!r}")
+        payload = {
+            "job_id": record.job_id,
+            "kind": record.kind,
+            "tenant": record.tenant,
+            "state": record.state,
+            "attempts": record.attempts,
+            "submitted_at": record.submitted_at,
+            "finished_at": record.finished_at,
+            "expires_at": record.expires_at,
+            "error": record.error,
+            "meta": record.meta,
+        }
+        live = self.job_profiles.get(record.job_id)
+        if live is not None:
+            payload["progress"] = _progress_snapshot(live)
+        return json_response(200, payload)
+
+    def job_result(self, job_id: str, tenant: str | None) -> Response:
+        record = self._lookup(job_id, tenant)
+        if record is None:
+            return _error(404, f"no job {job_id!r} for tenant {tenant or DEFAULT_TENANT!r}")
+        if record.state == FAILED:
+            return _error(500, record.error or "job failed")
+        if record.result is None:
+            return json_response(
+                202,
+                {"job_id": record.job_id, "state": record.state,
+                 "error": "result not ready"},
+            )
+        return Response(status=200, body=canonical_json_bytes(record.result))
+
+    def list_jobs(self, tenant: str | None) -> Response:
+        name = tenant or DEFAULT_TENANT
+        if self.tenants.get(name) is None:
+            return _error(403, f"unknown tenant {name!r}")
+        records = self.spool.records(name)
+        return json_response(
+            200,
+            {
+                "tenant": name,
+                "jobs": [
+                    {"job_id": r.job_id, "kind": r.kind, "state": r.state}
+                    for r in records
+                ],
+                "counts": self.spool.counts(name),
+            },
+        )
+
+    def result_by_digest(self, digest: str, tenant: str | None) -> Response:
+        """Direct content-addressed read: one store get, no job needed."""
+        name = tenant or DEFAULT_TENANT
+        if self.tenants.get(name) is None:
+            return _error(403, f"unknown tenant {name!r}")
+        store = ResultStore(tenant_store_root(self.root, name))
+        for entry in store.entries():
+            if entry.key != digest:
+                continue
+            cached = store.get(_entry_digest(entry.exp_id, entry.key))
+            if cached is None:
+                break  # corrupt: quarantined on read, report a miss
+            return json_response(
+                200,
+                {
+                    "schema": RESULT_SCHEMA,
+                    "digest": digest,
+                    "exp_id": cached.exp_id,
+                    "cache": CACHE_HIT,
+                    "experiment": experiment_to_dict(cached.experiment),
+                },
+            )
+        return _error(404, f"no result under digest {digest!r} for tenant {name!r}")
+
+    def metrics(self) -> Response:
+        return Response(
+            status=200,
+            body=to_prometheus(self.profile).encode("utf-8"),
+            content_type="text/plain; version=0.0.4",
+        )
+
+    def health(self) -> Response:
+        return json_response(
+            200,
+            {
+                "status": "ok",
+                "pending": len(self.queue),
+                "running": sorted(self.job_profiles),
+                "tenants": list(self.tenants.names()),
+            },
+        )
+
+    # ------------------------------------------------------------ worker
+    def next_pending(self) -> tuple[str, str] | None:
+        try:
+            return self.queue.popleft()
+        except IndexError:
+            return None
+
+    def run_pending(self, max_jobs: int | None = None) -> int:
+        """Drain the queue (the worker loop body); returns jobs run."""
+        ran = 0
+        while max_jobs is None or ran < max_jobs:
+            item = self.next_pending()
+            if item is None:
+                break
+            tenant, job_id = item
+            self.run_one(tenant, job_id)
+            ran += 1
+        return ran
+
+    def run_one(self, tenant_name: str, job_id: str) -> JobRecord | None:
+        """Execute one journaled job through the engine."""
+        record = self.spool.get(tenant_name, job_id)
+        if record is None or record.finished:
+            return record
+        tenant = self.tenants.get(tenant_name) or Tenant(name=tenant_name)
+        record = self.spool.mark_running(record)
+        with perfmon_profile(job_id=job_id, tenant=tenant_name) as prof:
+            self.job_profiles[job_id] = prof
+            try:
+                result, meta = self._execute(record)
+            except Exception as exc:
+                self.job_profiles.pop(job_id, None)
+                self._count(failed=1.0)
+                return self.spool.mark_failed(
+                    record,
+                    error=f"{type(exc).__name__}: {exc}",
+                    meta={"attempts": record.attempts},
+                    now=self.clock(),
+                    ttl_s=tenant.result_ttl_s,
+                )
+            finally:
+                self.job_profiles.pop(job_id, None)
+        meta["perfmon"] = _progress_snapshot(prof)
+        if result is None:
+            self._count(failed=1.0)
+            return self.spool.mark_failed(
+                record,
+                error=str(meta.get("failures") or "job failed"),
+                meta=meta,
+                now=self.clock(),
+                ttl_s=tenant.result_ttl_s,
+            )
+        self._count(completed=1.0)
+        return self.spool.mark_done(
+            record,
+            result=result,
+            meta=meta,
+            now=self.clock(),
+            ttl_s=tenant.result_ttl_s,
+        )
+
+    # ------------------------------------------------------------ executors
+    def _execute(self, record: JobRecord) -> tuple[dict | None, dict]:
+        kind = record.kind
+        payload = record.request.get(kind, {})
+        if kind == "suite":
+            return self._execute_suite(record, payload)
+        if kind == "sweep":
+            return self._execute_sweep(record, payload)
+        raise ValueError(f"unknown job kind {kind!r}; know {', '.join(JOB_RESOLVERS)}")
+
+    def _execute_suite(self, record: JobRecord, payload: dict) -> tuple[dict | None, dict]:
+        exp_ids = JOB_RESOLVERS["suite"](payload)
+        store = ResultStore(tenant_store_root(self.root, record.tenant))
+        injector = retry = None
+        if payload.get("fault_plan") is not None:
+            injector = FaultPlan.from_dict(payload["fault_plan"]).injector()
+            retry = chaos_retry_policy()
+        report = run_engine(
+            exp_ids, jobs=self.jobs, store=store, retry=retry, injector=injector
+        )
+        meta = {
+            "cache": report.cache_counts(),
+            "plan": report.plan.counts(),
+            "wall_s": report.wall_s,
+            "attempts": record.attempts,
+            "retry_rounds": report.retry_rounds,
+        }
+        if report.failures:
+            meta["failures"] = [f.summary_line() for f in report.failures]
+            return None, meta
+        digests = {e.exp_id: e.digest.key for e in report.plan.entries}
+        result = {
+            "schema": RESULT_SCHEMA,
+            "kind": "suite",
+            "job_id": record.job_id,
+            "tenant": record.tenant,
+            "exp_ids": list(exp_ids),
+            "digests": {exp_id: digests[exp_id] for exp_id in exp_ids},
+            "experiments": [
+                experiment_to_dict(r.experiment) for r in report.successes
+            ],
+        }
+        return result, meta
+
+    def _execute_sweep(self, record: JobRecord, payload: dict) -> tuple[dict, dict]:
+        from repro.engine.store import ChunkStore
+
+        sweep = JOB_RESOLVERS["sweep"](payload)
+        grid = sweep.build()
+        trace_ids = tuple(payload.get("traces") or ()) or None
+        chunk_store = ChunkStore(tenant_store_root(self.root, record.tenant))
+        start = time.perf_counter()
+        outcome = cost_suite_grid(
+            grid,
+            trace_ids=trace_ids,
+            memory_dilation=float(payload.get("dilation", 1.0)),
+            store=chunk_store,
+        )
+        meta = {
+            "wall_s": time.perf_counter() - start,
+            "attempts": record.attempts,
+            "n_machines": outcome.n_machines,
+        }
+        result = {
+            "schema": RESULT_SCHEMA,
+            "kind": "sweep",
+            "job_id": record.job_id,
+            "tenant": record.tenant,
+            "anchor": payload.get("anchor", "sx4"),
+            "n_machines": outcome.n_machines,
+            "trace_ids": list(outcome.trace_ids),
+            "machines": [
+                {
+                    "name": outcome.machine_names[i],
+                    "suite_seconds": float(outcome.suite_seconds[i]),
+                    "suite_mflops": float(outcome.suite_mflops[i]),
+                    "suite_bandwidth_bytes_per_s": float(
+                        outcome.suite_bandwidth_bytes_per_s[i]
+                    ),
+                }
+                for i in range(outcome.n_machines)
+            ],
+        }
+        return result, meta
+
+    # ------------------------------------------------------------ hygiene
+    def sweep_expired(self, now: float | None = None) -> int:
+        """TTL sweep over every tenant's finished job records."""
+        swept = self.spool.sweep_expired(self.clock() if now is None else now)
+        if swept:
+            self._count(swept=float(len(swept)))
+        return len(swept)
+
+
+def _parse_query(query: str) -> dict[str, str]:
+    params: dict[str, str] = {}
+    for pair in query.split("&"):
+        if not pair:
+            continue
+        key, _, value = pair.partition("=")
+        params[key] = value
+    return params
+
+
+def _entry_digest(exp_id: str, key: str):
+    from repro.engine.deps import ExperimentDigest
+
+    return ExperimentDigest(exp_id=exp_id, key=key, modules=())
+
+
+def _progress_snapshot(prof: Profile) -> dict:
+    """A point-in-time view of a job profile, safe to take mid-run."""
+    spans = list(prof.spans)
+    finished = [s for s in spans if s.end_s is not None]
+    return {
+        "counters": prof.counters.to_dict(),
+        "spans_finished": len(finished),
+        "spans_open": [s.name for s in spans if s.end_s is None],
+        "last_span": finished[-1].name if finished else None,
+        "cache_hits": sum(
+            1 for s in finished if s.attrs.get("cache") == "hit"
+        ),
+    }

@@ -1,0 +1,131 @@
+"""A small blocking client for the service, on :mod:`http.client`.
+
+The CLI's ``submit``/``status`` commands, the latency benchmark, and
+the CI smoke job all talk through this — one dependency-free wrapper
+that knows the routes, raises :class:`ServiceError` for error statuses,
+and hands back parsed JSON (or raw bytes, for the byte-identity
+checks).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+__all__ = [
+    "ServiceError",
+    "ServiceClient",
+]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Blocking HTTP client bound to one server address."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8750, timeout_s: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------ plumbing
+    def request_bytes(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> tuple[int, bytes]:
+        """One request; returns (status, raw body) without judging it."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    def request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        status, raw = self.request_bytes(method, path, body)
+        try:
+            parsed = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            parsed = {"error": raw.decode("utf-8", "replace")}
+        if status >= 400:
+            raise ServiceError(status, str(parsed.get("error", parsed)))
+        return parsed
+
+    # ------------------------------------------------------------- routes
+    def submit(self, body: dict) -> dict:
+        return self.request("POST", "/v1/jobs", body)
+
+    def status(self, job_id: str, tenant: str | None = None) -> dict:
+        return self.request("GET", f"/v1/jobs/{job_id}{_tenant_query(tenant)}")
+
+    def result_bytes(self, job_id: str, tenant: str | None = None) -> bytes:
+        status, raw = self.request_bytes(
+            "GET", f"/v1/jobs/{job_id}/result{_tenant_query(tenant)}"
+        )
+        if status != 200:
+            raise ServiceError(status, raw.decode("utf-8", "replace"))
+        return raw
+
+    def result_by_digest(self, digest: str, tenant: str | None = None) -> dict:
+        return self.request("GET", f"/v1/results/{digest}{_tenant_query(tenant)}")
+
+    def jobs(self, tenant: str | None = None) -> dict:
+        return self.request("GET", f"/v1/jobs{_tenant_query(tenant)}")
+
+    def health(self) -> dict:
+        return self.request("GET", "/v1/health")
+
+    def metrics(self) -> str:
+        status, raw = self.request_bytes("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(status, raw.decode("utf-8", "replace"))
+        return raw.decode("utf-8")
+
+    # ------------------------------------------------------------ helpers
+    def wait(
+        self,
+        job_id: str,
+        tenant: str | None = None,
+        timeout_s: float = 120.0,
+        poll_s: float = 0.05,
+    ) -> dict:
+        """Poll until the job finishes; returns its final status payload."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            payload = self.status(job_id, tenant)
+            if payload.get("state") in ("done", "failed"):
+                return payload
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {payload.get('state')!r} "
+                    f"after {timeout_s:.0f}s"
+                )
+            time.sleep(poll_s)
+
+    def wait_ready(self, timeout_s: float = 30.0, poll_s: float = 0.05) -> dict:
+        """Poll /v1/health until the server accepts connections."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            try:
+                return self.health()
+            except (OSError, ServiceError):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(poll_s)
+
+
+def _tenant_query(tenant: str | None) -> str:
+    return f"?tenant={tenant}" if tenant else ""

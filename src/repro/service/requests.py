@@ -1,0 +1,138 @@
+"""The service request model: canonical bodies and deterministic job ids.
+
+A job submission is a JSON object; :func:`validate_request` normalizes
+it into the **canonical request** — defaults filled in explicitly,
+values coerced to their canonical types, keys fixed — and
+:func:`request_job_id` digests the canonical form.  Two clients that
+ask for the same work therefore compute the same job id on any
+machine, which is the property the whole service leans on:
+
+* submissions are idempotent — re-POSTing a body lands on the existing
+  job record instead of a duplicate;
+* a completed job is a **content-addressed result** — the second
+  identical submission is served from the spool in one read, marked
+  ``cache: hit``, and the executor never runs;
+* a killed-and-restarted server resumes a pending job under the same
+  id, so clients polling across the restart never lose their handle.
+
+The ``tag`` field is the idempotency escape hatch: clients that want
+two runs of identical work (load tests, soak runs) vary the tag, which
+is folded into the digest but ignored by execution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.faults.plan import FaultPlan
+from repro.service.resolve import JOB_RESOLVERS
+
+__all__ = [
+    "REQUEST_SCHEMA",
+    "DEFAULT_TENANT",
+    "RequestError",
+    "validate_request",
+    "request_bytes",
+    "request_job_id",
+]
+
+REQUEST_SCHEMA = 1
+
+DEFAULT_TENANT = "public"
+
+
+class RequestError(ValueError):
+    """A submission body the service rejects (HTTP 400)."""
+
+
+def _canonical_axes(axes: object) -> list[dict]:
+    if not isinstance(axes, list):
+        raise RequestError("sweep 'axes' must be a list of axis objects")
+    canonical = []
+    for axis in axes:
+        if not isinstance(axis, dict) or "parameter" not in axis or "values" not in axis:
+            raise RequestError(
+                "each sweep axis needs 'parameter' and 'values' fields"
+            )
+        try:
+            values = [float(v) for v in axis["values"]]
+        except (TypeError, ValueError) as exc:
+            raise RequestError(f"axis values must be numbers: {exc}") from exc
+        canonical.append({"parameter": str(axis["parameter"]), "values": values})
+    return canonical
+
+
+def _canonical_suite(payload: dict) -> dict:
+    ids = payload.get("ids") or []
+    if not isinstance(ids, list) or any(not isinstance(i, str) for i in ids):
+        raise RequestError("suite 'ids' must be a list of experiment id strings")
+    canonical: dict = {"ids": list(ids)}
+    fault_plan = payload.get("fault_plan")
+    if fault_plan is not None:
+        try:
+            canonical["fault_plan"] = FaultPlan.from_dict(fault_plan).to_dict()
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RequestError(f"invalid fault plan: {exc}") from exc
+    return canonical
+
+
+def _canonical_sweep(payload: dict) -> dict:
+    return {
+        "anchor": str(payload.get("anchor", "sx4")),
+        "axes": _canonical_axes(payload.get("axes", [])),
+        "include_presets": bool(payload.get("include_presets", False)),
+        "traces": [str(t) for t in payload.get("traces") or []],
+        "dilation": float(payload.get("dilation", 1.0)),
+    }
+
+
+def validate_request(body: object, default_tenant: str = DEFAULT_TENANT) -> dict:
+    """Normalize a submission body into its canonical request form.
+
+    The canonical form is what gets digested, journaled, and resolved —
+    every default is made explicit here so the same work always
+    serializes to the same bytes, however sparsely the client wrote it.
+    Raises :class:`RequestError` on anything malformed.
+    """
+    if not isinstance(body, dict):
+        raise RequestError("request body must be a JSON object")
+    kind = body.get("kind")
+    if kind not in JOB_RESOLVERS:
+        raise RequestError(
+            f"unknown job kind {kind!r}; know {', '.join(JOB_RESOLVERS)}"
+        )
+    tenant = body.get("tenant", default_tenant)
+    if not isinstance(tenant, str) or not tenant:
+        raise RequestError("'tenant' must be a non-empty string")
+    payload = body.get(kind, {})
+    if not isinstance(payload, dict):
+        raise RequestError(f"{kind!r} payload must be an object")
+    canonical_payload = (
+        _canonical_suite(payload) if kind == "suite" else _canonical_sweep(payload)
+    )
+    request = {
+        "schema": REQUEST_SCHEMA,
+        "kind": kind,
+        "tenant": tenant,
+        kind: canonical_payload,
+        "tag": str(body.get("tag", "")),
+    }
+    # Resolution must succeed before a job id exists: a request that
+    # cannot resolve (unknown experiment, bad sweep axis) is a 400, not
+    # a job that fails later.
+    try:
+        JOB_RESOLVERS[kind](canonical_payload)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise RequestError(str(exc)) from exc
+    return request
+
+
+def request_bytes(request: dict) -> bytes:
+    """The canonical serialized request — the bytes the job id digests."""
+    return json.dumps(request, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def request_job_id(request: dict) -> str:
+    """Deterministic job id: sha256 over the canonical request bytes."""
+    return hashlib.sha256(request_bytes(request)).hexdigest()

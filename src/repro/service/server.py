@@ -1,0 +1,181 @@
+"""The asyncio HTTP front end: sockets in, :class:`ServiceApp` out.
+
+Stdlib only, by design: :func:`asyncio.start_server` plus a minimal
+HTTP/1.1 reader is all the service needs — one short-lived connection
+per request (``Connection: close``), no keep-alive, no chunked bodies.
+The interesting logic all lives in :class:`repro.service.app.ServiceApp`;
+this module is the ~150 lines that turn bytes on a socket into
+``app.handle(method, path, body)`` and back.
+
+Two tasks run in the event loop:
+
+* the **acceptor** — parses requests and dispatches handlers via
+  :func:`asyncio.to_thread` (which propagates contextvars, so perfmon
+  profiles opened in handlers fold into the right collector);
+* the **worker** — drains the job queue through ``app.run_pending``,
+  also on a thread, so a long suite never blocks request handling.
+
+``paused=True`` starts the acceptor without the worker: submitted jobs
+journal to the spool and stay ``pending``.  The CI service-smoke job
+uses it to stage a killed-mid-queue server deterministically, then
+restarts without ``paused`` and watches :meth:`ServiceApp.recover`
+resume the same job id to the same result digest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from pathlib import Path
+
+from repro.service.app import Response, ServiceApp
+
+__all__ = [
+    "MAX_REQUEST_BYTES",
+    "WORKER_IDLE_SLEEP_S",
+    "read_request",
+    "write_response",
+    "serve",
+]
+
+#: Hard cap on request bodies — a benchmark submission is a few KB.
+MAX_REQUEST_BYTES = 1 << 20
+
+#: Worker poll interval when the queue is empty.
+WORKER_IDLE_SLEEP_S = 0.05
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, bytes] | None:
+    """Parse one HTTP/1.1 request; None on EOF or a malformed head."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3:
+        return None
+    method, target, _version = parts
+    content_length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError:
+                return None
+    if content_length < 0 or content_length > MAX_REQUEST_BYTES:
+        return None
+    body = b""
+    if content_length:
+        try:
+            body = await reader.readexactly(content_length)
+        except asyncio.IncompleteReadError:
+            return None
+    return method.upper(), target, body
+
+
+def write_response(writer: asyncio.StreamWriter, response: Response) -> None:
+    reason = _REASONS.get(response.status, "Unknown")
+    head = (
+        f"HTTP/1.1 {response.status} {reason}\r\n"
+        f"Content-Type: {response.content_type}\r\n"
+        f"Content-Length: {len(response.body)}\r\n"
+        f"Connection: close\r\n"
+        f"\r\n"
+    )
+    writer.write(head.encode("latin-1") + response.body)
+
+
+async def _handle_connection(
+    app: ServiceApp, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    try:
+        parsed = await read_request(reader)
+        if parsed is None:
+            response = Response(
+                status=400, body=json.dumps({"error": "malformed request"}).encode()
+            )
+        else:
+            method, target, body = parsed
+            # to_thread keeps the loop responsive during long handlers
+            # and carries contextvars, so perfmon stays attached.
+            response = await asyncio.to_thread(app.handle, method, target, body)
+        write_response(writer, response)
+        await writer.drain()
+    except ConnectionError:
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+async def _worker(app: ServiceApp) -> None:
+    while True:
+        ran = await asyncio.to_thread(app.run_pending, 1)
+        if not ran:
+            await asyncio.sleep(WORKER_IDLE_SLEEP_S)
+
+
+async def serve(
+    app: ServiceApp,
+    host: str = "127.0.0.1",
+    port: int = 8750,
+    paused: bool = False,
+    ready_file: str | Path | None = None,
+) -> None:
+    """Run the service until cancelled.
+
+    Recovery happens before the socket opens: unfinished spool records
+    re-enter the queue first, so a client polling a pre-restart job id
+    never observes a 404 window.  ``ready_file``, when given, is
+    written with the bound address once the socket is listening —
+    scripts (and the CI smoke job) wait on it instead of sleeping.
+    """
+    resumed = app.recover()
+    server = await asyncio.start_server(
+        lambda r, w: _handle_connection(app, r, w), host=host, port=port
+    )
+    bound = server.sockets[0].getsockname()
+    print(
+        f"repro.service: listening on http://{bound[0]}:{bound[1]} "
+        f"(root={app.root}, resumed={len(resumed)} job"
+        f"{'' if len(resumed) == 1 else 's'}"
+        f"{', paused' if paused else ''})",
+        flush=True,
+    )
+    if ready_file is not None:
+        # Atomic: pollers wait on the path appearing, so it must never
+        # be observable half-written.
+        target = Path(ready_file)
+        staging = target.with_name(target.name + ".tmp")
+        staging.write_text(
+            json.dumps({"host": bound[0], "port": bound[1]}), encoding="utf-8"
+        )
+        os.replace(staging, target)
+    worker = None if paused else asyncio.ensure_future(_worker(app))
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        if worker is not None:
+            worker.cancel()

@@ -1,0 +1,292 @@
+"""Durable job spool: every job journaled to the content-addressed store.
+
+Job records are JSON chunks in the engine's
+:class:`~repro.engine.store.ChunkStore` (namespace ``svcjob-<tenant>``,
+key = the job id, which is already a sha256 over the canonical request
+body).  That buys the service the store's whole discipline for free:
+atomic ``tmp/`` + ``os.replace`` writes (a crash mid-update leaves the
+previous complete record, never a torn one), payload checksums verified
+on read, and quarantine-instead-of-silent-loss for damaged entries.
+
+State machine::
+
+    pending -> running -> done
+                      \\-> failed
+
+Every transition rewrites the record atomically.  On startup the
+server calls :meth:`JobSpool.recover`: ``running`` records are demoted
+to ``pending`` (the previous process died mid-job) and everything
+unfinished is handed back to the queue — same job ids, same request
+bytes, so the resumed run recomputes the same digests and lands the
+same results.
+
+Finished records carry ``expires_at`` (completion time plus the
+tenant's TTL); :meth:`JobSpool.sweep_expired` drops the expired ones —
+``python -m repro.service gc`` and ``python -m repro.engine gc`` both
+run it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.engine.store import DEFAULT_STORE_ROOT, ChunkStore
+from repro.service.tenants import TENANT_NAME_RE
+
+__all__ = [
+    "SPOOL_SCHEMA",
+    "SPOOL_NAMESPACE_PREFIX",
+    "PENDING",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "JOB_STATES",
+    "JobRecord",
+    "JobSpool",
+]
+
+SPOOL_SCHEMA = 1
+
+SPOOL_NAMESPACE_PREFIX = "svcjob-"
+
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+JOB_STATES = (PENDING, RUNNING, DONE, FAILED)
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One journaled job: identity, state, and (eventually) its result.
+
+    ``result`` is the deterministic payload the result endpoint serves
+    byte-for-byte; everything run-dependent (timings, cache counts,
+    worker attempts) lives in ``meta`` so identical requests always
+    produce identical result bytes.
+    """
+
+    job_id: str
+    tenant: str
+    request: dict
+    state: str = PENDING
+    submitted_at: float = 0.0
+    finished_at: float | None = None
+    expires_at: float | None = None
+    attempts: int = 0
+    result: dict | None = None
+    error: str | None = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.state not in JOB_STATES:
+            raise ValueError(f"unknown job state {self.state!r}; know {JOB_STATES}")
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (DONE, FAILED)
+
+    @property
+    def kind(self) -> str:
+        return str(self.request.get("kind", ""))
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SPOOL_SCHEMA,
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "request": self.request,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+            "expires_at": self.expires_at,
+            "attempts": self.attempts,
+            "result": self.result,
+            "error": self.error,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> JobRecord:
+        return cls(
+            job_id=str(payload["job_id"]),
+            tenant=str(payload["tenant"]),
+            request=dict(payload["request"]),
+            state=str(payload["state"]),
+            submitted_at=float(payload.get("submitted_at", 0.0)),
+            finished_at=(
+                None
+                if payload.get("finished_at") is None
+                else float(payload["finished_at"])
+            ),
+            expires_at=(
+                None
+                if payload.get("expires_at") is None
+                else float(payload["expires_at"])
+            ),
+            attempts=int(payload.get("attempts", 0)),
+            result=payload.get("result"),
+            error=payload.get("error"),
+            meta=dict(payload.get("meta", {})),
+        )
+
+
+class JobSpool:
+    """The durable queue: job records keyed by deterministic job id."""
+
+    def __init__(self, root: str | Path = DEFAULT_STORE_ROOT) -> None:
+        self.root = Path(root)
+        self.chunks = ChunkStore(self.root)
+
+    # ------------------------------------------------------------ naming
+    @staticmethod
+    def namespace(tenant: str) -> str:
+        if not TENANT_NAME_RE.match(tenant):
+            raise ValueError(f"invalid tenant name {tenant!r}")
+        return f"{SPOOL_NAMESPACE_PREFIX}{tenant}"
+
+    @staticmethod
+    def _tenant_of(namespace: str) -> str | None:
+        if not namespace.startswith(SPOOL_NAMESPACE_PREFIX):
+            return None
+        return namespace[len(SPOOL_NAMESPACE_PREFIX):]
+
+    # ------------------------------------------------------------ access
+    def put(self, record: JobRecord) -> Path:
+        """Journal one record atomically (create or state transition)."""
+        payload = record.to_dict()
+        return self.chunks.put(self.namespace(record.tenant), record.job_id, payload)
+
+    def get(self, tenant: str, job_id: str) -> JobRecord | None:
+        payload = self.chunks.get(self.namespace(tenant), job_id)
+        if payload is None:
+            return None
+        try:
+            return JobRecord.from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            return None  # pre-schema record: treat as absent, never crash
+
+    def records(self, tenant: str | None = None) -> list[JobRecord]:
+        """Every journaled record, oldest submission first."""
+        found: list[JobRecord] = []
+        for entry in self.chunks.entries():
+            entry_tenant = self._tenant_of(entry.exp_id)
+            if entry_tenant is None:
+                continue
+            if tenant is not None and entry_tenant != tenant:
+                continue
+            record = self.get(entry_tenant, entry.key)
+            if record is not None:
+                found.append(record)
+        found.sort(key=lambda r: (r.submitted_at, r.job_id))
+        return found
+
+    def counts(self, tenant: str) -> dict[str, int]:
+        """Records per state for one tenant (quota accounting)."""
+        counts = {state: 0 for state in JOB_STATES}
+        for record in self.records(tenant):
+            counts[record.state] += 1
+        counts["total"] = sum(counts[state] for state in JOB_STATES)
+        return counts
+
+    # ------------------------------------------------------- transitions
+    def mark_running(self, record: JobRecord) -> JobRecord:
+        updated = replace(record, state=RUNNING, attempts=record.attempts + 1)
+        self.put(updated)
+        return updated
+
+    def mark_done(
+        self,
+        record: JobRecord,
+        result: dict,
+        meta: dict,
+        now: float,
+        ttl_s: float | None,
+    ) -> JobRecord:
+        updated = replace(
+            record,
+            state=DONE,
+            result=result,
+            error=None,
+            meta=meta,
+            finished_at=now,
+            expires_at=None if ttl_s is None else now + ttl_s,
+        )
+        self.put(updated)
+        return updated
+
+    def mark_failed(
+        self,
+        record: JobRecord,
+        error: str,
+        meta: dict,
+        now: float,
+        ttl_s: float | None,
+    ) -> JobRecord:
+        updated = replace(
+            record,
+            state=FAILED,
+            error=error,
+            meta=meta,
+            finished_at=now,
+            expires_at=None if ttl_s is None else now + ttl_s,
+        )
+        self.put(updated)
+        return updated
+
+    # ---------------------------------------------------------- recovery
+    def recover(self) -> list[JobRecord]:
+        """Unfinished jobs, ``running`` demoted to ``pending``.
+
+        Called at server startup: a ``running`` record means the
+        previous process was killed mid-job, so the work goes back in
+        the queue under the same id.  Completed digests are still in
+        the tenant's result store, so the resumed run re-executes only
+        what never finished.
+        """
+        resumed: list[JobRecord] = []
+        for record in self.records():
+            if record.finished:
+                continue
+            if record.state == RUNNING:
+                record = replace(record, state=PENDING)
+                self.put(record)
+            resumed.append(record)
+        return resumed
+
+    # ------------------------------------------------------------ sweeping
+    def sweep_expired(
+        self, now: float | None = None, dry_run: bool = False
+    ) -> list[JobRecord]:
+        """Drop finished records whose TTL has lapsed; returns them.
+
+        Unfinished jobs are never swept — a queue that garbage-collects
+        its own backlog is not a queue.
+        """
+        now = time.time() if now is None else now
+        swept: list[JobRecord] = []
+        for record in self.records():
+            if not record.finished:
+                continue
+            if record.expires_at is None or record.expires_at > now:
+                continue
+            if not dry_run:
+                path = self.chunks.entry_path(
+                    self.namespace(record.tenant), record.job_id
+                )
+                path.unlink(missing_ok=True)
+            swept.append(record)
+        return swept
+
+    def clear(self) -> int:
+        """Remove every job record (all tenants); returns how many."""
+        removed = 0
+        for entry in self.chunks.entries():
+            if self._tenant_of(entry.exp_id) is None:
+                continue
+            entry.path.unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -612,6 +612,127 @@ class TestFaultSiteRegistry:
         assert lint_file(path, tmp_path) == []
 
 
+class TestExitCodeContract:
+    """REPO010: CLI entry modules keep to the 0/1/2 exit contract."""
+
+    def test_literal_code_outside_contract_flagged(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/widget/cli.py",
+            """
+            import sys
+
+            def main():
+                sys.exit(7)
+            """,
+        )
+        found = lint_file(path, tmp_path)
+        assert rule_ids(found) == ["REPO010"]
+        assert "literal code 7" in found[0].message
+
+    def test_contract_codes_pass(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/widget/cli.py",
+            """
+            import sys
+
+            def main(ok):
+                if ok:
+                    sys.exit(0)
+                sys.exit(1)
+            """,
+        )
+        assert lint_file(path, tmp_path) == []
+
+    def test_raise_systemexit_literal_flagged(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/widget/__main__.py",
+            "raise SystemExit(9)\n",
+        )
+        assert rule_ids(lint_file(path, tmp_path)) == ["REPO010"]
+
+    def test_named_code_map_is_the_sanctioned_escape(self, tmp_path):
+        # engine run's 3/4/5 failure kinds flow through a named map —
+        # non-literal exit arguments are out of scope by design.
+        path = write_module(
+            tmp_path,
+            "src/repro/widget/cli.py",
+            """
+            import sys
+
+            FAILURE_EXIT_CODES = {"error": 3, "crash": 4}
+
+            def main(kind):
+                sys.exit(FAILURE_EXIT_CODES[kind])
+            """,
+        )
+        assert lint_file(path, tmp_path) == []
+
+    def test_main_defining_module_is_in_scope(self, tmp_path):
+        # Not named cli.py, but it exposes main(): still an entry point.
+        path = write_module(
+            tmp_path,
+            "src/repro/widget/tool.py",
+            """
+            import sys
+
+            def main():
+                sys.exit(42)
+            """,
+        )
+        assert rule_ids(lint_file(path, tmp_path)) == ["REPO010"]
+
+    def test_non_cli_module_out_of_scope(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/widget/lib.py",
+            """
+            import sys
+
+            def helper():
+                sys.exit(42)
+            """,
+        )
+        assert lint_file(path, tmp_path) == []
+
+    def test_tests_are_out_of_scope(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "tests/cli.py",
+            "import sys\n\n\ndef main():\n    sys.exit(42)\n",
+        )
+        assert lint_file(path, tmp_path) == []
+
+    def test_raise_systemexit_main_result_passes(self, tmp_path):
+        # The ubiquitous __main__ idiom: the code is main's return
+        # value, not a literal — out of scope.
+        path = write_module(
+            tmp_path,
+            "src/repro/widget/__main__.py",
+            """
+            from repro.widget.cli import main
+
+            raise SystemExit(main())
+            """,
+        )
+        assert lint_file(path, tmp_path) == []
+
+    def test_skip_pragma_suppresses(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/widget/cli.py",
+            """
+            import sys
+
+            def main():
+                sys.exit(77)  # repolint: skip
+            """,
+        )
+        assert lint_file(path, tmp_path) == []
+
+
 def test_syntax_error_is_repo000(tmp_path):
     path = write_module(tmp_path, "src/repro/suite/broken.py", "def oops(:\n")
     found = lint_file(path, tmp_path)

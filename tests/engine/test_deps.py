@@ -106,3 +106,34 @@ class TestDigests:
     def test_machine_fingerprint_stable(self):
         assert machine_fingerprint() == machine_fingerprint()
         assert len(machine_fingerprint()) == 64
+
+
+class TestBuilderEntryPoints:
+    def test_covers_every_registered_experiment(self):
+        from repro.engine.deps import builder_entry_points
+
+        ids = {exp_id for exp_id, _, _ in builder_entry_points()}
+        assert set(EXPERIMENTS) <= ids
+
+    def test_service_resolvers_are_entry_points(self):
+        # The service's request-resolution path is held to the same
+        # determinism contract as the experiment builders (DET001-006).
+        from repro.engine.deps import SERVICE_RESOLVE_MODULE, builder_entry_points
+
+        service = {
+            (exp_id, func)
+            for exp_id, module, func in builder_entry_points()
+            if module == SERVICE_RESOLVE_MODULE
+        }
+        assert service == {
+            ("service:suite", "resolve_suite"),
+            ("service:sweep", "resolve_sweep"),
+        }
+
+    def test_entries_name_real_functions(self):
+        import importlib
+
+        from repro.engine.deps import builder_entry_points
+
+        for _exp_id, module, func in builder_entry_points():
+            assert callable(getattr(importlib.import_module(module), func))

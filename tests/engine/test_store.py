@@ -1,10 +1,18 @@
 """Tests for the content-addressed result store."""
 
 import json
+import multiprocessing
+
+import pytest
 
 from repro.engine.deps import ExperimentDigest
 from repro.engine.store import ChunkStore, ResultStore, canonical_bytes, payload_checksum
 from repro.suite.results import Experiment
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="concurrency tests fork writer processes",
+)
 
 
 def _digest(exp_id="table_x", key=None):
@@ -303,3 +311,76 @@ class TestChunkStore:
         result_store = ResultStore(root)
         assert chunk_store.quarantine_dir == result_store.quarantine_dir
         assert chunk_store.tmp_dir == result_store.tmp_dir
+
+
+def _racing_writer(root, namespace, key, rounds, barrier):
+    """Hammer one chunk address from a separate process (fork target)."""
+    store = ChunkStore(root)
+    barrier.wait()
+    for i in range(rounds):
+        store.put(namespace, key, {"value": 7, "round": i % 3})
+
+
+class TestChunkStoreConcurrency:
+    """Two processes racing the same chunk key must leave one valid
+    entry: the atomic tmp/ + os.replace discipline means readers only
+    ever see a complete payload, so nothing gets quarantined."""
+
+    KEY = "e" * 64
+
+    @needs_fork
+    def test_racing_writers_one_valid_entry_no_quarantine(self, tmp_path):
+        root = tmp_path / "cache"
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(3)
+        writers = [
+            ctx.Process(
+                target=_racing_writer,
+                args=(root, "race", self.KEY, 200, barrier),
+            )
+            for _ in range(2)
+        ]
+        for writer in writers:
+            writer.start()
+        store = ChunkStore(root)
+        barrier.wait()  # release both writers together
+        # read mid-race: every observed payload must be complete
+        seen = 0
+        while any(w.is_alive() for w in writers):
+            chunk = store.get("race", self.KEY)
+            if chunk is not None:
+                assert chunk["value"] == 7
+                seen += 1
+        for writer in writers:
+            writer.join()
+            assert writer.exitcode == 0
+
+        entries = store.entries()
+        assert [(e.exp_id, e.key) for e in entries] == [("race", self.KEY)]
+        final = store.get("race", self.KEY)
+        assert final is not None and final["value"] == 7
+        assert store.quarantine_log == []
+        assert not store.quarantine_dir.is_dir() or not any(
+            store.quarantine_dir.iterdir()
+        )
+
+    @needs_fork
+    def test_distinct_pids_never_collide_in_tmp(self, tmp_path):
+        # The staging name embeds the pid, so concurrent writers never
+        # truncate each other's in-flight file; after the dust settles
+        # tmp/ holds no leftovers.
+        root = tmp_path / "cache"
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(2)
+        writer = ctx.Process(
+            target=_racing_writer, args=(root, "race", self.KEY, 100, barrier)
+        )
+        writer.start()
+        store = ChunkStore(root)
+        barrier.wait()
+        for i in range(100):
+            store.put("race", self.KEY, {"value": 7, "round": i % 3})
+        writer.join()
+        assert writer.exitcode == 0
+        assert list(store.tmp_dir.glob("*.tmp")) == []
+        assert store.get("race", self.KEY)["value"] == 7

@@ -42,8 +42,14 @@ class TestFaultAction:
         assert action.directive(in_worker=False)["in_worker"] is False
 
     def test_vocabulary_is_closed(self):
-        assert set(FAULT_SITES) == {"executor_job", "store_entry"}
+        assert set(FAULT_SITES) == {"executor_job", "store_entry", "service_submit"}
         assert "corrupt" in FAULT_KINDS
+
+    def test_service_submit_kinds_are_limited(self):
+        FaultAction(site="service_submit", exp_id="j", kind="error")
+        FaultAction(site="service_submit", exp_id="j", kind="slow", delay_s=0.1)
+        with pytest.raises(ValueError, match="service_submit"):
+            FaultAction(site="service_submit", exp_id="j", kind="crash")
 
 
 class TestFaultInjector:

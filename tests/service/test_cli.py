@@ -1,0 +1,98 @@
+"""Tests for ``python -m repro.service`` (the 0/1/2 exit contract)."""
+
+import json
+
+import pytest
+
+from repro.service.cli import main
+from repro.service.spool import JobRecord, JobSpool
+
+
+class TestUsage:
+    def test_no_command_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main([])
+        assert exit_info.value.code == 2
+
+    def test_unknown_command_is_usage_error(self):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["transmogrify"])
+        assert exit_info.value.code == 2
+
+    def test_submit_requires_a_body(self):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["submit"])
+        assert exit_info.value.code == 2
+
+
+class TestSubmitFailures:
+    def test_invalid_json_body_is_1(self, capsys):
+        code = main(["submit", "--body", "{nope", "--port", "1"])
+        assert code == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_unreachable_server_is_1(self, capsys):
+        code = main(["submit", "--body", "{}", "--port", "1"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_body_file_is_1(self, capsys):
+        code = main(["submit", "--body-file", "/nonexistent/f.json"])
+        assert code == 1
+
+
+class TestStatusFailures:
+    def test_unreachable_server_is_1(self, capsys):
+        code = main(["status", "a" * 64, "--port", "1"])
+        assert code == 1
+
+
+class TestServeFailures:
+    def test_bad_tenants_file_is_1(self, tmp_path, capsys):
+        bad = tmp_path / "tenants.json"
+        bad.write_text("{nope")
+        code = main(["serve", "--tenants", str(bad)])
+        assert code == 1
+        assert "tenants file" in capsys.readouterr().err
+
+
+class TestGc:
+    def _expired_record(self, root):
+        spool = JobSpool(root)
+        record = JobRecord(
+            job_id="ab" * 32, tenant="public",
+            request={"kind": "suite", "suite": {"ids": []}},
+        )
+        spool.mark_done(record, result={}, meta={}, now=0.0, ttl_s=1.0)
+        return spool
+
+    def test_gc_sweeps_expired(self, tmp_path, capsys):
+        spool = self._expired_record(tmp_path)
+        code = main(["gc", "--cache-dir", str(tmp_path)])
+        assert code == 0
+        assert "removed 1 expired job record" in capsys.readouterr().out
+        assert spool.get("public", "ab" * 32) is None
+
+    def test_gc_dry_run_keeps(self, tmp_path, capsys):
+        spool = self._expired_record(tmp_path)
+        code = main(["gc", "--cache-dir", str(tmp_path), "--dry-run"])
+        assert code == 0
+        assert "would remove 1" in capsys.readouterr().out
+        assert spool.get("public", "ab" * 32) is not None
+
+
+class TestEngineGcIntegration:
+    def test_engine_gc_sweeps_service_records(self, tmp_path, capsys):
+        from repro.engine.cli import main as engine_main
+
+        spool = JobSpool(tmp_path)
+        record = JobRecord(
+            job_id="cd" * 32, tenant="public",
+            request={"kind": "suite", "suite": {"ids": []}},
+        )
+        spool.mark_done(record, result={}, meta={}, now=0.0, ttl_s=1.0)
+        code = engine_main(["gc", "--cache-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 expired service job record" in out
+        assert spool.get("public", "cd" * 32) is None

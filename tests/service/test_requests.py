@@ -1,0 +1,111 @@
+"""Tests for canonical requests and deterministic job ids."""
+
+import pytest
+
+from repro.service.requests import (
+    RequestError,
+    request_bytes,
+    request_job_id,
+    validate_request,
+)
+
+
+class TestValidation:
+    def test_minimal_suite(self):
+        request = validate_request({"kind": "suite"})
+        assert request["kind"] == "suite"
+        assert request["tenant"] == "public"
+        assert request["suite"] == {"ids": []}
+        assert request["tag"] == ""
+
+    def test_suite_subset_preserves_order(self):
+        request = validate_request(
+            {"kind": "suite", "suite": {"ids": ["figure6", "table2"]}}
+        )
+        assert request["suite"]["ids"] == ["figure6", "table2"]
+
+    def test_sweep_defaults_made_explicit(self):
+        request = validate_request({"kind": "sweep"})
+        assert request["sweep"] == {
+            "anchor": "sx4",
+            "axes": [],
+            "include_presets": False,
+            "traces": [],
+            "dilation": 1.0,
+        }
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(RequestError, match="JSON object"):
+            validate_request([1, 2, 3])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(RequestError, match="unknown job kind"):
+            validate_request({"kind": "teleport"})
+
+    def test_unknown_experiment_rejected_before_job_exists(self):
+        with pytest.raises(RequestError, match="unknown experiment"):
+            validate_request({"kind": "suite", "suite": {"ids": ["nope"]}})
+
+    def test_unknown_trace_rejected(self):
+        with pytest.raises(RequestError, match="unknown trace"):
+            validate_request({"kind": "sweep", "sweep": {"traces": ["nope"]}})
+
+    def test_bad_axis_shape_rejected(self):
+        with pytest.raises(RequestError, match="axis"):
+            validate_request({"kind": "sweep", "sweep": {"axes": [{"values": [1]}]}})
+
+    def test_unknown_axis_parameter_rejected(self):
+        with pytest.raises(RequestError, match="parameter"):
+            validate_request(
+                {"kind": "sweep",
+                 "sweep": {"axes": [{"parameter": "warp.factor", "values": [9.0]}]}}
+            )
+
+    def test_invalid_fault_plan_rejected(self):
+        with pytest.raises(RequestError, match="fault plan"):
+            validate_request(
+                {"kind": "suite", "suite": {"fault_plan": {"actions": "nope"}}}
+            )
+
+
+class TestJobIds:
+    def test_identical_bodies_same_id(self):
+        a = validate_request({"kind": "suite", "suite": {"ids": ["table2"]}})
+        b = validate_request({"kind": "suite", "suite": {"ids": ["table2"]}})
+        assert request_job_id(a) == request_job_id(b)
+
+    def test_sparse_and_explicit_bodies_collide(self):
+        # Filling in a default by hand is the same request.
+        sparse = validate_request({"kind": "sweep"})
+        explicit = validate_request(
+            {"kind": "sweep",
+             "sweep": {"anchor": "sx4", "axes": [], "include_presets": False,
+                       "traces": [], "dilation": 1.0}}
+        )
+        assert request_job_id(sparse) == request_job_id(explicit)
+
+    def test_different_work_different_id(self):
+        a = validate_request({"kind": "suite", "suite": {"ids": ["table2"]}})
+        b = validate_request({"kind": "suite", "suite": {"ids": ["figure6"]}})
+        assert request_job_id(a) != request_job_id(b)
+
+    def test_id_order_is_part_of_identity(self):
+        a = validate_request({"kind": "suite", "suite": {"ids": ["table2", "figure6"]}})
+        b = validate_request({"kind": "suite", "suite": {"ids": ["figure6", "table2"]}})
+        assert request_job_id(a) != request_job_id(b)
+
+    def test_tag_varies_id_without_changing_work(self):
+        a = validate_request({"kind": "suite", "tag": "run-1"})
+        b = validate_request({"kind": "suite", "tag": "run-2"})
+        assert a["suite"] == b["suite"]
+        assert request_job_id(a) != request_job_id(b)
+
+    def test_id_is_a_valid_chunk_key(self):
+        job_id = request_job_id(validate_request({"kind": "suite"}))
+        assert len(job_id) == 64
+        assert set(job_id) <= set("0123456789abcdef")
+
+    def test_canonical_bytes_are_sorted_and_compact(self):
+        raw = request_bytes(validate_request({"kind": "suite"}))
+        assert b" " not in raw
+        assert raw == request_bytes(validate_request({"kind": "suite"}))

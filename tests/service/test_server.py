@@ -1,0 +1,136 @@
+"""Tests for the asyncio HTTP front end, over real sockets.
+
+One server per fixture on an OS-assigned port; the blocking
+:class:`ServiceClient` runs in the test thread while the event loop
+runs in a background thread — the same split a real deployment has.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.service.app import ServiceApp
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import serve
+
+SUITE_BODY = {"kind": "suite", "suite": {"ids": ["table2"]}}
+
+
+class _Server:
+    """A served app on 127.0.0.1:<ephemeral>, stoppable from the test."""
+
+    def __init__(self, app: ServiceApp, paused: bool = False) -> None:
+        self.app = app
+        self.paused = paused
+        self.loop = asyncio.new_event_loop()
+        self.task = None
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.task = self.loop.create_task(
+            serve(self.app, host="127.0.0.1", port=0, paused=self.paused,
+                  ready_file=self.ready_file)
+        )
+        try:
+            self.loop.run_until_complete(self.task)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self.loop.close()
+
+    def start(self, tmp_path) -> ServiceClient:
+        import json
+        import time
+
+        self.ready_file = tmp_path / "ready.json"
+        self.ready_file.parent.mkdir(parents=True, exist_ok=True)
+        self.thread.start()
+        deadline = time.monotonic() + 10.0
+        while not self.ready_file.exists():
+            if time.monotonic() > deadline:  # pragma: no cover
+                raise TimeoutError("server never became ready")
+            time.sleep(0.01)
+        bound = json.loads(self.ready_file.read_text())
+        return ServiceClient(host=bound["host"], port=bound["port"])
+
+    def stop(self) -> None:
+        if self.task is not None:
+            self.loop.call_soon_threadsafe(self.task.cancel)
+        self.thread.join(timeout=10.0)
+
+
+@pytest.fixture
+def served(tmp_path):
+    server = _Server(ServiceApp(root=tmp_path / "cache"))
+    client = server.start(tmp_path)
+    yield server.app, client
+    server.stop()
+
+
+class TestOverSockets:
+    def test_health_and_metrics(self, served):
+        _, client = served
+        assert client.health()["status"] == "ok"
+        assert "repro_perfmon_counter" in client.metrics()
+
+    def test_submit_wait_result_roundtrip(self, served):
+        _, client = served
+        submitted = client.submit(SUITE_BODY)
+        assert submitted["cache"] == "miss"
+        final = client.wait(submitted["job_id"], timeout_s=60)
+        assert final["state"] == "done"
+        raw = client.result_bytes(submitted["job_id"])
+        assert b'"table2"' in raw
+
+    def test_second_submission_hits_byte_identical(self, served):
+        _, client = served
+        first = client.submit(SUITE_BODY)
+        client.wait(first["job_id"], timeout_s=60)
+        bytes_1 = client.result_bytes(first["job_id"])
+        second = client.submit(SUITE_BODY)
+        assert second["cache"] == "hit"
+        assert second["job_id"] == first["job_id"]
+        assert client.result_bytes(first["job_id"]) == bytes_1
+
+    def test_error_statuses_raise(self, served):
+        _, client = served
+        with pytest.raises(ServiceError) as err:
+            client.submit({"kind": "nope"})
+        assert err.value.status == 400
+        with pytest.raises(ServiceError) as err:
+            client.status("f" * 64)
+        assert err.value.status == 404
+
+    def test_malformed_request_line_is_400(self, served):
+        import socket
+
+        _, client = served
+        with socket.create_connection((client.host, client.port)) as sock:
+            sock.sendall(b"garbage\r\n\r\n")
+            response = sock.recv(4096)
+        assert response.startswith(b"HTTP/1.1 400")
+
+
+class TestPausedRestart:
+    def test_paused_server_queues_without_executing(self, tmp_path):
+        server = _Server(ServiceApp(root=tmp_path / "cache"), paused=True)
+        client = server.start(tmp_path)
+        try:
+            submitted = client.submit(SUITE_BODY)
+            assert submitted["state"] == "pending"
+            status = client.status(submitted["job_id"])
+            assert status["state"] == "pending"
+        finally:
+            server.stop()
+
+        # "Restart": a fresh process-equivalent over the same root
+        # resumes the pending job under the same id.
+        restarted = _Server(ServiceApp(root=tmp_path / "cache"))
+        client_2 = restarted.start(tmp_path / "restart-stage")
+        try:
+            final = client_2.wait(submitted["job_id"], timeout_s=60)
+            assert final["state"] == "done"
+        finally:
+            restarted.stop()

@@ -1,0 +1,149 @@
+"""Tests for the durable ChunkStore-backed job spool."""
+
+import pytest
+
+from repro.engine.store import ChunkStore
+from repro.service.spool import DONE, FAILED, PENDING, RUNNING, JobRecord, JobSpool
+
+
+def _record(job_id=None, tenant="public", state=PENDING, submitted_at=1.0):
+    return JobRecord(
+        job_id=job_id or ("ab" * 32),
+        tenant=tenant,
+        request={"kind": "suite", "suite": {"ids": []}},
+        state=state,
+        submitted_at=submitted_at,
+    )
+
+
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        spool = JobSpool(tmp_path)
+        record = _record()
+        spool.put(record)
+        assert spool.get("public", record.job_id) == record
+
+    def test_missing_is_none(self, tmp_path):
+        assert JobSpool(tmp_path).get("public", "cd" * 32) is None
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ValueError, match="unknown job state"):
+            _record(state="paused")
+
+    def test_records_ordered_by_submission(self, tmp_path):
+        spool = JobSpool(tmp_path)
+        spool.put(_record(job_id="bb" * 32, submitted_at=2.0))
+        spool.put(_record(job_id="aa" * 32, submitted_at=1.0))
+        assert [r.job_id for r in spool.records()] == ["aa" * 32, "bb" * 32]
+
+    def test_tenants_are_isolated_namespaces(self, tmp_path):
+        spool = JobSpool(tmp_path)
+        spool.put(_record(tenant="public"))
+        spool.put(_record(tenant="team-a"))
+        assert len(spool.records("public")) == 1
+        assert len(spool.records("team-a")) == 1
+        assert spool.get("team-a", "ab" * 32).tenant == "team-a"
+
+    def test_foreign_chunks_ignored(self, tmp_path):
+        # Non-spool namespaces in the same ChunkStore are invisible.
+        ChunkStore(tmp_path).put("explore-grid", "ef" * 32, {"x": 1})
+        spool = JobSpool(tmp_path)
+        spool.put(_record())
+        assert len(spool.records()) == 1
+
+
+class TestTransitions:
+    def test_running_increments_attempts(self, tmp_path):
+        spool = JobSpool(tmp_path)
+        record = _record()
+        spool.put(record)
+        running = spool.mark_running(record)
+        assert running.state == RUNNING
+        assert running.attempts == 1
+        assert spool.get("public", record.job_id).state == RUNNING
+
+    def test_done_carries_result_and_ttl(self, tmp_path):
+        spool = JobSpool(tmp_path)
+        record = spool.mark_running(_record())
+        done = spool.mark_done(
+            record, result={"answer": 42}, meta={"wall_s": 0.1},
+            now=100.0, ttl_s=50.0,
+        )
+        assert done.state == DONE
+        assert done.expires_at == 150.0
+        stored = spool.get("public", record.job_id)
+        assert stored.result == {"answer": 42}
+        assert stored.meta["wall_s"] == 0.1
+
+    def test_failed_carries_error(self, tmp_path):
+        spool = JobSpool(tmp_path)
+        failed = spool.mark_failed(
+            _record(), error="boom", meta={}, now=1.0, ttl_s=None
+        )
+        assert failed.state == FAILED
+        assert failed.expires_at is None
+        assert spool.get("public", failed.job_id).error == "boom"
+
+
+class TestRecovery:
+    def test_running_demoted_to_pending(self, tmp_path):
+        spool = JobSpool(tmp_path)
+        spool.put(_record(job_id="aa" * 32, state=RUNNING))
+        spool.put(_record(job_id="bb" * 32, state=PENDING))
+        resumed = spool.recover()
+        assert sorted(r.job_id for r in resumed) == ["aa" * 32, "bb" * 32]
+        assert all(r.state == PENDING for r in resumed)
+        assert spool.get("public", "aa" * 32).state == PENDING
+
+    def test_finished_jobs_not_resumed(self, tmp_path):
+        spool = JobSpool(tmp_path)
+        spool.mark_done(_record(), result={}, meta={}, now=1.0, ttl_s=None)
+        assert spool.recover() == []
+
+    def test_recovery_preserves_job_identity(self, tmp_path):
+        # Same id, same request bytes across the simulated restart.
+        spool = JobSpool(tmp_path)
+        record = _record(state=RUNNING)
+        spool.put(record)
+        resumed = JobSpool(tmp_path).recover()[0]
+        assert resumed.job_id == record.job_id
+        assert resumed.request == record.request
+
+
+class TestSweeping:
+    def test_expired_finished_records_dropped(self, tmp_path):
+        spool = JobSpool(tmp_path)
+        spool.mark_done(
+            _record(job_id="aa" * 32), result={}, meta={}, now=10.0, ttl_s=5.0
+        )
+        spool.mark_done(
+            _record(job_id="bb" * 32), result={}, meta={}, now=10.0, ttl_s=500.0
+        )
+        swept = spool.sweep_expired(now=100.0)
+        assert [r.job_id for r in swept] == ["aa" * 32]
+        assert spool.get("public", "aa" * 32) is None
+        assert spool.get("public", "bb" * 32) is not None
+
+    def test_unfinished_never_swept(self, tmp_path):
+        spool = JobSpool(tmp_path)
+        spool.put(_record())
+        assert spool.sweep_expired(now=1e18) == []
+
+    def test_no_ttl_means_forever(self, tmp_path):
+        spool = JobSpool(tmp_path)
+        spool.mark_done(_record(), result={}, meta={}, now=1.0, ttl_s=None)
+        assert spool.sweep_expired(now=1e18) == []
+
+    def test_dry_run_keeps_records(self, tmp_path):
+        spool = JobSpool(tmp_path)
+        spool.mark_done(_record(), result={}, meta={}, now=1.0, ttl_s=1.0)
+        swept = spool.sweep_expired(now=100.0, dry_run=True)
+        assert len(swept) == 1
+        assert spool.get("public", swept[0].job_id) is not None
+
+    def test_clear_removes_all_tenants(self, tmp_path):
+        spool = JobSpool(tmp_path)
+        spool.put(_record(tenant="public"))
+        spool.put(_record(tenant="team-a"))
+        assert spool.clear() == 2
+        assert spool.records() == []

@@ -1,0 +1,69 @@
+"""Tests for tenant namespaces, quotas, and store isolation."""
+
+import json
+
+import pytest
+
+from repro.service.tenants import Tenant, TenantRegistry, tenant_store_root
+
+
+class TestTenant:
+    def test_defaults(self):
+        tenant = Tenant(name="public")
+        assert tenant.max_pending == 32
+        assert tenant.result_ttl_s == 7 * 24 * 3600.0
+
+    @pytest.mark.parametrize(
+        "name", ["", "UPPER", "has.dot", "has/slash", "-leading", "x" * 33]
+    )
+    def test_bad_names_rejected(self, name):
+        with pytest.raises(ValueError, match="invalid tenant name"):
+            Tenant(name=name)
+
+    def test_bad_quotas_rejected(self):
+        with pytest.raises(ValueError, match="quotas"):
+            Tenant(name="t", max_pending=0)
+        with pytest.raises(ValueError, match="result_ttl_s"):
+            Tenant(name="t", result_ttl_s=0.0)
+
+    def test_round_trip(self):
+        tenant = Tenant(name="team-a", max_pending=2, result_ttl_s=None)
+        assert Tenant.from_dict(tenant.to_dict()) == tenant
+
+
+class TestRegistry:
+    def test_public_always_present(self):
+        registry = TenantRegistry()
+        assert registry.get("public") is not None
+        assert registry.names() == ("public",)
+
+    def test_unknown_tenant_absent(self):
+        assert TenantRegistry().get("ghost") is None
+
+    def test_configured_tenants_join_public(self):
+        registry = TenantRegistry(tenants=(Tenant(name="team-a"),))
+        assert registry.names() == ("public", "team-a")
+
+    def test_public_can_be_redefined(self):
+        registry = TenantRegistry(tenants=(Tenant(name="public", max_pending=1),))
+        assert registry.get("public").max_pending == 1
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        path.write_text(json.dumps(
+            {"tenants": [{"name": "team-a", "max_pending": 3}]}
+        ))
+        registry = TenantRegistry.load(path)
+        assert registry.get("team-a").max_pending == 3
+
+
+class TestStoreRoots:
+    def test_roots_disjoint_per_tenant(self, tmp_path):
+        a = tenant_store_root(tmp_path, "team-a")
+        b = tenant_store_root(tmp_path, "team-b")
+        assert a != b
+        assert a.parent == b.parent == tmp_path / "tenants"
+
+    def test_invalid_name_cannot_escape(self, tmp_path):
+        with pytest.raises(ValueError, match="invalid tenant name"):
+            tenant_store_root(tmp_path, "../escape")
