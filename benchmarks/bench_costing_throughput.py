@@ -1,21 +1,30 @@
-"""Costing-engine throughput: compiled (columnar) vs legacy (per-op).
+"""Costing-engine throughput: suitebatch vs compiled vs legacy.
 
 The workload is the one the repo actually repeats: cost every registered
 trace — the 13 NCAR kernels plus the three applications — on the
 calibrated SX-4, the way every table regeneration and parameter sweep
-does.  The compiled engine lowers each trace to structure-of-arrays
-columns once and memoises the machine-dependent per-op cost vectors, so
-steady-state re-costing collapses to a handful of NumPy expressions; the
-legacy engine walks every op in Python.  This benchmark measures both in
-steady state (caches warm — the sweep regime), asserts the engines agree
-*exactly* first, and records the result in ``BENCH_engine.json``.
+does.  Three engines cost it:
+
+* ``legacy`` walks every op in Python — the reference;
+* ``compiled`` lowers each trace to structure-of-arrays columns once
+  and memoises the machine-dependent per-op cost vectors, so
+  steady-state re-costing collapses to a handful of NumPy expressions
+  per trace;
+* ``suitebatch`` stacks all 16 traces' columns into one ragged tensor
+  and costs the whole suite in a single kernel pass, segment-reducing
+  back to per-trace reports — the per-trace Python loop disappears.
+
+This benchmark measures all three in steady state (caches warm — the
+sweep regime), asserts the engines agree *exactly* first, and records
+the result in ``BENCH_engine.json``.
 
 Standalone (writes the JSON report, exit 1 on parity drift or a missed
-``--min-speedup``)::
+speedup gate)::
 
-    python benchmarks/bench_costing_throughput.py --min-speedup 10
+    python benchmarks/bench_costing_throughput.py \\
+        --min-speedup 10 --min-suitebatch-speedup 3
 
-Under pytest the parity gate runs as an ordinary test::
+Under pytest the parity gates run as ordinary tests::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_costing_throughput.py
 """
@@ -32,12 +41,14 @@ from repro.analysis.traces import TRACE_BUILDERS, build_registered_trace
 from repro.machine.operations import Trace
 from repro.machine.presets import canonical_machines, sx4_processor
 from repro.machine.processor import Processor
+from repro.machine.suitebatch import SuiteColumns, cost_suite_batch
 
 __all__ = [
     "build_suite",
     "parity_machines",
     "check_parity",
     "measure_engine",
+    "measure_suitebatch",
     "run_benchmark",
     "main",
 ]
@@ -66,11 +77,18 @@ def check_parity(
     machines: list[Processor],
     dilations: tuple[float, ...] = (1.0, 1.37),
 ) -> list[str]:
-    """Exact compiled-vs-legacy comparison; returns mismatch descriptions."""
+    """Exact three-way comparison; returns mismatch descriptions.
+
+    Legacy vs compiled per trace, then the whole stacked suite through
+    :func:`cost_suite_batch` vs compiled — every field compared with
+    ``==``, never a tolerance.
+    """
     mismatches: list[str] = []
+    stacked = SuiteColumns.from_traces(suite)
     for processor in machines:
-        for trace_id, trace in suite:
-            for dilation in dilations:
+        for dilation in dilations:
+            batch = cost_suite_batch(processor, stacked, dilation)
+            for position, (trace_id, trace) in enumerate(suite):
                 legacy = processor.execute(trace, dilation, engine="legacy")
                 compiled = processor.execute(trace, dilation, engine="compiled")
                 for field, get in PARITY_FIELDS:
@@ -79,6 +97,12 @@ def check_parity(
                         mismatches.append(
                             f"{processor.name} / {trace_id} / dilation {dilation}: "
                             f"{field} legacy={lhs!r} compiled={rhs!r}"
+                        )
+                    suitebatched = get(batch[position])
+                    if suitebatched != rhs:
+                        mismatches.append(
+                            f"{processor.name} / {trace_id} / dilation {dilation}: "
+                            f"{field} suitebatch={suitebatched!r} compiled={rhs!r}"
                         )
     return mismatches
 
@@ -113,6 +137,32 @@ def measure_engine(
     return best
 
 
+def measure_suitebatch(
+    processor: Processor,
+    stacked: SuiteColumns,
+    rounds: int = 5,
+    repeats: int = 20,
+) -> float:
+    """Best-of-``rounds`` seconds for one fused full-suite costing.
+
+    Same warm-cache regime as :func:`measure_engine`: the untimed pass
+    populates the stacked cost columns and the per-trace report memo,
+    after which a suite costing is one cache probe plus a list copy —
+    the per-trace Python loop is gone entirely.
+    """
+    cost_suite_batch(processor, stacked)
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            reports = cost_suite_batch(processor, stacked)
+            total = 0.0
+            for report in reports:
+                total += report.seconds
+        best = min(best, (time.perf_counter() - start) / repeats)
+    return best
+
+
 def run_benchmark(rounds: int = 5, repeats: int = 20) -> dict:
     """Parity gate + timing; returns the BENCH_engine.json payload."""
     suite = build_suite()
@@ -126,10 +176,18 @@ def run_benchmark(rounds: int = 5, repeats: int = 20) -> dict:
     _cost_suite(processor, cold_suite, "compiled")
     compiled_cold_s = time.perf_counter() - start
 
+    # Cold suitebatch pass: stack + first fused costing on fresh traces.
+    cold_stack_suite = build_suite()
+    start = time.perf_counter()
+    cost_suite_batch(processor, SuiteColumns.from_traces(cold_stack_suite))
+    suitebatch_cold_s = time.perf_counter() - start
+
     legacy_s = measure_engine(processor, suite, "legacy", rounds, repeats)
     compiled_s = measure_engine(processor, suite, "compiled", rounds, repeats)
+    stacked = SuiteColumns.from_traces(suite)
+    suitebatch_s = measure_suitebatch(processor, stacked, rounds, repeats)
     return {
-        "schema_version": 1,
+        "schema_version": 2,
         "benchmark": "costing_throughput",
         "machine": processor.name,
         "workload": "cost all registered traces once (steady state, caches warm)",
@@ -140,9 +198,15 @@ def run_benchmark(rounds: int = 5, repeats: int = 20) -> dict:
         "legacy_s_per_suite": legacy_s,
         "compiled_s_per_suite": compiled_s,
         "compiled_cold_s": compiled_cold_s,
+        "suitebatch_s_per_suite": suitebatch_s,
+        "suitebatch_cold_s": suitebatch_cold_s,
         "speedup": legacy_s / compiled_s if compiled_s > 0 else float("inf"),
+        "suitebatch_speedup_vs_compiled": (
+            compiled_s / suitebatch_s if suitebatch_s > 0 else float("inf")
+        ),
         "parity": {
             "fields": [field for field, _ in PARITY_FIELDS],
+            "engines": ["legacy", "compiled", "suitebatch"],
             "machines_checked": len(parity_machines()),
             "traces_checked": len(suite),
             "exact": not mismatches,
@@ -152,13 +216,15 @@ def run_benchmark(rounds: int = 5, repeats: int = 20) -> dict:
 
 
 def test_engines_agree_exactly():
-    """Pytest face of the parity gate: zero drift on every machine/trace."""
+    """Pytest face of the parity gate: zero drift on every machine/trace,
+    across all three engines (legacy, compiled, suitebatch)."""
     assert check_parity(build_suite(), parity_machines()) == []
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Benchmark compiled vs legacy trace costing; write BENCH_engine.json."
+        description="Benchmark suitebatch/compiled/legacy trace costing; "
+                    "write BENCH_engine.json."
     )
     parser.add_argument("--rounds", type=int, default=5,
                         help="timing rounds per engine (best is kept)")
@@ -168,13 +234,20 @@ def main(argv: list[str] | None = None) -> int:
                                              / "BENCH_engine.json"),
                         help="report path (default: repo-root BENCH_engine.json)")
     parser.add_argument("--min-speedup", type=float, default=None, metavar="X",
-                        help="fail unless compiled is at least X times faster")
+                        help="fail unless compiled is at least X times faster "
+                             "than legacy")
+    parser.add_argument("--min-suitebatch-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail unless the fused suitebatch costing is at "
+                             "least X times faster than compiled (same-run "
+                             "ratio, machine-independent)")
     parser.add_argument("--baseline", default=None, metavar="PATH",
                         help="committed BENCH_engine.json to regress against")
     parser.add_argument("--max-slowdown", type=float, default=0.25, metavar="F",
-                        help="fail when compiled_s_per_suite exceeds the "
-                             "baseline by more than this fraction "
-                             "(default: 0.25)")
+                        help="fail when compiled_s_per_suite (or, when the "
+                             "baseline records it, suitebatch_s_per_suite) "
+                             "exceeds the baseline by more than this "
+                             "fraction (default: 0.25)")
     args = parser.parse_args(argv if argv is not None else sys.argv[1:])
 
     payload = run_benchmark(rounds=args.rounds, repeats=args.repeats)
@@ -182,12 +255,17 @@ def main(argv: list[str] | None = None) -> int:
 
     parity = payload["parity"]
     print(f"traces: {payload['traces']} ({payload['ops']} ops) on {payload['machine']}")
-    print(f"legacy:   {payload['legacy_s_per_suite'] * 1e3:8.3f} ms / suite")
-    print(f"compiled: {payload['compiled_s_per_suite'] * 1e3:8.3f} ms / suite "
+    print(f"legacy:     {payload['legacy_s_per_suite'] * 1e3:8.3f} ms / suite")
+    print(f"compiled:   {payload['compiled_s_per_suite'] * 1e3:8.3f} ms / suite "
           f"(cold first pass {payload['compiled_cold_s'] * 1e3:.3f} ms)")
-    print(f"speedup:  {payload['speedup']:.1f}x")
+    print(f"suitebatch: {payload['suitebatch_s_per_suite'] * 1e3:8.3f} ms / suite "
+          f"(cold stack + cost {payload['suitebatch_cold_s'] * 1e3:.3f} ms)")
+    print(f"speedup:  {payload['speedup']:.1f}x compiled vs legacy, "
+          f"{payload['suitebatch_speedup_vs_compiled']:.1f}x suitebatch "
+          f"vs compiled")
     print(f"parity:   {'exact' if parity['exact'] else 'DRIFT'} over "
-          f"{parity['machines_checked']} machines x {parity['traces_checked']} traces")
+          f"{parity['machines_checked']} machines x {parity['traces_checked']} "
+          f"traces x {len(parity['engines'])} engines")
     print(f"report:   {args.out}")
 
     if not parity["exact"]:
@@ -198,20 +276,32 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: speedup {payload['speedup']:.1f}x below required "
               f"{args.min_speedup:g}x", file=sys.stderr)
         return 1
+    if (
+        args.min_suitebatch_speedup is not None
+        and payload["suitebatch_speedup_vs_compiled"] < args.min_suitebatch_speedup
+    ):
+        print(f"error: suitebatch speedup "
+              f"{payload['suitebatch_speedup_vs_compiled']:.1f}x below "
+              f"required {args.min_suitebatch_speedup:g}x", file=sys.stderr)
+        return 1
     if args.baseline is not None:
         baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
-        reference = float(baseline["compiled_s_per_suite"])
-        measured = payload["compiled_s_per_suite"]
-        slowdown = measured / reference - 1.0
-        print(f"baseline: {reference * 1e3:8.3f} ms / suite "
-              f"({args.baseline}); slowdown {slowdown:+.1%} "
-              f"(gate {args.max_slowdown:+.0%})")
-        if slowdown > args.max_slowdown:
-            print(f"error: compiled costing regressed {slowdown:+.1%} vs "
-                  f"baseline (allowed {args.max_slowdown:+.0%}): "
-                  f"{measured * 1e3:.3f} ms vs {reference * 1e3:.3f} ms",
-                  file=sys.stderr)
-            return 1
+        gates = [("compiled_s_per_suite", "compiled")]
+        if "suitebatch_s_per_suite" in baseline:
+            gates.append(("suitebatch_s_per_suite", "suitebatch"))
+        for key, label in gates:
+            reference = float(baseline[key])
+            measured = payload[key]
+            slowdown = measured / reference - 1.0
+            print(f"baseline: {label} {reference * 1e3:8.3f} ms / suite "
+                  f"({args.baseline}); slowdown {slowdown:+.1%} "
+                  f"(gate {args.max_slowdown:+.0%})")
+            if slowdown > args.max_slowdown:
+                print(f"error: {label} costing regressed {slowdown:+.1%} vs "
+                      f"baseline (allowed {args.max_slowdown:+.0%}): "
+                      f"{measured * 1e3:.3f} ms vs {reference * 1e3:.3f} ms",
+                      file=sys.stderr)
+                return 1
     return 0
 
 

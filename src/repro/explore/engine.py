@@ -1,8 +1,11 @@
 """Suite-level grid costing with content-addressed chunk caching.
 
 :func:`cost_suite_grid` prices every requested trace against every
-machine of a :class:`~repro.machine.grid.MachineGrid` — one broadcasted
-pass per trace — and reduces the per-trace costs into suite aggregates
+machine of a :class:`~repro.machine.grid.MachineGrid` — the traces are
+stacked into one :class:`~repro.machine.suitebatch.SuiteColumns` ragged
+tensor and the whole suite × grid cross product costs in a single
+broadcasted pass per chunk — and reduces the per-trace costs into suite
+aggregates
 (exact ``fsum`` across traces, the same reduction the per-machine suite
 runner performs).
 
@@ -34,7 +37,8 @@ from repro.analysis.traces import TRACE_BUILDERS, build_registered_trace
 from repro.engine.deps import closure_digest
 from repro.engine.store import ChunkStore
 from repro.machine.compiled import fsum_columns
-from repro.machine.grid import GridTraceCost, MachineGrid, cost_trace_grid
+from repro.machine.grid import GridTraceCost, MachineGrid, cost_suite_trace_grid
+from repro.machine.suitebatch import SuiteColumns
 from repro.perfmon.collector import active as perfmon_active
 from repro.perfmon.collector import record as perfmon_record
 from repro.perfmon.collector import span as perfmon_span
@@ -59,6 +63,7 @@ CHUNK_NAMESPACE = "explore"
 CHUNK_KEY_SEEDS = (
     "repro.machine.grid",
     "repro.machine.compiled",
+    "repro.machine.suitebatch",
     "repro.analysis.traces",
 )
 
@@ -221,6 +226,10 @@ def cost_suite_grid(
                 for start in range(0, m, chunk_machines)
             ]
         code_digest = closure_digest(CHUNK_KEY_SEEDS) if store is not None else None
+        # The stack is machine-independent: build it once, reuse it for
+        # every chunk's fused suite × subgrid pass.  Deferred until the
+        # first miss — a fully-warm sweep never stacks at all.
+        suite_columns: SuiteColumns | None = None
 
         chunk_costs: list[dict[str, GridTraceCost]] = []
         for subgrid in chunks:
@@ -233,10 +242,13 @@ def cost_suite_grid(
                     costs = _costs_from_payload(payload, subgrid, ids, traces)
             if costs is None:
                 misses += 1
-                costs = {
-                    trace_id: cost_trace_grid(traces[trace_id], subgrid, memory_dilation)
-                    for trace_id in ids
-                }
+                if suite_columns is None:
+                    suite_columns = SuiteColumns.from_traces(
+                        (trace_id, traces[trace_id]) for trace_id in ids
+                    )
+                costs = dict(
+                    zip(ids, cost_suite_trace_grid(suite_columns, subgrid, memory_dilation))
+                )
                 if store is not None:
                     store.put(CHUNK_NAMESPACE, key, _chunk_payload(costs, ids, memory_dilation))
             else:

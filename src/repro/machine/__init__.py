@@ -40,6 +40,12 @@ from repro.machine.operations import (
     VectorOp,
 )
 from repro.machine.processor import ExecutionReport, Processor
+from repro.machine.suitebatch import (
+    SuiteColumns,
+    cost_suite_batch,
+    register_suite,
+    registered_suite,
+)
 from repro.machine.node import Node, ParallelReport
 from repro.machine.memory import BankedMemory
 from repro.machine.vector_unit import VectorUnit
@@ -65,6 +71,10 @@ __all__ = [
     "compile_trace",
     "get_default_engine",
     "set_default_engine",
+    "SuiteColumns",
+    "cost_suite_batch",
+    "register_suite",
+    "registered_suite",
     "Node",
     "ParallelReport",
     "BankedMemory",

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from dataclasses import fields as dataclass_fields
 from typing import Any
 
 import numpy as np
@@ -72,8 +73,12 @@ __all__ = [
 #: is one of the two pillars of the bit-parity guarantee.
 SORTED_INTRINSICS: tuple[str, ...] = tuple(sorted(INTRINSICS))
 
-#: The selectable costing engines.
-ENGINES = ("compiled", "legacy")
+#: The selectable costing engines.  ``suitebatch`` costs a registered
+#: whole-suite column stack in one fused pass (see
+#: :mod:`repro.machine.suitebatch`) and falls back to ``compiled`` for
+#: traces outside the registered suite — reports are bit-identical on
+#: every path.
+ENGINES = ("compiled", "legacy", "suitebatch")
 
 #: Process-wide default engine for ``Processor.execute(engine=None)``.
 DEFAULT_ENGINE = "compiled"
@@ -133,6 +138,27 @@ def fsum_columns(matrix: np.ndarray) -> np.ndarray:
     if matrix.shape[0] == 0:
         return np.zeros(matrix.shape[1])
     return np.array([math.fsum(column) for column in matrix.T.tolist()])
+
+
+def _concat_column_fields(cls, parts):
+    """Field-wise ``np.concatenate`` over same-typed column sets.
+
+    Concatenation copies raw float64 bit patterns, so every row of the
+    stacked columns is bit-identical to its source row — the property
+    the suite-batch engine's exactness proof rests on.
+    """
+    return cls(**{
+        f.name: np.concatenate([getattr(p, f.name) for p in parts])
+        for f in dataclass_fields(cls)
+    })
+
+
+def _slice_column_fields(cls, columns, start, stop):
+    """Field-wise row slice ``[start:stop]`` (NumPy views, no copies)."""
+    return cls(**{
+        f.name: getattr(columns, f.name)[start:stop]
+        for f in dataclass_fields(cls)
+    })
 
 
 @dataclass(frozen=True)
@@ -222,6 +248,25 @@ class VectorColumns:
             intrinsic_calls_total=calls_total,
         )
 
+    @classmethod
+    def stack(cls, parts: list["VectorColumns"]) -> "VectorColumns":
+        """Concatenate several traces' vector columns into one stack.
+
+        Row values (including the precomputed derived columns) are
+        preserved bit-exactly; ``index`` keeps each row's within-trace
+        position so a segment slice scatters back into its own trace's
+        op order.  The suite-batch engine stacks all registered traces
+        this way and runs every ``*_cycles_batch`` kernel once over the
+        result.
+        """
+        if not parts:
+            return cls.from_ops([], [])
+        return _concat_column_fields(cls, parts)
+
+    def slice_rows(self, start: int, stop: int) -> "VectorColumns":
+        """One segment of a stacked column set, as zero-copy views."""
+        return _slice_column_fields(type(self), self, start, stop)
+
 
 @dataclass(frozen=True)
 class ScalarColumns:
@@ -256,6 +301,17 @@ class ScalarColumns:
             raw_flops=flops * count,
             words_moved=memory_words * count,
         )
+
+    @classmethod
+    def stack(cls, parts: list["ScalarColumns"]) -> "ScalarColumns":
+        """Concatenate several traces' scalar columns (bit-preserving)."""
+        if not parts:
+            return cls.from_ops([], [])
+        return _concat_column_fields(cls, parts)
+
+    def slice_rows(self, start: int, stop: int) -> "ScalarColumns":
+        """One segment of a stacked column set, as zero-copy views."""
+        return _slice_column_fields(type(self), self, start, stop)
 
 
 @dataclass

@@ -59,7 +59,7 @@ if TYPE_CHECKING:
     from repro.machine.compiled import CompiledTrace, VectorColumns
     from repro.machine.operations import Trace
 
-__all__ = ["MachineGrid", "GridTraceCost", "cost_trace_grid"]
+__all__ = ["MachineGrid", "GridTraceCost", "cost_trace_grid", "cost_suite_trace_grid"]
 
 declare_counters(
     "grid",
@@ -631,3 +631,78 @@ def cost_trace_grid(
         flop_equivalents=flop_equivalents,
         words_moved=words_moved,
     )
+
+
+def cost_suite_trace_grid(
+    suite, grid: MachineGrid, memory_dilation: float = 1.0
+) -> list[GridTraceCost]:
+    """Cost a stacked suite against every machine in one fused pass.
+
+    ``suite`` is a :class:`~repro.machine.suitebatch.SuiteColumns`
+    stack: its ``vector``/``scalar`` columns and ``machine_cache`` make
+    it a drop-in ``CompiledTrace`` for the grid kernels, so the whole
+    suite × grid cross product costs in a single ``(n_ops, n_machines)``
+    broadcasted pass — no per-trace Python loop over kernel launches.
+    Per-(trace, machine) totals reduce each trace's *segment* of the
+    stacked matrices with :func:`fsum_columns`; the exactly-rounded
+    column sums make every returned :class:`GridTraceCost` bit-identical
+    to :func:`cost_trace_grid` on that trace alone.  The per-trace
+    cycle vectors are memoised on the stack per (grid, dilation).
+    """
+    cache = suite.machine_cache(grid)
+    key = f"suite_grid_cost@{float(memory_dilation)!r}"
+    per_trace = cache.get(key)
+    computed = per_trace is None
+    m = grid.n_machines
+    if computed:
+        vector_cycles = (
+            grid.vector_op_cycles_grid(suite, memory_dilation)
+            if suite.vector.n
+            else np.zeros((0, m))
+        )
+        scalar_cycles = (
+            grid.scalar_op_cycles_grid(suite) if suite.scalar.n else np.zeros((0, m))
+        )
+        vo, so = suite.vector_offsets, suite.scalar_offsets
+        per_trace = cache[key] = tuple(
+            fsum_columns(
+                np.concatenate(
+                    [vector_cycles[vo[i]:vo[i + 1]], scalar_cycles[so[i]:so[i + 1]]],
+                    axis=0,
+                )
+            )
+            for i in range(suite.n_traces)
+        )
+    if perfmon_active() is not None:
+        perfmon_record(
+            "grid",
+            {
+                "machines": float(m),
+                "machine_traces": float(m * suite.n_traces),
+                "costings": 1.0 if computed else 0.0,
+                "memo_hits": 0.0 if computed else 1.0,
+            },
+        )
+    costs: list[GridTraceCost] = []
+    for i in range(suite.n_traces):
+        cycles = per_trace[i]
+        seconds = cycles * (grid.period_ns * NS)
+        zero = seconds == 0.0
+        safe_seconds = np.where(zero, 1.0, seconds)
+        raw_flops, flop_equivalents, words_moved = suite.trace_totals(i)
+        costs.append(
+            GridTraceCost(
+                trace_name=suite.trace_names[i],
+                machine_names=grid.names,
+                cycles=cycles,
+                seconds=seconds,
+                mflops=np.where(zero, 0.0, flop_equivalents / safe_seconds / MEGA),
+                bandwidth_bytes_per_s=np.where(
+                    zero, 0.0, (words_moved * 8.0) / safe_seconds
+                ),
+                raw_flops=raw_flops,
+                flop_equivalents=flop_equivalents,
+                words_moved=words_moved,
+            )
+        )
+    return costs

@@ -320,7 +320,9 @@ class Processor:
         """Run a trace to completion and report time and rates.
 
         ``engine`` selects the costing path: ``"compiled"`` (columnar,
-        the process default) or ``"legacy"`` (per-op reference); both
+        the process default), ``"legacy"`` (per-op reference), or
+        ``"suitebatch"`` (serve member traces from the registered
+        whole-suite fused pass, compiled fallback otherwise); all
         return equal reports.  ``breakdown=True`` additionally
         materialises the per-op ``(name, cycles)`` list.
 
@@ -331,7 +333,56 @@ class Processor:
         engine = resolve_engine(engine)
         if engine == "compiled":
             return self._execute_compiled(trace, memory_dilation, breakdown)
+        if engine == "suitebatch":
+            return self._execute_suitebatch(trace, memory_dilation, breakdown)
         return self._execute_legacy(trace, memory_dilation, breakdown)
+
+    def _execute_suitebatch(
+        self, trace: Trace, memory_dilation: float, breakdown: bool
+    ) -> ExecutionReport:
+        """Serve a member trace from the fused whole-suite pass.
+
+        If ``trace`` belongs to the process-registered
+        :class:`~repro.machine.suitebatch.SuiteColumns` stack, the whole
+        suite is costed in one batched kernel pass (memoised per
+        machine and dilation) and this trace's segment becomes the
+        report.  Non-member traces fall back to the compiled path —
+        reports are bit-identical either way, the fallback's ``engine``
+        field just says which path actually ran.  The registry is only
+        *read* here: the engine's pool-worker job path must not mutate
+        module globals (DET005), so workers adopt shared stacks in the
+        pool initializer instead.
+        """
+        from repro.machine import suitebatch
+
+        suite = suitebatch.registered_suite()
+        position = None if suite is None else suite.position_of(trace)
+        if position is None:
+            return self._execute_compiled(trace, memory_dilation, breakdown)
+        vector_cycles, scalar_cycles, op_cycles, total_cycles = (
+            suitebatch.trace_cycles(self, suite, position, memory_dilation)
+        )
+        view = suite.trace_view(position)
+        if perfmon_active() is not None:
+            perfmon_record("processor", {"traces": 1.0})
+            if view.n_ops:
+                self._record_trace_batch(
+                    view, op_cycles, vector_cycles, scalar_cycles, memory_dilation
+                )
+        raw_flops, flop_equivalents, words_moved = suite.trace_totals(position)
+        return ExecutionReport(
+            machine=self.name,
+            trace_name=trace.name,
+            cycles=total_cycles,
+            seconds=self.clock.seconds(total_cycles),
+            raw_flops=raw_flops,
+            flop_equivalents=flop_equivalents,
+            words_moved=words_moved,
+            engine="suitebatch",
+            op_names=view.names,
+            op_cycles=op_cycles,
+            has_breakdown=breakdown,
+        )
 
     def _execute_compiled(
         self, trace: Trace, memory_dilation: float, breakdown: bool
@@ -415,6 +466,8 @@ class Processor:
             has_breakdown=breakdown,
         )
 
-    def time(self, trace: Trace, memory_dilation: float = 1.0) -> float:
+    def time(
+        self, trace: Trace, memory_dilation: float = 1.0, *, engine: str | None = None
+    ) -> float:
         """Shorthand: wall-clock seconds for a trace."""
-        return self.execute(trace, memory_dilation).seconds
+        return self.execute(trace, memory_dilation, engine=engine).seconds

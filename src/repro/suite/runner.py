@@ -21,11 +21,15 @@ in-process: combine ``--perfmon`` with ``--jobs`` > 1 and the workers'
 counters stay in the workers (spans and the kernel PROGINF sections are
 still collected here).
 
-``--costing {compiled,legacy}`` selects the machine-model costing engine
-for the whole run: ``compiled`` (the default) costs traces through the
-columnar fast path of :mod:`repro.machine.compiled`; ``legacy`` walks
-every trace per-op — the reference the compiled engine is verified
-against, useful when bisecting a suspected engine discrepancy.
+``--costing {compiled,legacy,suitebatch}`` selects the machine-model
+costing engine for the whole run: ``compiled`` (the default) costs
+traces through the columnar fast path of :mod:`repro.machine.compiled`;
+``legacy`` walks every trace per-op — the reference the compiled engine
+is verified against, useful when bisecting a suspected engine
+discrepancy; ``suitebatch`` serves member traces of a registered
+:class:`~repro.machine.suitebatch.SuiteColumns` stack from one fused
+pass over the whole suite (falling back to ``compiled`` for traces
+outside the stack).  All three produce bit-identical reports.
 """
 
 from __future__ import annotations
@@ -216,10 +220,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="write the perfmon profile document (JSON) to "
                              "PATH (implies --perfmon)")
     parser.add_argument("--costing", choices=ENGINES, default=None,
-                        metavar="{compiled,legacy}",
+                        metavar="{compiled,legacy,suitebatch}",
                         help="costing engine for Processor.execute "
                              "(default: compiled, the columnar fast path; "
-                             "legacy is the per-op reference)")
+                             "legacy is the per-op reference; suitebatch "
+                             "fuses the registered suite into one pass)")
     args = parser.parse_args(argv if argv is not None else sys.argv[1:])
     if args.perfmon_out:
         args.perfmon = True

@@ -181,7 +181,7 @@ class TestColumns:
 
 class TestEngineSelection:
     def test_engines_tuple(self):
-        assert ENGINES == ("compiled", "legacy")
+        assert ENGINES == ("compiled", "legacy", "suitebatch")
 
     def test_default_roundtrip(self):
         original = get_default_engine()

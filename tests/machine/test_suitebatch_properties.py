@@ -1,0 +1,160 @@
+"""Property-based parity: fused suite-batch costing vs per-trace compiled.
+
+The suitebatch engine promises *bit* parity for arbitrary suites, not
+just the 16 registered traces — any multiset of traces stacked in any
+order must cost, trace by trace, to the same doubles the compiled
+engine produces for each trace alone.  Hypothesis explores both faces:
+random *subsets/permutations of the registered suite* (the shape the
+engine actually serves) and fully random synthetic traces (the shape
+that would expose a kernel that stopped being elementwise).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.traces import TRACE_BUILDERS, build_registered_trace
+from repro.machine.operations import INTRINSICS, ScalarOp, Trace, VectorOp
+from repro.machine.presets import sx4_processor, table1_machines
+from repro.machine.suitebatch import (
+    SuiteColumns,
+    cost_suite_batch,
+    pack_suite,
+    unpack_suite,
+)
+
+SX4 = sx4_processor()
+#: A Table 1 machine without a vector unit: vector ops cost through the
+#: scalar/cache model, the other half of the batched code.
+CACHE_MACHINE = next(m for m in table1_machines().values() if m.vector is None)
+
+ALL_TRACE_IDS = tuple(TRACE_BUILDERS)
+
+#: Registered traces are built once; stacking pins objects by identity,
+#: so reusing the same Trace objects across examples is exactly how the
+#: production registry behaves.
+REGISTERED = {tid: build_registered_trace(tid) for tid in ALL_TRACE_IDS}
+
+registered_subsets = st.lists(
+    st.sampled_from(ALL_TRACE_IDS), min_size=1, max_size=6, unique=True
+)
+
+dilations = st.floats(min_value=1.0, max_value=4.0, allow_nan=False)
+
+rates = st.floats(min_value=0.0, max_value=8.0, allow_nan=False)
+
+intrinsic_mixes = st.dictionaries(
+    st.sampled_from(sorted(INTRINSICS)),
+    st.floats(min_value=0.0, max_value=4.0, allow_nan=False),
+    max_size=3,
+).map(lambda mix: tuple(sorted(mix.items())))
+
+vector_ops = st.builds(
+    VectorOp,
+    name=st.sampled_from(["a", "b", "c"]),
+    length=st.integers(min_value=1, max_value=200_000),
+    count=st.integers(min_value=0, max_value=5_000),
+    flops_per_element=rates,
+    loads_per_element=rates,
+    stores_per_element=rates,
+    gather_loads_per_element=rates,
+    scatter_stores_per_element=rates,
+    load_stride=st.integers(min_value=1, max_value=2048),
+    store_stride=st.integers(min_value=1, max_value=2048),
+    intrinsic_calls=intrinsic_mixes,
+)
+
+
+@st.composite
+def scalar_ops(draw):
+    instructions = draw(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    flops = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False)) * instructions
+    return ScalarOp(
+        name=draw(st.sampled_from(["s", "t"])),
+        instructions=instructions,
+        flops=flops,
+        memory_words=draw(st.floats(min_value=0.0, max_value=1e5, allow_nan=False)),
+        count=draw(st.integers(min_value=0, max_value=100)),
+    )
+
+
+random_traces = st.lists(
+    st.lists(vector_ops | scalar_ops(), max_size=6).map(
+        lambda ops: Trace(ops, name="rand")
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def assert_suite_parity(processor, pairs, dilation=1.0):
+    """Stacked costing == per-trace compiled costing, field for field."""
+    suite = SuiteColumns.from_traces(pairs)
+    reports = cost_suite_batch(processor, suite, dilation)
+    assert len(reports) == len(pairs)
+    for report, (_, trace) in zip(reports, pairs):
+        expected = processor.execute(trace, dilation, engine="compiled")
+        assert report == expected  # dataclass ==: cycles/seconds/totals
+        assert report.mflops == expected.mflops
+        assert report.bandwidth_bytes_per_s == expected.bandwidth_bytes_per_s
+        assert (
+            np.asarray(report.op_cycles).tolist()
+            == np.asarray(expected.op_cycles).tolist()
+        )
+
+
+@given(subset=registered_subsets, dilation=dilations)
+@settings(max_examples=50, deadline=None)
+def test_registered_subsets_cost_bit_identically(subset, dilation):
+    pairs = [(tid, REGISTERED[tid]) for tid in subset]
+    assert_suite_parity(SX4, pairs, dilation)
+
+
+@given(subset=registered_subsets)
+@settings(max_examples=25, deadline=None)
+def test_registered_subsets_on_a_cache_machine(subset):
+    pairs = [(tid, REGISTERED[tid]) for tid in subset]
+    assert_suite_parity(CACHE_MACHINE, pairs)
+
+
+@given(traces=random_traces, dilation=dilations)
+@settings(max_examples=50, deadline=None)
+def test_random_synthetic_suites_cost_bit_identically(traces, dilation):
+    pairs = [(f"t{i}", trace) for i, trace in enumerate(traces)]
+    assert_suite_parity(SX4, pairs, dilation)
+
+
+@given(traces=random_traces)
+@settings(max_examples=25, deadline=None)
+def test_random_suites_survive_pack_unpack(traces):
+    """An adopted (serialised) stack costs to the same bits as the
+    original — the property the shared-memory worker path relies on."""
+    pairs = [(f"t{i}", trace) for i, trace in enumerate(traces)]
+    suite = SuiteColumns.from_traces(pairs)
+    adopted = unpack_suite(pack_suite(suite))
+    original = cost_suite_batch(SX4, suite)
+    recovered = cost_suite_batch(SX4, adopted)
+    assert original == recovered
+    for a, b in zip(original, recovered):
+        assert (
+            np.asarray(a.op_cycles).tolist() == np.asarray(b.op_cycles).tolist()
+        )
+
+
+@given(subset=registered_subsets)
+@settings(max_examples=25, deadline=None)
+def test_stack_order_does_not_change_any_report(subset):
+    """Reversing the stacking order leaves every trace's report equal:
+    segment reductions are exactly rounded, so neighbours can't leak."""
+    pairs = [(tid, REGISTERED[tid]) for tid in subset]
+    forward = {
+        r.trace_name: r
+        for r in cost_suite_batch(SX4, SuiteColumns.from_traces(pairs))
+    }
+    backward = {
+        r.trace_name: r
+        for r in cost_suite_batch(SX4, SuiteColumns.from_traces(pairs[::-1]))
+    }
+    assert forward.keys() == backward.keys()
+    for name, report in forward.items():
+        assert report == backward[name]
