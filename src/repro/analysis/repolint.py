@@ -49,6 +49,15 @@ REPO011   public ``*_cycles_batch`` kernels are segment-safe: the
           scalarisation of column entries (``.item()``/``.tolist()``/
           ``float(column_arg)``), which would silently break when rows
           from different traces interleave
+REPO012   ``except`` clauses in :mod:`repro.service` that name
+          ``TimeoutError``/``OSError`` (or a subclass — the connection
+          family) must re-raise, log, or count what they caught: a
+          service that silently eats a timeout or a hangup reports
+          ``ready`` while requests disappear.  Compliance is a
+          ``raise`` statement or a call to a reporting/counting helper
+          (``print``, logger methods, perfmon ``record``/``add``/
+          ``add_many``, the app's ``_count``/``_record``/``note_*``
+          hooks) anywhere in the handler body
 ========  ==============================================================
 
 All findings are ERROR severity — the CLI exits non-zero on any, which
@@ -787,6 +796,114 @@ def _check_exit_codes(rel: str, tree: ast.Module) -> list[Diagnostic]:
     return found
 
 
+#: Exception names REPO012 treats as the timeout/connection family —
+#: the errors a service is most tempted to shrug off and least able to
+#: afford losing track of.
+SWALLOWABLE_NETWORK_ERRORS = frozenset(
+    {
+        "TimeoutError",
+        "OSError",
+        "ConnectionError",
+        "ConnectionResetError",
+        "ConnectionRefusedError",
+        "ConnectionAbortedError",
+        "BrokenPipeError",
+        "InterruptedError",
+    }
+)
+
+#: Call names REPO012 accepts as "the handler made the error observable":
+#: stdout/stderr reporting, logger methods, and the perfmon counting
+#: surface (module helpers and the app's private wrappers).
+OBSERVABILITY_CALLS = frozenset(
+    {
+        "print",
+        "log",
+        "debug",
+        "info",
+        "warning",
+        "error",
+        "exception",
+        "critical",
+        "record",
+        "add",
+        "add_many",
+        "_count",
+        "_record",
+    }
+)
+
+
+def _names_network_error(annotation: ast.expr | None) -> bool:
+    """True when an except clause names a REPO012 family member.
+
+    Bare ``except:`` / ``except Exception`` are out of scope: those are
+    catch-all boundaries (the server's 500 fence, the worker loop), not
+    handlers that singled the network family out to discard it.
+    """
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Tuple):
+        return any(_names_network_error(elt) for elt in annotation.elts)
+    if isinstance(annotation, ast.Name):
+        return annotation.id in SWALLOWABLE_NETWORK_ERRORS
+    if isinstance(annotation, ast.Attribute):
+        # socket.timeout / asyncio.TimeoutError style references.
+        return annotation.attr in SWALLOWABLE_NETWORK_ERRORS or (
+            annotation.attr == "timeout"
+        )
+    return False
+
+
+def _handler_observes(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+            if name is not None and (
+                name in OBSERVABILITY_CALLS or name.startswith("note_")
+            ):
+                return True
+    return False
+
+
+def _check_swallowed_timeouts(rel: str, tree: ast.Module) -> list[Diagnostic]:
+    """REPO012: service code never silently swallows timeouts/hangups.
+
+    The lifecycle layer's honesty depends on every timeout and
+    connection error landing somewhere visible — a counter, a log line,
+    or the caller (via re-raise).  An ``except OSError: pass`` in the
+    service keeps ``/v1/health`` green while the failure it hid recurs,
+    which is precisely the failure mode the drain/breaker/watchdog
+    machinery exists to surface.
+    """
+    found = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if not _names_network_error(node.type):
+            continue
+        if _handler_observes(node):
+            continue
+        caught = ast.unparse(node.type) if node.type is not None else "..."
+        found.append(
+            Diagnostic(
+                rule_id="REPO012",
+                severity=Severity.ERROR,
+                location=f"{rel}:{node.lineno}",
+                message=(
+                    f"except clause catches {caught} but neither re-raises, "
+                    f"logs, nor counts it; a service that silently swallows "
+                    f"timeouts/hangups reports healthy while losing requests "
+                    f"(re-raise, print, or record a perfmon counter)"
+                ),
+            )
+        )
+    return found
+
+
 # ---------------------------------------------------------------- driver
 def _is_kernel_module(rel_parts: tuple[str, ...]) -> bool:
     return (
@@ -815,6 +932,11 @@ def _is_simulator_path(rel_parts: tuple[str, ...]) -> bool:
 
 def _in_src(rel_parts: tuple[str, ...]) -> bool:
     return rel_parts[:2] == ("src", "repro")
+
+
+def _is_service_module(rel_parts: tuple[str, ...]) -> bool:
+    """Modules REPO012 holds to the no-swallowed-timeouts contract."""
+    return rel_parts[:3] == ("src", "repro", "service")
 
 
 def _is_cli_entry(rel_parts: tuple[str, ...], tree: ast.Module) -> bool:
@@ -866,6 +988,8 @@ def lint_file(path: Path, root: Path) -> list[Diagnostic]:
         found.extend(_check_grid_siblings(rel, tree))
         found.extend(_check_segment_safety(rel, tree))
         found.extend(_check_fault_sites(rel, tree))
+    if _is_service_module(rel_parts):
+        found.extend(_check_swallowed_timeouts(rel, tree))
     if _is_cli_entry(rel_parts, tree):
         found.extend(_check_exit_codes(rel, tree))
 

@@ -20,6 +20,12 @@ One :func:`run_chaos` call is the whole resilience story end to end:
    conservation diagnostics stay healthy.
 6. **NQS requeue** — a seeded batch workload across node faults: every
    job finishes, requeue accounting adds up.
+7. **Service lifecycle** — the benchmark service walked through its
+   resilience story on a logical clock: a lapsed deadline fails fast, a
+   wedged worker's job is requeued behind an epoch fence, an injected
+   heartbeat fault is supervised, a mid-job drain checkpoints/bounces/
+   journals, and the restarted app finishes the checkpointed job
+   byte-identical to an uninterrupted one.
 
 Everything derived from the seed is deterministic — the report
 contains no wall-clock times, so two runs with the same seed produce
@@ -341,6 +347,195 @@ def _nqs_stage(chaos: ChaosReport) -> None:
     }
 
 
+def _service_stage(chaos: ChaosReport, workdir: Path) -> None:
+    """Stage 7: the service lifecycle on a logical clock.
+
+    One single-threaded walk through the whole resilience story of
+    DESIGN.md §5k — no sockets, no threads, no wall clock anywhere the
+    report can see, so two seeded runs produce byte-identical stage
+    dicts:
+
+    * a job whose ``deadline_s`` lapses while queued fails as a timeout
+      without spending engine time;
+    * a worker that claims a job and stops heartbeating is caught by
+      the watchdog: the job is requeued, the epoch fences the wedged
+      worker's late write, and a fresh epoch completes the job;
+    * an injected ``worker_heartbeat`` fault crashes the loop body and
+      the supervisor restarts it (the job still completes);
+    * a drain mid-job checkpoints the RUNNING record back to PENDING,
+      bounces new submissions with ``503 + Retry-After``, sweeps orphan
+      column segments, and journals a drain record (through the
+      ``service_drain`` fault site);
+    * a restarted app resumes the checkpointed job and finishes it
+      **byte-identical** to an app that was never interrupted.
+    """
+    from repro.faults.inject import FaultAction, FaultInjector
+    from repro.service.app import ServiceApp
+    from repro.service.requests import DEFAULT_TENANT
+
+    import json
+
+    now = [0.0]
+
+    def clock() -> float:
+        return now[0]
+
+    # Two *distinct* cheap experiments: the second job must get its own
+    # content digest, or the drain walk would hit the first job's cache.
+    distinct = list(dict.fromkeys(chaos.exp_ids + ("table1", "table2")))
+    exp_a, exp_b = distinct[0], distinct[1]
+
+    def submit(app: ServiceApp, ids: list[str], deadline_s: float | None = None):
+        payload: dict = {"kind": "suite", "suite": {"ids": ids}}
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        response = app.submit(json.dumps(payload).encode("utf-8"))
+        return response, json.loads(response.body)
+
+    app = ServiceApp(root=workdir / "service", clock=clock)
+
+    # --- deadline: lapses while queued, fails without engine time -----
+    _, submitted = submit(app, [exp_a], deadline_s=5.0)
+    job_deadline = submitted["job_id"]
+    now[0] = 10.0
+    app.run_pending(1, epoch=app.worker_epoch)
+    expired = app.spool.get(DEFAULT_TENANT, job_deadline)
+    chaos.check(
+        "service_deadline_expires_before_start",
+        expired is not None
+        and expired.state == "failed"
+        and (expired.error or "").startswith("timeout"),
+        f"queued job failed as: {expired.error if expired else 'missing'}",
+    )
+
+    # --- watchdog: wedge, requeue, fence, recover ---------------------
+    _, submitted = submit(app, [exp_a])  # same digest; resubmits the failure
+    job_a = submitted["job_id"]
+    stale_epoch = app.worker_epoch
+    claimed = app.next_pending()
+    record = app.spool.get(*claimed)
+    app.spool.mark_running(record)
+    app.running_job = claimed  # a worker claimed the job, then wedged
+    now[0] = 10.0 + app.stall_timeout_s + 1.0
+    event = app.watchdog_check()
+    chaos.check(
+        "service_watchdog_requeues_wedged_job",
+        event is not None and event["requeued"] == [job_a],
+        f"watchdog event: {event}",
+    )
+    stale_write = app.run_one(DEFAULT_TENANT, job_a, epoch=stale_epoch)
+    chaos.check(
+        "service_stale_epoch_write_fenced",
+        stale_write is None
+        and app.profile.counters.get("watchdog", "fenced") == 1.0,
+        "the wedged worker's late write was discarded behind the epoch fence",
+    )
+
+    # --- heartbeat fault: the supervisor restarts the loop ------------
+    app.injector = FaultInjector(actions=(
+        FaultAction(site="worker_heartbeat", exp_id="worker", kind="error"),
+        FaultAction(site="service_drain", exp_id="drain", kind="slow",
+                    delay_s=0.0),
+    ))
+    supervised = False
+    try:
+        app.run_pending(1, epoch=app.worker_epoch)
+    except RuntimeError:
+        app.note_worker_restart()  # what the server's worker loop does
+        supervised = True
+    app.run_pending(1, epoch=app.worker_epoch)
+    done_a = app.spool.get(DEFAULT_TENANT, job_a)
+    chaos.check(
+        "service_worker_fault_supervised",
+        supervised and done_a is not None and done_a.state == "done",
+        f"injected heartbeat fault restarted the loop; job ended "
+        f"{done_a.state if done_a else 'missing'}",
+    )
+
+    # --- drain mid-job: checkpoint, bounce, journal -------------------
+    _, submitted = submit(app, [exp_b])
+    job_b = submitted["job_id"]
+    claimed = app.next_pending()
+    app.spool.mark_running(app.spool.get(*claimed))
+    app.running_job = claimed  # in flight as the signal lands
+    outcome = app.drain(timeout_s=0.0, reason="chaos")
+    journal = app.last_drain()
+    chaos.check(
+        "service_drain_checkpoints_and_journals",
+        outcome["checkpointed"] == [job_b]
+        and outcome["journaled"]
+        and journal is not None
+        and journal["checkpointed"] == [job_b],
+        f"drain outcome: {outcome}",
+    )
+    bounced, payload = submit(app, [exp_a, exp_b])
+    chaos.check(
+        "service_drain_rejects_with_retry_after",
+        bounced.status == 503
+        and payload.get("reason") == "draining"
+        and any(name == "Retry-After" for name, _ in bounced.headers),
+        f"mid-drain submission answered {bounced.status} "
+        f"(reason {payload.get('reason')!r})",
+    )
+
+    # --- restart: resume the checkpointed job, byte-identical ---------
+    restarted = ServiceApp(root=workdir / "service", clock=clock)
+    resumed = restarted.recover()
+    restarted.run_pending(epoch=restarted.worker_epoch)
+    done_b = restarted.spool.get(DEFAULT_TENANT, job_b)
+    chaos.check(
+        "service_restart_resumes_checkpointed_job",
+        [r.job_id for r in resumed] == [job_b]
+        and done_b is not None
+        and done_b.state == "done"
+        and restarted.profile.counters.get("drain", "resumed") == 1.0,
+        f"resumed {len(resumed)} job(s); checkpointed job ended "
+        f"{done_b.state if done_b else 'missing'}",
+    )
+
+    clean = ServiceApp(root=workdir / "service-clean", clock=clock)
+    for ids in ([exp_a], [exp_b]):
+        submit(clean, ids)
+    clean.run_pending(epoch=clean.worker_epoch)
+    identical = [
+        job_id
+        for job_id in (job_a, job_b)
+        if clean.job_result(job_id, DEFAULT_TENANT).body
+        == restarted.job_result(job_id, DEFAULT_TENANT).body
+    ]
+    chaos.check(
+        "service_archives_byte_identical",
+        identical == [job_a, job_b],
+        f"{len(identical)}/2 interrupted-chain results byte-identical "
+        f"to the uninterrupted app",
+    )
+    leaked = restarted.sweep_orphan_columns() + clean.sweep_orphan_columns()
+    chaos.check(
+        "service_no_orphan_segments", leaked == 0,
+        f"{leaked} orphan column-cache segments after drain + restart",
+    )
+
+    counters = app.profile.counters
+    chaos.stages["service"] = {
+        "deadline": {
+            name: counters.get("deadline", name)
+            for name in ("admitted", "expired", "exceeded")
+        },
+        "watchdog": {
+            name: counters.get("watchdog", name)
+            for name in ("stalls", "requeues", "restarts", "fenced")
+        },
+        "drain": {
+            name: counters.get("drain", name)
+            for name in ("begun", "rejected", "checkpointed", "completed")
+        },
+        "resumed": restarted.profile.counters.get("drain", "resumed"),
+        "checkpointed": outcome["checkpointed"],
+        "injected_by_site": app.injector.applied_counts(),
+        "byte_identical": identical,
+    }
+
+
 def run_chaos(
     seed: int,
     quick: bool = False,
@@ -368,6 +563,7 @@ def run_chaos(
         _degraded_stage(chaos)
         _recovery_stage(chaos)
         _nqs_stage(chaos)
+        _service_stage(chaos, workdir)
     finally:
         if owns_workdir:
             shutil.rmtree(workdir, ignore_errors=True)

@@ -40,7 +40,21 @@ __all__ = [
 #: its ``fault.<site>`` counter and satisfies REPO008 for callers.
 #: ``service_submit`` fires in the service's submission handler, before
 #: admission — chaos tests use it to prove clients survive 503s.
-FAULT_SITES = ("executor_job", "store_entry", "service_submit")
+#: ``service_drain`` fires while the drain record is journaled and
+#: ``worker_heartbeat`` fires on each worker heartbeat stamp — the
+#: chaos harness uses them to stall a drain and wedge a worker
+#: deterministically.
+FAULT_SITES = (
+    "executor_job",
+    "store_entry",
+    "service_submit",
+    "service_drain",
+    "worker_heartbeat",
+)
+
+#: Service lifecycle sites: an attempt either bounces (``error``) or
+#: stalls (``slow``) — crash/corrupt semantics do not apply there.
+_SERVICE_SITES = ("service_submit", "service_drain", "worker_heartbeat")
 
 #: ``error``/``crash``/``timeout`` fail a job attempt (transient, the
 #: retry policy's domain); ``slow`` delays an attempt without failing
@@ -88,10 +102,10 @@ class FaultAction:
             raise ValueError("store_entry faults must be kind 'corrupt'")
         if self.site == "executor_job" and self.kind == "corrupt":
             raise ValueError("corrupt faults apply to store entries, not jobs")
-        if self.site == "service_submit" and self.kind not in ("error", "slow"):
+        if self.site in _SERVICE_SITES and self.kind not in ("error", "slow"):
             raise ValueError(
-                "service_submit faults must be kind 'error' or 'slow' "
-                "(a submission either bounces with a 503 or stalls)"
+                f"{self.site} faults must be kind 'error' or 'slow' "
+                f"(a service lifecycle step either bounces or stalls)"
             )
         if self.attempt < 0 or self.delay_s < 0:
             raise ValueError("attempt and delay_s must be non-negative")

@@ -32,6 +32,18 @@ and digest maps only — timings live in record ``meta``), serialized
 with sorted keys and compact separators: identical requests produce
 byte-identical result responses, which tests and the CI service-smoke
 job assert with a plain byte compare.
+
+The app also owns the **lifecycle layer** (:mod:`repro.service.lifecycle`,
+DESIGN.md §5k): graceful drain (:meth:`ServiceApp.drain` — reject new
+work with ``503 + Retry-After``, finish or checkpoint the in-flight
+job, journal a drain record), per-request ``deadline_s`` budgets
+propagated into the engine's per-job timeout, a per-``(tenant, kind)``
+circuit breaker that fast-fails doomed submissions, and a worker
+watchdog (:meth:`ServiceApp.beat` / :meth:`ServiceApp.watchdog_check`)
+that requeues a wedged worker's job behind an epoch fence.  All of it
+surfaces as ``drain.*``/``breaker.*``/``watchdog.*``/``deadline.*``
+counters in ``/metrics`` and as ``ready``/``degraded``/``draining`` in
+``/v1/health``.
 """
 
 from __future__ import annotations
@@ -43,7 +55,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.engine.executor import run_engine
-from repro.engine.store import DEFAULT_STORE_ROOT, ResultStore
+from repro.engine.store import DEFAULT_STORE_ROOT, ColumnCache, ResultStore
 from repro.explore.engine import cost_suite_grid
 from repro.faults.inject import FaultInjector, fault_point
 from repro.faults.plan import FaultPlan
@@ -52,14 +64,26 @@ from repro.perfmon.collector import Profile
 from repro.perfmon.collector import profile as perfmon_profile
 from repro.perfmon.counters import declare_counters
 from repro.perfmon.export import to_prometheus
+from repro.service.lifecycle import (
+    DEGRADED,
+    DRAIN_NAMESPACE,
+    DRAIN_SCHEMA,
+    DRAINING,
+    LIFECYCLE_COUNTERS,
+    READY,
+    CircuitBreaker,
+    drain_key,
+    retry_after_header,
+)
 from repro.service.requests import (
     DEFAULT_TENANT,
     RequestError,
     request_job_id,
+    validate_deadline,
     validate_request,
 )
 from repro.service.resolve import JOB_RESOLVERS
-from repro.service.spool import DONE, FAILED, JobRecord, JobSpool
+from repro.service.spool import DONE, FAILED, RUNNING, JobRecord, JobSpool
 from repro.service.tenants import Tenant, TenantRegistry, tenant_store_root
 from repro.suite.archive import experiment_to_dict
 
@@ -92,6 +116,7 @@ declare_counters(
         "quota_rejections",  # submissions bounced by tenant quotas
         "bad_requests",  # malformed submissions (HTTP 400)
         "swept",  # job records dropped by TTL sweeps
+        "client_disconnects",  # connections dropped mid-request/response
     ),
 )
 
@@ -103,6 +128,7 @@ class Response:
     status: int
     body: bytes
     content_type: str = "application/json"
+    headers: tuple[tuple[str, str], ...] = ()
 
 
 def canonical_json_bytes(payload: dict) -> bytes:
@@ -110,12 +136,29 @@ def canonical_json_bytes(payload: dict) -> bytes:
     return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
 
 
-def json_response(status: int, payload: dict) -> Response:
-    return Response(status=status, body=canonical_json_bytes(payload))
+def json_response(
+    status: int, payload: dict, headers: tuple[tuple[str, str], ...] = ()
+) -> Response:
+    return Response(status=status, body=canonical_json_bytes(payload), headers=headers)
 
 
-def _error(status: int, message: str) -> Response:
-    return json_response(status, {"error": message})
+def _error(
+    status: int,
+    message: str,
+    reason: str | None = None,
+    retry_after_s: float | None = None,
+) -> Response:
+    """An error response; overload-class errors carry a machine-readable
+    ``reason`` and a ``Retry-After`` header so clients can back off
+    without parsing prose."""
+    payload: dict = {"error": message}
+    headers: tuple[tuple[str, str], ...] = ()
+    if reason is not None:
+        payload["reason"] = reason
+    if retry_after_s is not None:
+        payload["retry_after_s"] = retry_after_s
+        headers = retry_after_header(retry_after_s)
+    return json_response(status, payload, headers=headers)
 
 
 class ServiceApp:
@@ -128,6 +171,9 @@ class ServiceApp:
         jobs: int = 1,
         injector: FaultInjector | None = None,
         clock=time.time,
+        breaker: CircuitBreaker | None = None,
+        stall_timeout_s: float = 30.0,
+        drain_retry_after_s: float = 5.0,
     ) -> None:
         self.root = Path(root)
         self.spool = JobSpool(self.root)
@@ -142,11 +188,38 @@ class ServiceApp:
         #: service-lifetime profile behind ``GET /metrics``.
         self.profile = Profile(meta={"service": "repro", "root": str(self.root)})
         self.started_at = self.clock()
+        # ----------------------------------------------- lifecycle state
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        #: heartbeat-age limit before the watchdog declares the worker
+        #: wedged, requeues its job, and fences its epoch.
+        self.stall_timeout_s = stall_timeout_s
+        #: Retry-After hint handed out while draining.
+        self.drain_retry_after_s = drain_retry_after_s
+        self.draining = False
+        self.drain_reason: str | None = None
+        #: True after a job fell back to serial execution (pool loss);
+        #: cleared when a pooled suite job completes cleanly again.
+        self.degraded = False
+        #: Fencing token: bumped by the watchdog/checkpoint so a stale
+        #: worker that wakes after a requeue cannot overwrite the spool.
+        self.worker_epoch = 0
+        #: (tenant, job_id) the worker currently executes, if any.
+        self.running_job: tuple[str, str] | None = None
+        self.heartbeat_at = self.clock()
+        # Seed every lifecycle counter at zero so /metrics exports the
+        # full drain/breaker/watchdog/deadline surface from first scrape.
+        for component, names in LIFECYCLE_COUNTERS.items():
+            self.profile.counters.add_many(component, dict.fromkeys(names, 0.0))
 
     # ------------------------------------------------------------ counters
     def _count(self, **increments: float) -> None:
         self.profile.counters.add_many(
             "service", {name: float(value) for name, value in increments.items()}
+        )
+
+    def _record(self, component: str, **increments: float) -> None:
+        self.profile.counters.add_many(
+            component, {name: float(value) for name, value in increments.items()}
         )
 
     # ------------------------------------------------------------ recovery
@@ -155,6 +228,8 @@ class ServiceApp:
         resumed = self.spool.recover()
         for record in resumed:
             self.queue.append((record.tenant, record.job_id))
+        if self.last_drain() is not None:
+            self._record("drain", resumed=1.0)
         return resumed
 
     # ------------------------------------------------------------ routing
@@ -190,16 +265,31 @@ class ServiceApp:
 
     # ------------------------------------------------------------ handlers
     def submit(self, body: bytes) -> Response:
+        if self.draining:
+            # Drain contract: nothing new is admitted, in-flight work
+            # finishes, and the client is told when to come back — the
+            # restarted process will serve the resubmission (or the
+            # cached result, if a twin already completed).
+            self._record("drain", rejected=1.0)
+            return _error(
+                503,
+                "server is draining"
+                + (f" ({self.drain_reason})" if self.drain_reason else "")
+                + "; resubmit after restart",
+                reason="draining",
+                retry_after_s=self.drain_retry_after_s,
+            )
         try:
             parsed = json.loads(body.decode("utf-8") or "null")
         except (UnicodeDecodeError, ValueError):
             self._count(bad_requests=1.0)
-            return _error(400, "request body is not valid JSON")
+            return _error(400, "request body is not valid JSON", reason="bad_request")
         try:
             request = validate_request(parsed)
+            deadline_s = validate_deadline(parsed)
         except RequestError as exc:
             self._count(bad_requests=1.0)
-            return _error(400, str(exc))
+            return _error(400, str(exc), reason="bad_request")
 
         tenant = self.tenants.get(request["tenant"])
         if tenant is None:
@@ -207,6 +297,7 @@ class ServiceApp:
                 403,
                 f"unknown tenant {request['tenant']!r}; provisioned: "
                 f"{', '.join(self.tenants.names())}",
+                reason="unknown_tenant",
             )
 
         job_id = request_job_id(request)
@@ -215,12 +306,22 @@ class ServiceApp:
             if action.kind == "slow":
                 time.sleep(action.delay_s)
             else:
-                return _error(503, "injected service fault (chaos harness)")
+                return _error(
+                    503,
+                    "injected service fault (chaos harness)",
+                    reason="fault_injection",
+                    retry_after_s=self.drain_retry_after_s,
+                )
 
         existing = self.spool.get(tenant.name, job_id)
         if existing is not None and existing.state == DONE:
             # The content-addressed fast path: one spool read, no
-            # executor, no queue — the "costs ~0" case.
+            # executor, no queue — the "costs ~0" case.  The touch
+            # renews the TTL so a sweep racing this hit cannot delete
+            # the handle we just handed out.
+            existing = self.spool.refresh_ttl(
+                existing, now=self.clock(), ttl_s=tenant.result_ttl_s
+            )
             self._count(submissions=1.0, hits=1.0)
             return json_response(
                 200, self._submission_payload(existing, CACHE_HIT)
@@ -231,6 +332,23 @@ class ServiceApp:
                 202, self._submission_payload(existing, CACHE_PENDING)
             )
 
+        # Only genuinely new work faces the breaker: hits and pending
+        # twins above are already paid for.
+        breaker_key = (tenant.name, request["kind"])
+        decision = self.breaker.admit(breaker_key, self.clock())
+        if decision.event == "probe":
+            self._record("breaker", probes=1.0)
+        if not decision.allowed:
+            self._record("breaker", fast_fails=1.0)
+            return _error(
+                503,
+                f"circuit breaker {decision.state} for tenant "
+                f"{tenant.name!r} kind {request['kind']!r} after repeated "
+                f"failures; retry later",
+                reason="breaker_open",
+                retry_after_s=decision.retry_after_s,
+            )
+
         counts = self.spool.counts(tenant.name)
         unfinished = counts["pending"] + counts["running"]
         if existing is None and unfinished >= tenant.max_pending:
@@ -239,6 +357,8 @@ class ServiceApp:
                 429,
                 f"tenant {tenant.name!r} has {unfinished} unfinished jobs "
                 f"(quota {tenant.max_pending})",
+                reason="quota_pending",
+                retry_after_s=self.drain_retry_after_s,
             )
         if existing is None and counts["total"] >= tenant.max_records:
             self._count(quota_rejections=1.0)
@@ -246,14 +366,19 @@ class ServiceApp:
                 429,
                 f"tenant {tenant.name!r} holds {counts['total']} job records "
                 f"(quota {tenant.max_records}); run gc or raise the quota",
+                reason="quota_records",
+                retry_after_s=self.drain_retry_after_s,
             )
 
+        if deadline_s is not None:
+            self._record("deadline", admitted=1.0)
         record = JobRecord(
             job_id=job_id,
             tenant=tenant.name,
             request=request,
             submitted_at=self.clock(),
             attempts=existing.attempts if existing is not None else 0,
+            deadline_s=deadline_s,
         )
         self.spool.put(record)
         self.queue.append((tenant.name, job_id))
@@ -292,6 +417,14 @@ class ServiceApp:
             "error": record.error,
             "meta": record.meta,
         }
+        if record.deadline_s is not None:
+            payload["deadline_s"] = record.deadline_s
+            if not record.finished:
+                # Remaining budget is live information, only meaningful
+                # while the job can still spend it.
+                payload["deadline_remaining_s"] = record.deadline_remaining_s(
+                    self.clock()
+                )
         live = self.job_profiles.get(record.job_id)
         if live is not None:
             payload["progress"] = _progress_snapshot(live)
@@ -359,14 +492,28 @@ class ServiceApp:
             content_type="text/plain; version=0.0.4",
         )
 
+    def health_state(self) -> str:
+        if self.draining:
+            return DRAINING
+        if self.degraded:
+            return DEGRADED
+        return READY
+
     def health(self) -> Response:
         return json_response(
             200,
             {
-                "status": "ok",
+                "status": self.health_state(),
+                "draining": self.draining,
+                "degraded": self.degraded,
                 "pending": len(self.queue),
                 "running": sorted(self.job_profiles),
                 "tenants": list(self.tenants.names()),
+                "breakers": self.breaker.snapshot(),
+                "worker": {
+                    "epoch": self.worker_epoch,
+                    "heartbeat_age_s": max(0.0, self.clock() - self.heartbeat_at),
+                },
             },
         )
 
@@ -377,32 +524,92 @@ class ServiceApp:
         except IndexError:
             return None
 
-    def run_pending(self, max_jobs: int | None = None) -> int:
-        """Drain the queue (the worker loop body); returns jobs run."""
+    def beat(self) -> None:
+        """Stamp the worker heartbeat (one per drain cycle).
+
+        The ``worker_heartbeat`` fault site lives here: a ``slow``
+        action wedges the worker mid-beat (the watchdog's cue), an
+        ``error`` action crashes the loop body (the supervisor's cue).
+        """
+        self.heartbeat_at = self.clock()
+        self._record("watchdog", beats=1.0)
+        action = fault_point("worker_heartbeat", self.injector, "worker")
+        if action is not None:
+            if action.kind == "slow":
+                time.sleep(action.delay_s)
+            else:
+                raise RuntimeError("injected worker fault (chaos harness)")
+
+    def _fenced(self, epoch: int | None) -> bool:
+        return epoch is not None and epoch != self.worker_epoch
+
+    def run_pending(self, max_jobs: int | None = None, epoch: int | None = None) -> int:
+        """Drain the queue (the worker loop body); returns jobs run.
+
+        ``epoch`` is the fencing token a supervised worker passes: the
+        loop stops as soon as the watchdog (or a drain checkpoint) has
+        moved the app to a newer epoch, so a stale worker never claims
+        or completes work that was requeued away from it.
+        """
         ran = 0
         while max_jobs is None or ran < max_jobs:
+            self.beat()
+            if self.draining or self._fenced(epoch):
+                break
             item = self.next_pending()
             if item is None:
                 break
             tenant, job_id = item
-            self.run_one(tenant, job_id)
+            self.run_one(tenant, job_id, epoch=epoch)
             ran += 1
         return ran
 
-    def run_one(self, tenant_name: str, job_id: str) -> JobRecord | None:
+    def run_one(
+        self, tenant_name: str, job_id: str, epoch: int | None = None
+    ) -> JobRecord | None:
         """Execute one journaled job through the engine."""
         record = self.spool.get(tenant_name, job_id)
         if record is None or record.finished:
             return record
+        if self._fenced(epoch):
+            self._record("watchdog", fenced=1.0)
+            return None
         tenant = self.tenants.get(tenant_name) or Tenant(name=tenant_name)
+        breaker_key = (tenant_name, record.kind)
+
+        remaining = record.deadline_remaining_s(self.clock())
+        if remaining is not None and remaining <= 0:
+            # Expired while queued: fail as timeout without spending
+            # engine time on a result nobody is waiting for.
+            # A lapsed budget says nothing about builder health, so the
+            # breaker is not fed here (or on the exceeded path below).
+            self._record("deadline", expired=1.0)
+            self._count(failed=1.0)
+            return self.spool.mark_failed(
+                record,
+                error=(
+                    f"timeout: deadline of {record.deadline_s:g} s expired "
+                    f"before execution started"
+                ),
+                meta={"attempts": record.attempts, "deadline_s": record.deadline_s},
+                now=self.clock(),
+                ttl_s=tenant.result_ttl_s,
+            )
+
         record = self.spool.mark_running(record)
+        self.running_job = (tenant_name, job_id)
         with perfmon_profile(job_id=job_id, tenant=tenant_name) as prof:
             self.job_profiles[job_id] = prof
             try:
-                result, meta = self._execute(record)
+                result, meta = self._execute(record, timeout_s=remaining)
             except Exception as exc:
                 self.job_profiles.pop(job_id, None)
+                self.running_job = None
+                if self._fenced(epoch):
+                    self._record("watchdog", fenced=1.0)
+                    return None
                 self._count(failed=1.0)
+                self._breaker_failure(breaker_key)
                 return self.spool.mark_failed(
                     record,
                     error=f"{type(exc).__name__}: {exc}",
@@ -412,9 +619,37 @@ class ServiceApp:
                 )
             finally:
                 self.job_profiles.pop(job_id, None)
+                self.running_job = None
         meta["perfmon"] = _progress_snapshot(prof)
+        if self._fenced(epoch):
+            # The watchdog requeued this job while we were executing it:
+            # our claim is stale, and writing now would race the worker
+            # that legitimately owns the new epoch.  Discard.
+            self._record("watchdog", fenced=1.0)
+            return None
+        if meta.get("serial_fallback"):
+            # The engine abandoned its pool mid-job: still correct, but
+            # the service is running in brownout until proven otherwise.
+            self.degraded = True
+            self._record("breaker", brownouts=1.0)
+        elif record.kind == "suite" and self.jobs > 1 and result is not None:
+            self.degraded = False
+        over_deadline = (
+            record.deadline_at is not None and self.clock() > record.deadline_at
+        )
+        if over_deadline:
+            self._record("deadline", exceeded=1.0)
+            self._count(failed=1.0)
+            return self.spool.mark_failed(
+                record,
+                error=f"timeout: job exceeded its {record.deadline_s:g} s deadline",
+                meta=meta,
+                now=self.clock(),
+                ttl_s=tenant.result_ttl_s,
+            )
         if result is None:
             self._count(failed=1.0)
+            self._breaker_failure(breaker_key)
             return self.spool.mark_failed(
                 record,
                 error=str(meta.get("failures") or "job failed"),
@@ -423,6 +658,8 @@ class ServiceApp:
                 ttl_s=tenant.result_ttl_s,
             )
         self._count(completed=1.0)
+        if self.breaker.record_success(breaker_key) == "closed":
+            self._record("breaker", closed=1.0)
         return self.spool.mark_done(
             record,
             result=result,
@@ -431,17 +668,35 @@ class ServiceApp:
             ttl_s=tenant.result_ttl_s,
         )
 
+    def _breaker_failure(self, key: tuple[str, str]) -> None:
+        self._record("breaker", failures=1.0)
+        if self.breaker.record_failure(key, self.clock()) == "opened":
+            self._record("breaker", opened=1.0)
+
+    # ----------------------------------------------------- server hooks
+    def note_client_disconnect(self) -> None:
+        """A connection died mid-request/response (observable, not fatal)."""
+        self._count(client_disconnects=1.0)
+
+    def note_worker_restart(self) -> None:
+        """The supervised worker loop crashed and was restarted in place."""
+        self._record("watchdog", restarts=1.0)
+
     # ------------------------------------------------------------ executors
-    def _execute(self, record: JobRecord) -> tuple[dict | None, dict]:
+    def _execute(
+        self, record: JobRecord, timeout_s: float | None = None
+    ) -> tuple[dict | None, dict]:
         kind = record.kind
         payload = record.request.get(kind, {})
         if kind == "suite":
-            return self._execute_suite(record, payload)
+            return self._execute_suite(record, payload, timeout_s=timeout_s)
         if kind == "sweep":
             return self._execute_sweep(record, payload)
         raise ValueError(f"unknown job kind {kind!r}; know {', '.join(JOB_RESOLVERS)}")
 
-    def _execute_suite(self, record: JobRecord, payload: dict) -> tuple[dict | None, dict]:
+    def _execute_suite(
+        self, record: JobRecord, payload: dict, timeout_s: float | None = None
+    ) -> tuple[dict | None, dict]:
         exp_ids = JOB_RESOLVERS["suite"](payload)
         store = ResultStore(tenant_store_root(self.root, record.tenant))
         injector = retry = None
@@ -449,7 +704,12 @@ class ServiceApp:
             injector = FaultPlan.from_dict(payload["fault_plan"]).injector()
             retry = chaos_retry_policy()
         report = run_engine(
-            exp_ids, jobs=self.jobs, store=store, retry=retry, injector=injector
+            exp_ids,
+            jobs=self.jobs,
+            store=store,
+            timeout_s=timeout_s,  # the job's remaining deadline budget
+            retry=retry,
+            injector=injector,
         )
         meta = {
             "cache": report.cache_counts(),
@@ -457,6 +717,7 @@ class ServiceApp:
             "wall_s": report.wall_s,
             "attempts": record.attempts,
             "retry_rounds": report.retry_rounds,
+            "serial_fallback": report.serial_fallback,
         }
         if report.failures:
             meta["failures"] = [f.summary_line() for f in report.failures]
@@ -515,6 +776,147 @@ class ServiceApp:
             ],
         }
         return result, meta
+
+    # ------------------------------------------------------------ lifecycle
+    def watchdog_check(self, now: float | None = None) -> dict | None:
+        """Detect a wedged worker; requeue its job and fence its epoch.
+
+        Called periodically by the server's monitor task (and directly
+        by tests/chaos on a logical clock).  A worker is wedged when its
+        heartbeat is older than ``stall_timeout_s``.  Recovery is pure
+        state surgery: the RUNNING record goes back to PENDING at the
+        *front* of the queue, the epoch bump fences any write the stale
+        worker attempts if it ever wakes, and the caller restarts a
+        fresh worker loop on the new epoch.
+        """
+        now = self.clock() if now is None else now
+        if self.draining:
+            return None  # drain owns the endgame; see checkpoint_running
+        stalled_for = now - self.heartbeat_at
+        if stalled_for <= self.stall_timeout_s:
+            return None
+        self._record("watchdog", stalls=1.0)
+        requeued: list[str] = []
+        busy = self.running_job
+        if busy is not None:
+            tenant_name, job_id = busy
+            record = self.spool.get(tenant_name, job_id)
+            if record is not None and record.state == RUNNING:
+                self.spool.mark_pending(record)
+                self.queue.appendleft((tenant_name, job_id))
+                requeued.append(job_id)
+                self._record("watchdog", requeues=1.0)
+            self.job_profiles.pop(job_id, None)
+        self.worker_epoch += 1
+        self.running_job = None
+        self.heartbeat_at = now
+        self._record("watchdog", restarts=1.0)
+        return {
+            "stalled_for_s": stalled_for,
+            "requeued": requeued,
+            "epoch": self.worker_epoch,
+        }
+
+    def begin_drain(self, reason: str = "signal") -> None:
+        """Flip into the draining state: new submissions bounce with 503."""
+        if self.draining:
+            return
+        self.draining = True
+        self.drain_reason = reason
+        self._record("drain", begun=1.0)
+
+    def checkpoint_running(self) -> list[str]:
+        """Demote every RUNNING record to PENDING (drain-timeout path).
+
+        The epoch bump makes the demotion safe against the very worker
+        we are abandoning: if it finishes after the timeout, its
+        ``mark_done`` is fenced and discarded, and the restarted server
+        recomputes the job to the same content-addressed result.
+        """
+        self.worker_epoch += 1
+        self.running_job = None
+        checkpointed = []
+        for record in self.spool.records():
+            if record.state == RUNNING:
+                self.spool.mark_pending(record)
+                checkpointed.append(record.job_id)
+        if checkpointed:
+            self._record("drain", checkpointed=float(len(checkpointed)))
+        return checkpointed
+
+    def sweep_orphan_columns(self) -> int:
+        """Sweep dead-owner shared-memory column segments, all tenants."""
+        swept = 0
+        for name in self.tenants.names():
+            root = tenant_store_root(self.root, name)
+            if root.exists():
+                swept += len(ColumnCache(root).sweep_orphans())
+        if swept:
+            self._record("drain", orphan_segments=float(swept))
+        return swept
+
+    def journal_drain(self, checkpointed: list[str], swept_segments: int) -> dict | None:
+        """Write the drain record; the restarted process reads it back.
+
+        Journaled through the same ChunkStore discipline as job records
+        (atomic replace, checksummed), under a fixed key — there is only
+        ever one "latest drain".  The ``service_drain`` fault site lets
+        chaos stall or bounce this write; a bounced write loses only the
+        record, never jobs (the spool is already consistent).
+        """
+        action = fault_point("service_drain", self.injector, "drain")
+        if action is not None:
+            if action.kind == "slow":
+                time.sleep(action.delay_s)
+            else:
+                return None
+        states = {}
+        for record in self.spool.records():
+            states[record.state] = states.get(record.state, 0) + 1
+        payload = {
+            "schema": DRAIN_SCHEMA,
+            "reason": self.drain_reason,
+            "drained_at": self.clock(),
+            "job_states": states,
+            "checkpointed": sorted(checkpointed),
+            "orphan_segments_swept": swept_segments,
+        }
+        self.spool.chunks.put(DRAIN_NAMESPACE, drain_key(), payload)
+        self._record("drain", completed=1.0)
+        return payload
+
+    def last_drain(self) -> dict | None:
+        """The previous process's drain record, if it exited gracefully."""
+        return self.spool.chunks.get(DRAIN_NAMESPACE, drain_key())
+
+    def drain(
+        self,
+        timeout_s: float = 30.0,
+        reason: str = "signal",
+        poll_s: float = 0.02,
+        sleep=time.sleep,
+    ) -> dict:
+        """The whole drain sequence, blocking up to ``timeout_s``.
+
+        Waits for the in-flight job to finish; past the timeout it is
+        checkpointed back to PENDING instead.  Either way the spool ends
+        consistent, orphan column segments are swept, and a drain record
+        is journaled — the graceful-exit contract the server's signal
+        handler (and the lifecycle tests) rely on.
+        """
+        self.begin_drain(reason)
+        deadline = time.monotonic() + timeout_s
+        while self.running_job is not None and time.monotonic() < deadline:
+            sleep(poll_s)
+        checkpointed = self.checkpoint_running()
+        swept = self.sweep_orphan_columns()
+        journal = self.journal_drain(checkpointed, swept)
+        return {
+            "reason": reason,
+            "checkpointed": checkpointed,
+            "orphan_segments_swept": swept,
+            "journaled": journal is not None,
+        }
 
     # ------------------------------------------------------------ hygiene
     def sweep_expired(self, now: float | None = None) -> int:

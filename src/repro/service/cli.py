@@ -5,7 +5,8 @@ Usage::
     python -m repro.service serve  [--host H] [--port P] [--cache-dir D]
                                    [--jobs N] [--costing ENGINE]
                                    [--tenants FILE] [--paused]
-                                   [--ready-file F]
+                                   [--ready-file F] [--drain-timeout S]
+                                   [--stall-timeout S]
     python -m repro.service submit [--host H] [--port P] (--body JSON |
                                    --body-file F) [--wait] [--json]
     python -m repro.service status JOB_ID [--host H] [--port P]
@@ -55,7 +56,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from repro.machine.compiled import set_default_engine
 
         set_default_engine(args.costing)
-    app = ServiceApp(root=args.cache_dir, tenants=tenants, jobs=args.jobs)
+    app = ServiceApp(
+        root=args.cache_dir,
+        tenants=tenants,
+        jobs=args.jobs,
+        stall_timeout_s=args.stall_timeout,
+    )
     try:
         asyncio.run(
             serve(
@@ -64,9 +70,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 port=args.port,
                 paused=args.paused,
                 ready_file=args.ready_file,
+                drain_timeout_s=args.drain_timeout,
             )
         )
     except KeyboardInterrupt:
+        # Only reachable where SIGINT handlers could not be installed
+        # (non-POSIX); on POSIX the server drains gracefully instead.
         print("repro.service: interrupted, exiting", file=sys.stderr)
     except OSError as exc:
         print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
@@ -183,6 +192,12 @@ def main(argv: list[str] | None = None) -> int:
                               "(restart-recovery staging)")
     p_serve.add_argument("--ready-file", default=None, metavar="F",
                          help="write the bound address here once listening")
+    p_serve.add_argument("--drain-timeout", type=float, default=30.0, metavar="S",
+                         help="seconds a SIGTERM drain waits for the in-flight "
+                              "job before checkpointing it back to pending")
+    p_serve.add_argument("--stall-timeout", type=float, default=30.0, metavar="S",
+                         help="worker heartbeat age after which the watchdog "
+                              "requeues its job and restarts the loop")
 
     p_submit = sub.add_parser("submit", help="POST a job submission")
     _add_endpoint(p_submit)

@@ -18,6 +18,12 @@ machine, which is the property the whole service leans on:
 The ``tag`` field is the idempotency escape hatch: clients that want
 two runs of identical work (load tests, soak runs) vary the tag, which
 is folded into the digest but ignored by execution.
+
+``deadline_s`` is the opposite: validated here
+(:func:`validate_deadline`) but deliberately **excluded** from the
+canonical request — a deadline bounds *when* work is worth doing, not
+*what* the work is, so the same submission with a different deadline
+must land on the same content-addressed job (and its cached result).
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ __all__ = [
     "DEFAULT_TENANT",
     "RequestError",
     "validate_request",
+    "validate_deadline",
     "request_bytes",
     "request_job_id",
 ]
@@ -126,6 +133,24 @@ def validate_request(body: object, default_tenant: str = DEFAULT_TENANT) -> dict
     except (KeyError, TypeError, ValueError) as exc:
         raise RequestError(str(exc)) from exc
     return request
+
+
+def validate_deadline(body: object) -> float | None:
+    """The submission's ``deadline_s`` budget, validated; None if absent.
+
+    Kept out of :func:`validate_request`'s canonical form on purpose —
+    see the module docstring — so callers carry it on the job record
+    instead of the digest.
+    """
+    if not isinstance(body, dict) or body.get("deadline_s") is None:
+        return None
+    raw = body["deadline_s"]
+    if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+        raise RequestError("'deadline_s' must be a number of seconds")
+    deadline = float(raw)
+    if not deadline > 0 or deadline != deadline:  # rejects 0, negatives, NaN
+        raise RequestError("'deadline_s' must be a positive number of seconds")
+    return deadline
 
 
 def request_bytes(request: dict) -> bytes:

@@ -4,22 +4,34 @@ Stdlib only, by design: :func:`asyncio.start_server` plus a minimal
 HTTP/1.1 reader is all the service needs — one short-lived connection
 per request (``Connection: close``), no keep-alive, no chunked bodies.
 The interesting logic all lives in :class:`repro.service.app.ServiceApp`;
-this module is the ~150 lines that turn bytes on a socket into
-``app.handle(method, path, body)`` and back.
-
-Two tasks run in the event loop:
+this module is the few hundred lines that turn bytes on a socket into
+``app.handle(method, target, body)`` and back, plus the process-level
+lifecycle the app cannot own itself:
 
 * the **acceptor** — parses requests and dispatches handlers via
   :func:`asyncio.to_thread` (which propagates contextvars, so perfmon
   profiles opened in handlers fold into the right collector);
-* the **worker** — drains the job queue through ``app.run_pending``,
-  also on a thread, so a long suite never blocks request handling.
+* the **worker** — a daemon thread draining the job queue through
+  ``app.run_pending(1, epoch=...)``.  A thread, not a task: a wedged
+  job must never be able to block event-loop shutdown, and the epoch
+  argument fences the thread out the moment the watchdog moves on;
+* the **watchdog** — a loop task calling :meth:`ServiceApp.watchdog_check`;
+  when the worker's heartbeat goes stale it requeues the RUNNING job
+  and this module starts a fresh worker thread on the new epoch;
+* **graceful drain** — SIGTERM/SIGINT flip the app into ``draining``
+  (new submissions bounce with ``503 + Retry-After``), the in-flight
+  job gets ``drain_timeout_s`` to finish (checkpointed back to PENDING
+  past that), orphan column segments are swept, a drain record is
+  journaled, and the process exits 0.  Restarting resumes the spool
+  bit-identically — the CI service-chaos job SIGTERMs a 50-job burst
+  and byte-compares every result against an uninterrupted run.
 
-``paused=True`` starts the acceptor without the worker: submitted jobs
-journal to the spool and stay ``pending``.  The CI service-smoke job
-uses it to stage a killed-mid-queue server deterministically, then
-restarts without ``paused`` and watches :meth:`ServiceApp.recover`
-resume the same job id to the same result digest.
+``paused=True`` starts the acceptor without the worker or watchdog:
+submitted jobs journal to the spool and stay ``pending``.  The CI
+service-smoke job uses it to stage a killed-mid-queue server
+deterministically, then restarts without ``paused`` and watches
+:meth:`ServiceApp.recover` resume the same job id to the same result
+digest.
 """
 
 from __future__ import annotations
@@ -27,6 +39,9 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import signal
+import threading
+import time
 from pathlib import Path
 
 from repro.service.app import Response, ServiceApp
@@ -34,6 +49,7 @@ from repro.service.app import Response, ServiceApp
 __all__ = [
     "MAX_REQUEST_BYTES",
     "WORKER_IDLE_SLEEP_S",
+    "DEFAULT_DRAIN_TIMEOUT_S",
     "read_request",
     "write_response",
     "serve",
@@ -44,6 +60,9 @@ MAX_REQUEST_BYTES = 1 << 20
 
 #: Worker poll interval when the queue is empty.
 WORKER_IDLE_SLEEP_S = 0.05
+
+#: How long a drain waits for the in-flight job before checkpointing it.
+DEFAULT_DRAIN_TIMEOUT_S = 30.0
 
 _REASONS = {
     200: "OK",
@@ -60,10 +79,14 @@ _REASONS = {
 async def read_request(
     reader: asyncio.StreamReader,
 ) -> tuple[str, str, bytes] | None:
-    """Parse one HTTP/1.1 request; None on EOF or a malformed head."""
+    """Parse one HTTP/1.1 request; None on EOF or a malformed head.
+
+    Connection errors propagate to the caller, which counts them — a
+    peer hanging up is normal traffic, but it must stay observable.
+    """
     try:
         request_line = await reader.readline()
-    except (ConnectionError, asyncio.LimitOverrunError):
+    except asyncio.LimitOverrunError:
         return None
     parts = request_line.decode("latin-1").split()
     if len(parts) != 3:
@@ -92,11 +115,12 @@ async def read_request(
 
 
 def write_response(writer: asyncio.StreamWriter, response: Response) -> None:
-    reason = _REASONS.get(response.status, "Unknown")
+    extra = "".join(f"{name}: {value}\r\n" for name, value in response.headers)
     head = (
-        f"HTTP/1.1 {response.status} {reason}\r\n"
+        f"HTTP/1.1 {response.status} {_REASONS.get(response.status, 'Unknown')}\r\n"
         f"Content-Type: {response.content_type}\r\n"
         f"Content-Length: {len(response.body)}\r\n"
+        f"{extra}"
         f"Connection: close\r\n"
         f"\r\n"
     )
@@ -120,20 +144,27 @@ async def _handle_connection(
         write_response(writer, response)
         await writer.drain()
     except ConnectionError:
-        pass
+        app.note_client_disconnect()
     finally:
         writer.close()
         try:
             await writer.wait_closed()
         except ConnectionError:
-            pass
+            app.note_client_disconnect()
 
 
-async def _worker(app: ServiceApp) -> None:
-    while True:
-        ran = await asyncio.to_thread(app.run_pending, 1)
+def _worker_loop(app: ServiceApp, epoch: int, stop: threading.Event) -> None:
+    """One worker thread's life: drain jobs until fenced, stopped, or draining."""
+    while not stop.is_set():
+        if app.draining or app.worker_epoch != epoch:
+            break
+        try:
+            ran = app.run_pending(1, epoch=epoch)
+        except Exception:  # injected worker fault or handler bug:
+            app.note_worker_restart()  # the loop survives, counted
+            ran = 0
         if not ran:
-            await asyncio.sleep(WORKER_IDLE_SLEEP_S)
+            time.sleep(WORKER_IDLE_SLEEP_S)
 
 
 async def serve(
@@ -142,14 +173,24 @@ async def serve(
     port: int = 8750,
     paused: bool = False,
     ready_file: str | Path | None = None,
+    drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S,
+    watchdog_interval_s: float | None = None,
+    install_signal_handlers: bool = True,
 ) -> None:
-    """Run the service until cancelled.
+    """Run the service until cancelled or drained by a signal.
 
     Recovery happens before the socket opens: unfinished spool records
     re-enter the queue first, so a client polling a pre-restart job id
     never observes a 404 window.  ``ready_file``, when given, is
     written with the bound address once the socket is listening —
     scripts (and the CI smoke job) wait on it instead of sleeping.
+
+    SIGTERM/SIGINT (when handlers can be installed — the main thread's
+    loop on POSIX) trigger the graceful drain instead of killing the
+    process: the socket keeps answering (submissions get ``503 +
+    Retry-After``, status/result reads still work) while the in-flight
+    job gets ``drain_timeout_s`` to finish, then the coroutine returns
+    normally so the CLI exits 0.
     """
     resumed = app.recover()
     server = await asyncio.start_server(
@@ -172,10 +213,81 @@ async def serve(
             json.dumps({"host": bound[0], "port": bound[1]}), encoding="utf-8"
         )
         os.replace(staging, target)
-    worker = None if paused else asyncio.ensure_future(_worker(app))
+
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+
+    def _initiate_drain(signame: str) -> None:
+        app.begin_drain(signame)
+        stop.set()
+
+    if install_signal_handlers:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, _initiate_drain, sig.name)
+            except (NotImplementedError, RuntimeError, ValueError):
+                # Non-POSIX platform or a loop outside the main thread
+                # (tests): cancellation remains the shutdown path.
+                break
+
+    worker_stop = threading.Event()
+
+    def _start_worker() -> threading.Thread:
+        epoch = app.worker_epoch
+        thread = threading.Thread(
+            target=_worker_loop,
+            args=(app, epoch, worker_stop),
+            name=f"repro-service-worker-{epoch}",
+            daemon=True,  # a wedged job must never block process exit
+        )
+        thread.start()
+        return thread
+
+    if not paused:
+        _start_worker()
+
+    interval = (
+        watchdog_interval_s
+        if watchdog_interval_s is not None
+        else max(0.05, min(1.0, app.stall_timeout_s / 4.0))
+    )
+
+    async def _watchdog() -> None:
+        while True:
+            await asyncio.sleep(interval)
+            event = app.watchdog_check()
+            if event is not None:
+                requeued = ", ".join(event["requeued"]) or "none"
+                print(
+                    f"repro.service: watchdog stalled worker after "
+                    f"{event['stalled_for_s']:.1f}s (requeued: {requeued}); "
+                    f"restarting on epoch {event['epoch']}",
+                    flush=True,
+                )
+                _start_worker()
+
+    watchdog_task = None if paused else asyncio.ensure_future(_watchdog())
     try:
         async with server:
-            await server.serve_forever()
+            # start_server is already accepting; block until a shutdown
+            # signal sets the stop event (or the caller cancels us).
+            await stop.wait()
+            # Drain with the socket still open: submissions during the
+            # window get an honest 503 + Retry-After, not a dead port.
+            outcome = await asyncio.to_thread(
+                app.drain, drain_timeout_s, app.drain_reason or "signal"
+            )
+            checkpointed = len(outcome["checkpointed"])
+            print(
+                f"repro.service: drained ({outcome['reason']}) — "
+                f"{checkpointed} job{'' if checkpointed == 1 else 's'} "
+                f"checkpointed, {outcome['orphan_segments_swept']} orphan "
+                f"segment{'' if outcome['orphan_segments_swept'] == 1 else 's'} "
+                f"swept, record "
+                f"{'journaled' if outcome['journaled'] else 'lost'}",
+                flush=True,
+            )
     finally:
-        if worker is not None:
-            worker.cancel()
+        worker_stop.set()
+        if watchdog_task is not None:
+            watchdog_task.cancel()

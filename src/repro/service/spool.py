@@ -80,6 +80,10 @@ class JobRecord:
     result: dict | None = None
     error: str | None = None
     meta: dict = field(default_factory=dict)
+    #: Optional execution budget in seconds, measured from submission.
+    #: Deliberately *not* part of the request digest: the same work with
+    #: a different deadline is the same content-addressed job.
+    deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.state not in JOB_STATES:
@@ -92,6 +96,18 @@ class JobRecord:
     @property
     def kind(self) -> str:
         return str(self.request.get("kind", ""))
+
+    @property
+    def deadline_at(self) -> float | None:
+        """Absolute deadline (submission + budget); restart-stable."""
+        if self.deadline_s is None:
+            return None
+        return self.submitted_at + self.deadline_s
+
+    def deadline_remaining_s(self, now: float) -> float | None:
+        if self.deadline_at is None:
+            return None
+        return self.deadline_at - now
 
     def to_dict(self) -> dict:
         return {
@@ -107,6 +123,7 @@ class JobRecord:
             "result": self.result,
             "error": self.error,
             "meta": self.meta,
+            "deadline_s": self.deadline_s,
         }
 
     @classmethod
@@ -131,6 +148,11 @@ class JobRecord:
             result=payload.get("result"),
             error=payload.get("error"),
             meta=dict(payload.get("meta", {})),
+            deadline_s=(
+                None
+                if payload.get("deadline_s") is None
+                else float(payload["deadline_s"])
+            ),
         )
 
 
@@ -198,6 +220,33 @@ class JobSpool:
         self.put(updated)
         return updated
 
+    def mark_pending(self, record: JobRecord) -> JobRecord:
+        """Demote a claimed job back to the queue (checkpoint/watchdog).
+
+        The journaled request bytes are untouched, so the demoted job
+        re-executes under the same id to the same result — the property
+        the drain-and-restart byte-identity tests pin down.
+        """
+        updated = replace(record, state=PENDING)
+        self.put(updated)
+        return updated
+
+    def refresh_ttl(self, record: JobRecord, now: float, ttl_s: float | None) -> JobRecord:
+        """Extend a finished record's expiry from ``now`` (touch-on-hit).
+
+        Closes the TTL race: a cache hit served moments before a sweep
+        would otherwise hand the client a handle the sweep immediately
+        deletes.  Touching on every hit makes the sweep-after-hit
+        ordering harmless.
+        """
+        if not record.finished:
+            return record
+        updated = replace(
+            record, expires_at=None if ttl_s is None else now + ttl_s
+        )
+        self.put(updated)
+        return updated
+
     def mark_done(
         self,
         record: JobRecord,
@@ -252,8 +301,7 @@ class JobSpool:
             if record.finished:
                 continue
             if record.state == RUNNING:
-                record = replace(record, state=PENDING)
-                self.put(record)
+                record = self.mark_pending(record)
             resumed.append(record)
         return resumed
 

@@ -945,6 +945,115 @@ def test_lint_repo_walks_and_aggregates(tmp_path):
     assert rule_ids(report.diagnostics) == ["REPO001"]
 
 
+class TestSwallowedTimeouts:
+    def test_silent_oserror_pass_is_flagged(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/service/bad.py",
+            """
+            def poke(sock):
+                try:
+                    sock.send(b"x")
+                except OSError:
+                    pass
+            """,
+        )
+        found = lint_file(path, tmp_path)
+        assert rule_ids(found) == ["REPO012"]
+        assert "OSError" in found[0].message
+
+    def test_timeout_family_tuple_is_flagged(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/service/bad2.py",
+            """
+            def poke(sock):
+                try:
+                    sock.send(b"x")
+                except (TimeoutError, ConnectionResetError):
+                    return None
+            """,
+        )
+        assert rule_ids(lint_file(path, tmp_path)) == ["REPO012"]
+
+    def test_reraise_complies(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/service/good.py",
+            """
+            def poke(sock, attempts):
+                try:
+                    sock.send(b"x")
+                except OSError:
+                    if attempts > 3:
+                        raise
+            """,
+        )
+        assert lint_file(path, tmp_path) == []
+
+    def test_logging_or_counting_complies(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/service/good2.py",
+            """
+            def poke(app, sock):
+                try:
+                    sock.send(b"x")
+                except ConnectionError:
+                    app.note_client_disconnect()
+                try:
+                    sock.recv(1)
+                except TimeoutError as exc:
+                    print(f"timed out: {exc}")
+            """,
+        )
+        assert lint_file(path, tmp_path) == []
+
+    def test_broad_handlers_are_out_of_scope(self, tmp_path):
+        """Bare/Exception handlers are catch-all boundaries, not REPO012."""
+        path = write_module(
+            tmp_path,
+            "src/repro/service/fence.py",
+            """
+            def handle(app):
+                try:
+                    app.dispatch()
+                except Exception:
+                    return None
+            """,
+        )
+        assert lint_file(path, tmp_path) == []
+
+    def test_rule_only_applies_to_service_modules(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/analysis/elsewhere.py",
+            """
+            def poke(sock):
+                try:
+                    sock.send(b"x")
+                except OSError:
+                    pass
+            """,
+        )
+        assert lint_file(path, tmp_path) == []
+
+    def test_exempt_pragma_escapes(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/service/escaped.py",
+            """
+            # repolint: exempt=REPO012 -- probing a socket that may be gone
+            def poke(sock):
+                try:
+                    sock.send(b"x")
+                except OSError:
+                    pass
+            """,
+        )
+        assert lint_file(path, tmp_path) == []
+
+
 def test_repo_is_clean_at_head():
     """The CI gate: the repository's own invariants all hold."""
     report = lint_repo(repo_root())

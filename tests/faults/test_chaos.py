@@ -33,6 +33,15 @@ class TestRunChaos:
             "recovery_bit_identical_ccm2",
             "ccm2_mass_conserved",
             "nqs_requeued_jobs_all_finish",
+            "service_deadline_expires_before_start",
+            "service_watchdog_requeues_wedged_job",
+            "service_stale_epoch_write_fenced",
+            "service_worker_fault_supervised",
+            "service_drain_checkpoints_and_journals",
+            "service_drain_rejects_with_retry_after",
+            "service_restart_resumes_checkpointed_job",
+            "service_archives_byte_identical",
+            "service_no_orphan_segments",
         } <= check_names
         second = run_chaos(seed=1996, quick=True, exp_ids=TINY_IDS,
                            workdir=tmp_path / "b")

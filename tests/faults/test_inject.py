@@ -42,7 +42,13 @@ class TestFaultAction:
         assert action.directive(in_worker=False)["in_worker"] is False
 
     def test_vocabulary_is_closed(self):
-        assert set(FAULT_SITES) == {"executor_job", "store_entry", "service_submit"}
+        assert set(FAULT_SITES) == {
+            "executor_job",
+            "store_entry",
+            "service_submit",
+            "service_drain",
+            "worker_heartbeat",
+        }
         assert "corrupt" in FAULT_KINDS
 
     def test_service_submit_kinds_are_limited(self):
@@ -50,6 +56,15 @@ class TestFaultAction:
         FaultAction(site="service_submit", exp_id="j", kind="slow", delay_s=0.1)
         with pytest.raises(ValueError, match="service_submit"):
             FaultAction(site="service_submit", exp_id="j", kind="crash")
+
+    def test_lifecycle_sites_are_limited_too(self):
+        FaultAction(site="service_drain", exp_id="drain", kind="error")
+        FaultAction(site="worker_heartbeat", exp_id="worker", kind="slow",
+                    delay_s=0.1)
+        with pytest.raises(ValueError, match="worker_heartbeat"):
+            FaultAction(site="worker_heartbeat", exp_id="worker", kind="crash")
+        with pytest.raises(ValueError, match="service_drain"):
+            FaultAction(site="service_drain", exp_id="drain", kind="corrupt")
 
 
 class TestFaultInjector:

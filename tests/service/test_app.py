@@ -246,7 +246,11 @@ class TestProgressAndMetrics:
 
     def test_health(self, app):
         body = json.loads(app.handle("GET", "/v1/health", b"").body)
-        assert body["status"] == "ok"
+        assert body["status"] == "ready"
+        assert body["draining"] is False
+        assert body["degraded"] is False
+        assert body["breakers"] == {}
+        assert body["worker"]["epoch"] == 0
 
 
 class TestFaultsAndSweeping:

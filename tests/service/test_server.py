@@ -72,7 +72,7 @@ def served(tmp_path):
 class TestOverSockets:
     def test_health_and_metrics(self, served):
         _, client = served
-        assert client.health()["status"] == "ok"
+        assert client.health()["status"] == "ready"
         assert "repro_perfmon_counter" in client.metrics()
 
     def test_submit_wait_result_roundtrip(self, served):

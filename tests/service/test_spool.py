@@ -147,3 +147,89 @@ class TestSweeping:
         spool.put(_record(tenant="team-a"))
         assert spool.clear() == 2
         assert spool.records() == []
+
+
+class TestSweepResubmissionRace:
+    """The TTL sweep racing a resubmission of the same digest."""
+
+    def test_touch_on_hit_outruns_the_sweep(self, tmp_path):
+        # A cache hit at t=14 refreshes the record that would have
+        # expired at t=15; the sweep at t=20 must now spare it.
+        spool = JobSpool(tmp_path)
+        done = spool.mark_done(_record(), result={}, meta={}, now=10.0, ttl_s=5.0)
+        spool.refresh_ttl(done, now=14.0, ttl_s=50.0)
+        assert spool.sweep_expired(now=20.0) == []
+        assert spool.get("public", done.job_id).expires_at == 64.0
+
+    def test_refresh_is_a_noop_on_unfinished_records(self, tmp_path):
+        spool = JobSpool(tmp_path)
+        record = _record()
+        spool.put(record)
+        assert spool.refresh_ttl(record, now=5.0, ttl_s=1.0).expires_at is None
+        assert spool.sweep_expired(now=1e18) == []
+
+    def test_resubmission_after_sweep_starts_a_fresh_pending_job(self, tmp_path):
+        # Sweep wins the race: the expired record is gone, and the
+        # resubmission recreates the *same id* as a clean pending job.
+        spool = JobSpool(tmp_path)
+        done = spool.mark_done(_record(), result={"answer": 42}, meta={},
+                               now=10.0, ttl_s=5.0)
+        assert [r.job_id for r in spool.sweep_expired(now=100.0)] == [done.job_id]
+        spool.put(_record(submitted_at=100.0))
+        revived = spool.get("public", done.job_id)
+        assert revived.state == PENDING
+        assert revived.result is None
+
+    def test_resubmission_demotion_shields_record_from_sweep(self, tmp_path):
+        # Resubmission wins the race: the expired DONE record is demoted
+        # back to PENDING for recompute before the sweep runs, and the
+        # sweep must not delete the now-unfinished job out from under it.
+        spool = JobSpool(tmp_path)
+        done = spool.mark_done(_record(), result={}, meta={}, now=10.0, ttl_s=5.0)
+        spool.mark_pending(done)
+        assert spool.sweep_expired(now=100.0) == []
+        assert spool.get("public", done.job_id).state == PENDING
+
+
+class TestCheckpointDemotion:
+    """RUNNING -> PENDING when a drain-timeout checkpoint fires mid-job."""
+
+    def test_demotion_preserves_identity_and_attempts(self, tmp_path):
+        spool = JobSpool(tmp_path)
+        running = spool.mark_running(_record())
+        demoted = spool.mark_pending(running)
+        assert demoted.state == PENDING
+        assert demoted.attempts == 1  # the aborted attempt still counts
+        assert demoted.request == running.request
+        assert spool.get("public", demoted.job_id).state == PENDING
+
+    def test_demoted_job_reruns_under_the_same_id(self, tmp_path):
+        spool = JobSpool(tmp_path)
+        demoted = spool.mark_pending(spool.mark_running(_record()))
+        rerun = spool.mark_running(demoted)
+        assert rerun.job_id == demoted.job_id
+        assert rerun.attempts == 2
+        done = spool.mark_done(rerun, result={"ok": True}, meta={},
+                               now=1.0, ttl_s=None)
+        assert spool.get("public", done.job_id).state == DONE
+
+    def test_demoted_job_survives_a_restart(self, tmp_path):
+        # Checkpoint, then crash before the drain completes: recovery
+        # must still surface the job exactly once, as PENDING.
+        spool = JobSpool(tmp_path)
+        spool.mark_pending(spool.mark_running(_record()))
+        resumed = JobSpool(tmp_path).recover()
+        assert [r.state for r in resumed] == [PENDING]
+
+    def test_deadline_survives_the_demotion(self, tmp_path):
+        spool = JobSpool(tmp_path)
+        record = _record()
+        record = JobRecord(
+            job_id=record.job_id, tenant=record.tenant,
+            request=record.request, state=PENDING,
+            submitted_at=1.0, deadline_s=30.0,
+        )
+        spool.put(record)
+        demoted = spool.mark_pending(spool.mark_running(record))
+        assert demoted.deadline_s == 30.0
+        assert demoted.deadline_at == 31.0
